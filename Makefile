@@ -1,0 +1,15 @@
+# Developer convenience targets.
+PYTHON ?= python
+
+.PHONY: test bench examples lint all
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+all: test bench

@@ -1,0 +1,39 @@
+"""Shared benchmark fixtures.
+
+Each benchmark prints the table/series it regenerates (run pytest with
+``-s`` to see them; they are also summarised in EXPERIMENTS.md).  The
+datasets and trained detectors are session-cached so the timed sections
+measure the interesting work, not trace generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.eval.harness import cached_suite
+
+from _common import SUITE_KWARGS
+
+
+@pytest.fixture(scope="session")
+def suite():
+    return cached_suite(**SUITE_KWARGS)
+
+
+@pytest.fixture(scope="session")
+def inet(suite):
+    return suite["inet"]
+
+
+@pytest.fixture(scope="session")
+def detectors(suite):
+    """One trained two-stage detector per dataset (k=6 fields)."""
+    result = {}
+    for name, dataset in suite.items():
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=6, selector_epochs=20, epochs=40, seed=3)
+        )
+        detector.fit(dataset.x_train, dataset.y_train_binary)
+        result[name] = detector
+    return result

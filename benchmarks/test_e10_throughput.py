@@ -1,0 +1,67 @@
+"""E10 — Per-packet match cost as table size grows (throughput proxy).
+
+Regenerates: the forwarding-cost series — per-packet processing time of
+the simulated switch at increasing ternary-table occupancy, plus the tiny
+deployed table of the learned rules for contrast.  Absolute numbers are
+simulator times (hardware would be line-rate); the *shape* — per-packet
+cost grows with entries in a software ternary search while the learned
+table stays small — is what the experiment demonstrates.  Timed section:
+replay through the learned deployment (pytest-benchmark stats).
+"""
+
+import time
+
+import numpy as np
+
+from repro.dataplane import GatewayController, Switch, SwitchConfig, TernaryTable
+from repro.eval.report import format_series
+
+
+def _filled_switch(offsets, n_entries, rng):
+    switch = Switch(SwitchConfig(key_offsets=offsets))
+    table = TernaryTable("fw", len(offsets), max_entries=max(n_entries, 1024))
+    for i in range(n_entries):
+        value = tuple(int(v) for v in rng.integers(0, 256, size=len(offsets)))
+        table.add(value, (255,) * len(offsets), "drop", priority=i)
+    switch.add_table(table)
+    return switch
+
+
+def test_e10_match_cost_series(benchmark, suite, detectors):
+    dataset = suite["inet"]
+    rules = detectors["inet"].generate_rules()
+    packets = dataset.test_packets[:400]
+    rng = np.random.default_rng(0)
+
+    sizes = [10, 100, 1000]
+    micros = []
+    for size in sizes:
+        switch = _filled_switch(rules.offsets, size, rng)
+        start = time.perf_counter()
+        switch.process_trace(packets)
+        elapsed = time.perf_counter() - start
+        micros.append(round(1e6 * elapsed / len(packets), 2))
+    print()
+    print(
+        format_series(
+            sizes,
+            {"us_per_packet": micros},
+            x_name="table_entries",
+            title="E10: software-switch match cost vs table size",
+        )
+    )
+    # shape: linear-ish growth in a software TCAM model
+    assert micros[-1] > micros[0]
+
+    controller = GatewayController.for_ruleset(rules)
+    controller.deploy(rules)
+    print(
+        f"learned deployment: {len(controller.switch.table('firewall'))} "
+        f"entries (vs {sizes[-1]} in the stress series)"
+    )
+
+    def replay():
+        controller.switch.reset_stats()
+        controller.switch.process_trace(packets)
+
+    benchmark(replay)

@@ -1,0 +1,108 @@
+"""E16 (extension) — hyper-parameter sensitivity of the two-stage method.
+
+Two knobs a deployer must set without a paper to copy from:
+
+* **gate sparsity λ (L1)** — too weak and the gates stay open (no
+  selection pressure); too strong and informative gates close too.  The
+  sweep reports how many gates stay effectively open and the downstream
+  accuracy at a fixed k.
+* **byte window n** — how much of each packet Stage 1 sees.  Too small
+  cuts off application headers; larger windows cost parser width but not
+  accuracy.
+
+Expected shape: a wide plateau in λ (the method is not fragile), and
+accuracy roughly flat in window size once the informative headers are
+covered.  Timed section: one full fit at the default configuration.
+"""
+
+import numpy as np
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.core.stage1 import GateSelector
+from repro.datasets import FeatureExtractor
+from repro.eval.report import format_table
+
+L1_VALUES = [1e-4, 1e-3, 5e-3, 2e-2, 1e-1]
+WINDOWS = [32, 48, 64, 96]
+
+
+def test_e16_l1_sweep(benchmark, suite):
+    dataset = suite["inet"]
+    rows = []
+    accuracies = []
+    for l1 in L1_VALUES:
+        selector = GateSelector(
+            dataset.extractor.n_bytes, epochs=15, l1=l1, n_runs=1, seed=3
+        )
+        selector.fit(dataset.x_train, dataset.y_train_binary)
+        # raw (un-normalised) gate values of the fitted run
+        assert selector.gate is not None
+        raw_gates = selector.gate.gates()
+        mean_gate = float(raw_gates.mean())
+        detector = TwoStageDetector(
+            DetectorConfig(
+                n_fields=6, selector_l1=l1,
+                selector_epochs=15, epochs=40, seed=3,
+            )
+        )
+        detector.fit(dataset.x_train, dataset.y_train_binary)
+        accuracy = detector.rule_accuracy(dataset.x_test, dataset.y_test_binary)
+        accuracies.append(accuracy)
+        rows.append(
+            {
+                "l1": l1,
+                "mean_gate": round(mean_gate, 4),
+                "rule_accuracy": round(accuracy, 4),
+            }
+        )
+    print()
+    print(format_table(rows, title="E16a: gate sparsity sweep (k=6)"))
+    # shape: sparsity pressure pushes the average gate down...
+    assert rows[-1]["mean_gate"] < rows[0]["mean_gate"]
+    # ...while accuracy stays on a plateau except possibly the extreme end
+    assert max(accuracies[:4]) - min(accuracies[:4]) < 0.08
+
+    def fit_default():
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=6, selector_epochs=15, epochs=40, seed=3)
+        )
+        detector.fit(dataset.x_train, dataset.y_train_binary)
+        return detector
+
+    benchmark.pedantic(fit_default, rounds=1, iterations=1)
+
+
+def test_e16_window_sweep(benchmark, suite):
+    dataset = suite["inet"]
+    packets_train = dataset.train_packets
+    packets_test = dataset.test_packets
+    rows = []
+    accuracies = []
+    for window in WINDOWS:
+        extractor = FeatureExtractor(n_bytes=window)
+        x_train = extractor.transform(packets_train)
+        x_test = extractor.transform(packets_test)
+        detector = TwoStageDetector(
+            DetectorConfig(
+                n_bytes=window, n_fields=6,
+                selector_epochs=15, epochs=40, seed=3,
+            )
+        )
+        detector.fit(x_train, dataset.y_train_binary)
+        accuracy = detector.rule_accuracy(x_test, dataset.y_test_binary)
+        accuracies.append(accuracy)
+        rows.append(
+            {
+                "window_bytes": window,
+                "rule_accuracy": round(accuracy, 4),
+                "offsets": str(list(detector.offsets)),
+            }
+        )
+    print()
+    print(format_table(rows, title="E16b: byte-window sweep (k=6)"))
+    # shape: once headers are covered, accuracy is flat within noise
+    assert max(accuracies) - min(accuracies) < 0.1
+    assert accuracies[-1] > 0.9
+
+    extractor = FeatureExtractor(n_bytes=WINDOWS[-1])
+    benchmark(extractor.transform, packets_test)

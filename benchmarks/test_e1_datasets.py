@@ -1,0 +1,44 @@
+"""E1 — Dataset summary table (the paper's trace-description table).
+
+Regenerates: per-protocol trace composition — packets, attack families,
+class balance, byte sizes.  Timed section: full trace generation.
+"""
+
+from repro.datasets import TraceConfig, generate_trace
+from repro.eval.report import format_table
+
+from _common import SUITE_KWARGS
+
+
+def test_e1_dataset_summary(benchmark, suite):
+    rows = []
+    for name, dataset in suite.items():
+        packets = dataset.train_packets + dataset.test_packets
+        counts = dataset.class_counts()
+        attacks = {k: v for k, v in counts.items() if k != "benign"}
+        rows.append(
+            {
+                "trace": name,
+                "packets": len(packets),
+                "benign": counts.get("benign", 0),
+                "attack": sum(attacks.values()),
+                "families": len(attacks),
+                "avg_bytes": round(
+                    sum(len(p.data) for p in packets) / len(packets), 1
+                ),
+                "duration_s": dataset.config.duration,
+            }
+        )
+    print()
+    print(format_table(rows, title="E1: evaluation traces"))
+    assert all(row["benign"] > 0 and row["attack"] > 0 for row in rows)
+
+    # Timed: regenerate the inet trace from scratch.
+    config = TraceConfig(
+        stack="inet",
+        duration=SUITE_KWARGS["duration"],
+        n_devices=SUITE_KWARGS["n_devices"],
+        seed=SUITE_KWARGS["seed"],
+    )
+    packets = benchmark(generate_trace, config)
+    assert len(packets) > 100

@@ -1,0 +1,45 @@
+"""E2 — Detection accuracy vs. state of the art (the paper's headline table).
+
+Regenerates: per-dataset accuracy/precision/recall/F1 for the two-stage
+method (both the compact model and the generated rules) against the ML
+baselines with unrestricted features.  Expected shape: the two-stage rules
+stay within a few points of the full-feature methods while matching only
+6 byte fields.  Timed section: two-stage training on the inet trace.
+"""
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.eval.harness import compare_methods
+from repro.eval.report import format_table
+
+
+def test_e2_accuracy_table(benchmark, suite):
+    rows = []
+    for name, dataset in suite.items():
+        results = compare_methods(
+            dataset,
+            detector_config=DetectorConfig(
+                n_fields=6, selector_epochs=20, epochs=40, seed=3
+            ),
+        )
+        rows.extend(result.row() for result in results)
+    print()
+    print(format_table(rows, title="E2: accuracy vs state of the art"))
+
+    by_key = {(r["dataset"], r["method"]): r for r in rows}
+    for name in suite:
+        two_stage = by_key[(name, "two-stage (rules)")]
+        full_mlp = by_key[(name, "full-mlp")]
+        # shape check: rules within 8 points of the unrestricted DNN
+        assert two_stage["accuracy"] > full_mlp["accuracy"] - 0.08
+        assert two_stage["accuracy"] > 0.85
+
+    def train():
+        dataset = suite["inet"]
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=6, selector_epochs=20, epochs=40, seed=3)
+        )
+        detector.fit(dataset.x_train, dataset.y_train_binary)
+        return detector
+
+    detector = benchmark.pedantic(train, rounds=1, iterations=1)
+    assert detector.offsets is not None

@@ -1,0 +1,62 @@
+"""E3 — Accuracy vs. number of selected fields k (the efficiency figure).
+
+Regenerates: the accuracy-vs-k curve per dataset.  Expected shape:
+monotone-increasing (within noise) and saturating — a small k suffices,
+which is the paper's core efficiency claim.  Timed section: one Stage-2
+fit at k=6.
+"""
+
+import numpy as np
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.core.stage2 import CompactClassifier
+from repro.eval.report import format_series
+
+K_VALUES = [1, 2, 4, 6, 8, 12, 16]
+
+
+def test_e3_accuracy_vs_fields(benchmark, suite):
+    series = {}
+    for name, dataset in suite.items():
+        accuracies = []
+        for k in K_VALUES:
+            detector = TwoStageDetector(
+                DetectorConfig(
+                    n_fields=k, selector_epochs=20, epochs=40, seed=3
+                )
+            )
+            detector.fit(dataset.x_train, dataset.y_train_binary)
+            accuracies.append(
+                round(
+                    detector.rule_accuracy(
+                        dataset.x_test, dataset.y_test_binary
+                    ),
+                    4,
+                )
+            )
+        series[name] = accuracies
+    print()
+    print(
+        format_series(
+            K_VALUES, series, x_name="k_fields",
+            title="E3: rule accuracy vs selected fields",
+        )
+    )
+    for name, accuracies in series.items():
+        # saturating shape: the best large-k accuracy beats k=1, and the
+        # curve's tail is within noise of its maximum
+        assert max(accuracies[3:]) >= accuracies[0]
+        assert accuracies[-1] >= max(accuracies) - 0.05
+
+    dataset = suite["inet"]
+    detector = TwoStageDetector(
+        DetectorConfig(n_fields=6, selector_epochs=20, epochs=40, seed=3)
+    )
+    detector.fit(dataset.x_train, dataset.y_train_binary)
+
+    def stage2_fit():
+        clf = CompactClassifier(detector.offsets, epochs=25, seed=3)
+        clf.fit(dataset.x_train, dataset.y_train_binary)
+        return clf
+
+    benchmark.pedantic(stage2_fit, rounds=1, iterations=1)

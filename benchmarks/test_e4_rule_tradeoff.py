@@ -1,0 +1,101 @@
+"""E4 — Rule-table size vs. accuracy trade-off (+ P4-friendly ablation).
+
+Regenerates: sweeping the distillation depth trades rule count against
+accuracy; accuracy saturates while rules keep growing.  Also ablates the
+threshold-snapping ("tailored to P4") optimisation: same accuracy, far
+fewer TCAM entries.  Timed section: one distillation + rule generation.
+"""
+
+import numpy as np
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.eval.report import format_table
+
+from _common import x_test_bytes
+
+DEPTHS = [1, 2, 3, 4, 6, 8, 10]
+
+
+def test_e4_depth_sweep(benchmark, suite, detectors):
+    dataset = suite["inet"]
+    detector = detectors["inet"]
+    rows = []
+    for depth in DEPTHS:
+        rules = detector.generate_rules(max_depth=depth)
+        report = rules.resource_report()
+        accuracy = (
+            rules.predict(x_test_bytes(dataset)) == dataset.y_test_binary
+        ).mean()
+        rows.append(
+            {
+                "distill_depth": depth,
+                "rules": report["rules"],
+                "ternary_entries": report["ternary_entries"],
+                "tcam_bits": report["tcam_bits"],
+                "accuracy": round(float(accuracy), 4),
+            }
+        )
+    print()
+    print(format_table(rows, title="E4: rule count vs accuracy (inet)"))
+    # shape: rules grow with depth, accuracy saturates
+    assert rows[-1]["rules"] >= rows[0]["rules"]
+    assert max(r["accuracy"] for r in rows[3:]) >= rows[0]["accuracy"]
+    best = max(r["accuracy"] for r in rows)
+    assert rows[-1]["accuracy"] >= best - 0.03
+
+    benchmark.pedantic(
+        detector.generate_rules, kwargs={"max_depth": 6}, rounds=1, iterations=1
+    )
+
+
+def test_e4_snapping_ablation(benchmark, suite):
+    dataset = suite["inet"]
+    rows = []
+    last_detector = None
+    for friendly in (False, True):
+        detector = TwoStageDetector(
+            DetectorConfig(
+                n_fields=6, selector_epochs=20, epochs=40, seed=3,
+                p4_friendly=friendly,
+            )
+        )
+        detector.fit(dataset.x_train, dataset.y_train_binary)
+        last_detector = detector
+        rules = detector.generate_rules()
+        report = rules.resource_report()
+        accuracy = (
+            rules.predict(x_test_bytes(dataset)) == dataset.y_test_binary
+        ).mean()
+        rows.append(
+            {
+                "p4_friendly": str(friendly),
+                "rules": report["rules"],
+                "ternary_entries": report["ternary_entries"],
+                "tcam_bits": report["tcam_bits"],
+                "accuracy": round(float(accuracy), 4),
+            }
+        )
+    print()
+    print(format_table(rows, title="E4b: threshold-snapping ablation"))
+    plain, snapped = rows
+    assert snapped["ternary_entries"] < plain["ternary_entries"]
+    assert snapped["accuracy"] >= plain["accuracy"] - 0.03
+
+    # E4c: post-hoc rule-set optimisation (semantics-preserving).
+    from repro.core import optimize_ruleset
+
+    rules = last_detector.generate_rules()
+    optimized, opt_report = optimize_ruleset(rules)
+    print(f"E4c: rule optimisation — {opt_report}")
+    assert opt_report.rules_after <= opt_report.rules_before
+    opt_accuracy = (
+        optimized.predict(x_test_bytes(dataset)) == dataset.y_test_binary
+    ).mean()
+    base_accuracy = (
+        rules.predict(x_test_bytes(dataset)) == dataset.y_test_binary
+    ).mean()
+    assert opt_accuracy == base_accuracy  # exactly semantics-preserving
+
+    benchmark.pedantic(
+        last_detector.distill, rounds=1, iterations=1
+    )

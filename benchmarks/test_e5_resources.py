@@ -1,0 +1,54 @@
+"""E5 — Data-plane resource cost vs. baselines (the efficiency table).
+
+Regenerates: switch-memory cost of the two-stage rules versus (a) the
+classic exact 5-tuple blocklist and (b) a hypothetical exact table over the
+full byte window.  Expected shape: the two-stage ternary table is orders of
+magnitude cheaper in key width × entries.  Timed section: ternary
+expansion + resource accounting.
+"""
+
+from repro.baselines import FiveTupleFirewall
+from repro.dataplane.resources import (
+    FIVE_TUPLE_BITS,
+    estimate_exact_table,
+    estimate_ruleset,
+)
+from repro.eval.report import format_table
+
+
+def test_e5_resource_table(benchmark, suite, detectors):
+    dataset = suite["inet"]
+    detector = detectors["inet"]
+    rules = detector.generate_rules()
+
+    firewall_exact = FiveTupleFirewall().fit_packets(dataset.train_packets)
+    firewall_src = FiveTupleFirewall(granularity="src").fit_packets(
+        dataset.train_packets
+    )
+
+    estimates = [
+        estimate_ruleset(rules, strategy="two-stage rules"),
+        estimate_exact_table(
+            firewall_exact.table_entries, FIVE_TUPLE_BITS,
+            strategy="5-tuple blocklist",
+        ),
+        estimate_exact_table(
+            firewall_src.table_entries, 32, strategy="src-IP blocklist"
+        ),
+        estimate_exact_table(
+            len(dataset.train_packets),
+            8 * dataset.extractor.n_bytes,
+            strategy="full-window exact",
+        ),
+    ]
+    rows = [e.row() for e in estimates]
+    print()
+    print(format_table(rows, title="E5: data-plane resource cost"))
+
+    two_stage, five_tuple, __, full_window = estimates
+    # shape: learned rules are far cheaper than per-tuple blocklists
+    assert two_stage.total_bits < five_tuple.total_bits
+    assert two_stage.total_bits < full_window.total_bits / 5
+    assert two_stage.key_bits == 8 * len(rules.offsets)
+
+    benchmark(lambda: estimate_ruleset(rules).total_bits)

@@ -1,0 +1,65 @@
+"""E9 — ROC / threshold behaviour: compact model vs full-packet DNN.
+
+Regenerates: ROC operating points and AUC of the k-field compact model
+against the unrestricted full-packet MLP.  Expected shape: both AUCs high;
+the compact model's AUC within a few points of the full model despite the
+field budget.  Timed section: one ROC computation.
+"""
+
+import numpy as np
+
+from repro.baselines import FullPacketMLP
+from repro.eval.metrics import auc, roc_curve
+from repro.eval.report import format_series, format_table
+
+
+def _points_at(fpr, tpr, targets=(0.01, 0.05, 0.1)):
+    out = []
+    for target in targets:
+        idx = int(np.searchsorted(fpr, target, side="right")) - 1
+        out.append(round(float(tpr[max(idx, 0)]), 4))
+    return out
+
+
+def test_e9_roc(benchmark, suite, detectors):
+    dataset = suite["inet"]
+    detector = detectors["inet"]
+
+    compact_scores = detector.predict_proba(dataset.x_test)[:, 1]
+    full = FullPacketMLP(dataset.extractor.n_bytes, epochs=25, seed=3)
+    full.fit(dataset.x_train, dataset.y_train_binary)
+    full_scores = full.predict_proba(dataset.x_test)[:, 1]
+
+    y = dataset.y_test_binary
+    compact_fpr, compact_tpr, __ = roc_curve(y, compact_scores)
+    full_fpr, full_tpr, __ = roc_curve(y, full_scores)
+    compact_auc = auc(compact_fpr, compact_tpr)
+    full_auc = auc(full_fpr, full_tpr)
+
+    print()
+    print(
+        format_table(
+            [
+                {"model": "two-stage compact (6 fields)", "auc": round(compact_auc, 4)},
+                {"model": "full-packet MLP (64 fields)", "auc": round(full_auc, 4)},
+            ],
+            title="E9: AUC comparison",
+        )
+    )
+    targets = [0.01, 0.05, 0.1]
+    print(
+        format_series(
+            targets,
+            {
+                "tpr_compact": _points_at(compact_fpr, compact_tpr, targets),
+                "tpr_full": _points_at(full_fpr, full_tpr, targets),
+            },
+            x_name="fpr_budget",
+            title="E9: TPR at FPR budgets",
+        )
+    )
+
+    assert compact_auc > 0.95
+    assert compact_auc > full_auc - 0.05
+
+    benchmark(lambda: auc(*roc_curve(y, compact_scores)[:2]))

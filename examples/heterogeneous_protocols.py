@@ -1,0 +1,79 @@
+"""Universality: one pipeline, three protocol stacks, zero parsers.
+
+The paper's differentiator: because Stage 1 works on raw packet bytes, the
+*identical* code handles Ethernet/IP, a Zigbee-like stack, and a BLE-like
+stack — protocols a classic 5-tuple firewall cannot even parse.  This
+example trains per-stack detectors, shows which byte offsets each one
+learned to match, and contrasts the outcome with the classic firewall.
+
+Run with::
+
+    python examples/heterogeneous_protocols.py
+"""
+
+import numpy as np
+
+from repro.baselines import FiveTupleFirewall
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.datasets import standard_suite
+from repro.eval.metrics import binary_metrics
+from repro.eval.report import format_table
+from repro.net.headers import describe_offset
+from repro.net.protocols import ble, inet, zigbee
+
+SPANS = {
+    "inet": [(inet.ETHERNET, 0), (inet.IPV4, 14), (inet.TCP, 34)],
+    "zigbee": [
+        (zigbee.MAC_802154, 0),
+        (zigbee.ZIGBEE_NWK, zigbee.MAC_802154.size_bytes),
+        (
+            zigbee.ZIGBEE_APS,
+            zigbee.MAC_802154.size_bytes + zigbee.ZIGBEE_NWK.size_bytes,
+        ),
+    ],
+    "ble": [(ble.BLE_LL, 0), (ble.L2CAP, ble.BLE_LL.size_bytes)],
+}
+
+
+def main() -> None:
+    suite = standard_suite(duration=30.0, n_devices=2)
+    rows = []
+    for name, dataset in suite.items():
+        detector = TwoStageDetector(DetectorConfig(n_fields=4, seed=2))
+        detector.fit(dataset.x_train, dataset.y_train_binary)
+        rules = detector.generate_rules()
+        x_bytes = np.round(dataset.x_test * 255).astype(np.uint8)
+        ours = binary_metrics(dataset.y_test_binary, rules.predict(x_bytes))
+
+        firewall = FiveTupleFirewall().fit_packets(dataset.train_packets)
+        fw = binary_metrics(
+            dataset.y_test_binary, firewall.predict_packets(dataset.test_packets)
+        )
+
+        fields = [
+            describe_offset(SPANS[name], offset) or f"payload+{offset}"
+            for offset in detector.offsets
+        ]
+        print(f"\n[{name}] learned match fields:")
+        for offset, field in zip(detector.offsets, fields):
+            print(f"  byte {offset:>3} → {field}")
+
+        rows.append(
+            {
+                "stack": name,
+                "two_stage_f1": round(ours.f1, 4),
+                "firewall_f1": round(fw.f1, 4),
+                "firewall_parses": f"{100 * firewall.coverage(dataset.test_packets):.0f}%",
+                "rules": len(rules),
+            }
+        )
+    print()
+    print(format_table(rows, title="same pipeline across heterogeneous stacks"))
+    print(
+        "\nThe 5-tuple firewall parses 0% of the non-IP traffic and therefore"
+        "\nfails open; the byte-level pipeline never needed a parser at all."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Industrial gateway: per-family actions on a Modbus/TCP plant floor.
+
+A SCADA gateway polls PLCs over Modbus/TCP while a compromised HMI issues
+unauthorised writes and restart commands, a SYN flood hits the uplink, and
+a scanner sweeps ports.  Because the write storm comes from a legitimate
+LAN host on the legitimate port 502, only the *Modbus function-code and
+value bytes* separate it from the benign poller — exactly the
+arbitrary-protocol byte evidence the two-stage method feeds on.
+
+The example trains multi-class, assigns per-family actions (quarantine the
+Modbus writes for forensics, drop the floods), and deploys both a P4-16
+program and a bmv2 JSON config.
+
+Run with::
+
+    python examples/industrial_modbus.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.core.rules import ACTION_QUARANTINE
+from repro.dataplane import (
+    GatewayController,
+    generate_bmv2_config,
+    generate_p4_program,
+)
+from repro.datasets import TraceConfig, make_dataset
+from repro.eval.metrics import per_class_report
+from repro.eval.report import format_table
+from repro.net.headers import describe_offset
+from repro.net.protocols import inet, modbus
+
+
+def main() -> None:
+    dataset = make_dataset(
+        "plant-floor",
+        TraceConfig(stack="industrial", duration=40.0, n_devices=3, seed=91),
+    )
+    print(dataset.summary())
+
+    detector = TwoStageDetector(DetectorConfig(n_fields=6, seed=1))
+    detector.fit(dataset.x_train, dataset.y_train)  # multi-class
+
+    spans = [
+        (inet.ETHERNET, 0),
+        (inet.IPV4, 14),
+        (inet.TCP, 34),
+        (modbus.MBAP, 54),  # MBAP rides right after the 20B TCP header
+    ]
+    print("\nlearned fields:")
+    for entry in detector.field_report(spans):
+        print(f"  byte {entry['offset']:>3}  score={entry['score']:.3f}  ({entry['field']})")
+
+    storm_class = dataset.labels.add("modbus_write_storm")
+    rules = detector.generate_multiclass_rules(
+        action_map={storm_class: ACTION_QUARANTINE}
+    )
+    controller = GatewayController.for_ruleset(rules)
+    controller.deploy(rules)
+    controller.switch.process_trace(dataset.test_packets)
+    stats = controller.switch.stats
+    print(
+        f"\nswitch: {stats.allowed} allowed, {stats.dropped} dropped, "
+        f"{stats.quarantined} quarantined (Modbus writes → forensics VLAN)"
+    )
+
+    x_bytes = np.round(dataset.x_test * 255).astype(np.uint8)
+    rows = per_class_report(
+        dataset.y_test, rules.predict_class(x_bytes), dataset.labels.classes
+    )
+    print()
+    print(format_table(rows, title="per-family classification by deployed rules"))
+
+    out_dir = Path(tempfile.mkdtemp(prefix="repro-industrial-"))
+    p4_path = out_dir / "gateway.p4"
+    p4_path.write_text(generate_p4_program(rules.offsets, ruleset=rules))
+    bmv2_path = out_dir / "gateway.bmv2.json"
+    bmv2_path.write_text(json.dumps(generate_bmv2_config(rules.offsets, ruleset=rules), indent=1))
+    print(f"\nwrote {p4_path}")
+    print(f"wrote {bmv2_path}")
+
+
+if __name__ == "__main__":
+    main()

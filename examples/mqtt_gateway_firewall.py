@@ -1,0 +1,80 @@
+"""Smart-home MQTT gateway under attack — per-family firewall behaviour.
+
+The scenario the paper's introduction motivates: a home gateway bridging
+MQTT sensors, CoAP plugs, and cameras, while compromised devices launch
+telnet brute force and CONNECT floods.  We train the two-stage detector,
+deploy it, then replay the trace through the switch and report what the
+firewall did to each traffic family — including the rule hit counters a
+network operator would read off the switch.
+
+Run with::
+
+    python examples/mqtt_gateway_firewall.py
+"""
+
+import numpy as np
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.dataplane import GatewayController
+from repro.datasets import TraceConfig, make_dataset
+from repro.datasets.attacks import MiraiTelnet, MqttConnectFlood, SynFlood
+from repro.eval.report import format_table
+
+
+def main() -> None:
+    # A gateway trace where the attack mix is MQTT/telnet focused.
+    dataset = make_dataset(
+        "smart-home",
+        TraceConfig(
+            stack="inet",
+            duration=40.0,
+            n_devices=3,
+            attack_families=[SynFlood, MiraiTelnet, MqttConnectFlood],
+            seed=21,
+        ),
+    )
+    print(dataset.summary())
+
+    detector = TwoStageDetector(DetectorConfig(n_fields=6, seed=1))
+    detector.fit(dataset.x_train, dataset.y_train_binary)
+    rules = detector.generate_rules()
+    controller = GatewayController.for_ruleset(rules)
+    print(f"\ndeployed: {controller.deploy(rules)}")
+
+    verdicts = controller.switch.process_trace(dataset.test_packets)
+    dropped = np.array([v.dropped for v in verdicts])
+
+    rows = []
+    for category in sorted({p.label.category for p in dataset.test_packets}):
+        mask = np.array(
+            [p.label.category == category for p in dataset.test_packets]
+        )
+        rows.append(
+            {
+                "traffic": category,
+                "packets": int(mask.sum()),
+                "dropped": int(dropped[mask].sum()),
+                "drop_rate": round(float(dropped[mask].mean()), 4),
+            }
+        )
+    print()
+    print(format_table(rows, title="firewall behaviour per traffic family"))
+
+    print("\nswitch rule hit counters (operator view):")
+    firewall = controller.switch.table("firewall")
+    for rule, hits in zip(rules, controller.rule_hit_counts()):
+        print(f"  {hits:>6} hits  {rule}")
+    print(
+        f"  {firewall.default_counter.packets:>6} packets fell through to "
+        f"default={rules.default_action}"
+    )
+    stats = controller.switch.stats
+    print(
+        f"\ntotals: {stats.received} packets, {stats.dropped} dropped "
+        f"({100 * stats.drop_rate:.1f}%), "
+        f"{stats.bytes_dropped} attack bytes kept off the LAN"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""repro — reproduction of *A Learning Approach with Programmable Data
+Plane towards IoT Security* (Qin, Poularakis, Tassiulas; ICDCS 2020).
+
+Top-level layout:
+
+* :mod:`repro.core` — the two-stage learning pipeline and rule generation.
+* :mod:`repro.nn` — from-scratch NumPy neural networks.
+* :mod:`repro.net` — packets, protocol stacks, pcap I/O, flows.
+* :mod:`repro.datasets` — synthetic labelled IoT traces.
+* :mod:`repro.dataplane` — P4-style switch simulator + P4-16 generation.
+* :mod:`repro.baselines` — state-of-the-art comparators.
+* :mod:`repro.eval` — metrics, harness, reporting.
+"""
+
+from repro.core import DetectorConfig, TwoStageDetector
+
+__version__ = "1.0.0"
+
+__all__ = ["TwoStageDetector", "DetectorConfig", "__version__"]

@@ -1,0 +1,32 @@
+"""State-of-the-art comparators, all implemented from scratch.
+
+Machine-learning baselines share the ``fit(x, y)`` / ``predict(x)``
+interface and consume the *full* byte-feature matrix (they have no field
+budget — that is the point of the comparison).  The classic 5-tuple
+firewall baseline consumes parsed packets instead and fails structurally on
+non-IP stacks, which is the paper's universality argument.
+"""
+
+from repro.baselines.autoencoder import AutoencoderDetector
+from repro.baselines.cnn import ByteCnn
+from repro.baselines.firewall import FiveTupleFirewall
+from repro.baselines.flowstats import FlowStatsDetector
+from repro.baselines.forest import RandomForest
+from repro.baselines.fullnn import FullPacketMLP
+from repro.baselines.heavyhitter import HeavyHitterDetector
+from repro.baselines.knn import KNearestNeighbors
+from repro.baselines.svm import LinearSVM
+from repro.baselines.tree import DecisionTreeBaseline
+
+__all__ = [
+    "DecisionTreeBaseline",
+    "RandomForest",
+    "LinearSVM",
+    "KNearestNeighbors",
+    "FullPacketMLP",
+    "FiveTupleFirewall",
+    "HeavyHitterDetector",
+    "AutoencoderDetector",
+    "ByteCnn",
+    "FlowStatsDetector",
+]

@@ -1,0 +1,101 @@
+"""Unsupervised anomaly-detection baseline: a reconstruction autoencoder.
+
+Trains only on *benign* packets (no attack labels needed — the setting
+where labelled attack data is unavailable) and scores packets by
+reconstruction error; anything far from the benign byte manifold is
+flagged.  The comparison axis against the paper's supervised two-stage
+method: no labels required, but a threshold must be calibrated and the
+scores cannot be compiled into match-action rules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Dense, ReLU, Sigmoid
+from repro.nn.losses import MeanSquaredError
+from repro.nn.model import Sequential
+from repro.nn.optim import Adam
+
+__all__ = ["AutoencoderDetector"]
+
+
+class AutoencoderDetector:
+    """Benign-only autoencoder with percentile thresholding.
+
+    Args:
+        n_features: input width.
+        bottleneck: latent dimensionality.
+        hidden: encoder hidden width (mirrored in the decoder).
+        threshold_percentile: benign-error percentile used as the decision
+            threshold (e.g. 99 → ~1% benign false-positive budget).
+        epochs / batch_size / lr / seed: training knobs.
+    """
+
+    name = "autoencoder"
+
+    def __init__(
+        self,
+        n_features: int,
+        *,
+        bottleneck: int = 8,
+        hidden: int = 48,
+        threshold_percentile: float = 99.0,
+        epochs: int = 40,
+        batch_size: int = 64,
+        lr: float = 2e-3,
+        seed: int = 0,
+    ):
+        if not 0 < threshold_percentile <= 100:
+            raise ValueError("threshold_percentile must be in (0, 100]")
+        rng = np.random.default_rng(seed)
+        self.model = Sequential(
+            [
+                Dense(n_features, hidden, rng=rng),
+                ReLU(),
+                Dense(hidden, bottleneck, rng=rng),
+                ReLU(),
+                Dense(bottleneck, hidden, rng=rng),
+                ReLU(),
+                Dense(hidden, n_features, rng=rng),
+                Sigmoid(),  # inputs are scaled bytes in [0, 1]
+            ]
+        )
+        self.threshold_percentile = threshold_percentile
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self._rng = rng
+        self.threshold: Optional[float] = None
+
+    def fit(self, x_benign: np.ndarray) -> "AutoencoderDetector":
+        """Train on benign-only features and calibrate the threshold."""
+        x_benign = np.asarray(x_benign, dtype=np.float64)
+        if len(x_benign) < 10:
+            raise ValueError("need at least 10 benign samples")
+        self.model.fit(
+            x_benign,
+            x_benign,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            loss=MeanSquaredError(),
+            optimizer=Adam(self.model.params(), lr=self.lr),
+            rng=self._rng,
+        )
+        errors = self.scores(x_benign)
+        self.threshold = float(np.percentile(errors, self.threshold_percentile))
+        return self
+
+    def scores(self, x: np.ndarray) -> np.ndarray:
+        """Per-row mean squared reconstruction error."""
+        x = np.asarray(x, dtype=np.float64)
+        reconstruction = self.model.forward(x, training=False)
+        return ((reconstruction - x) ** 2).mean(axis=1)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """1 = anomalous (error above the calibrated threshold)."""
+        if self.threshold is None:
+            raise RuntimeError("detector is not fitted")
+        return (self.scores(x) > self.threshold).astype(np.int64)

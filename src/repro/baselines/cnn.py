@@ -1,0 +1,79 @@
+"""1-D CNN baseline over raw packet bytes.
+
+The deep-learning comparator several related systems use: small
+convolutions learn local byte motifs (protocol magic numbers, field
+patterns) position-*locally*, then a global pooling head classifies.
+Like the full MLP it has no field budget and cannot be compiled to rules.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.conv import Conv1D, GlobalMaxPool1D
+from repro.nn.layers import Dense, ReLU
+from repro.nn.model import Sequential
+from repro.nn.optim import Adam
+
+__all__ = ["ByteCnn"]
+
+
+class ByteCnn:
+    """Conv → ReLU → Conv → ReLU → global-max-pool → Dense classifier.
+
+    Args:
+        n_bytes: input length (single input channel: the byte values).
+        n_classes: output classes.
+        channels: feature maps per conv layer.
+        kernel: convolution width.
+        epochs / batch_size / lr / seed: training knobs.
+    """
+
+    name = "byte-cnn"
+
+    def __init__(
+        self,
+        n_bytes: int,
+        n_classes: int = 2,
+        *,
+        channels: int = 16,
+        kernel: int = 5,
+        epochs: int = 30,
+        batch_size: int = 64,
+        lr: float = 2e-3,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        first = Conv1D(n_bytes, 1, channels, kernel, rng=rng)
+        second = Conv1D(first.out_length, channels, channels, kernel, rng=rng)
+        self.model = Sequential(
+            [
+                first,
+                ReLU(),
+                second,
+                ReLU(),
+                GlobalMaxPool1D(second.out_length, channels),
+                Dense(channels, n_classes, rng=rng),
+            ]
+        )
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self._rng = rng
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "ByteCnn":
+        self.model.fit(
+            np.asarray(x, dtype=np.float64),
+            np.asarray(y, dtype=np.int64),
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            optimizer=Adam(self.model.params(), lr=self.lr),
+            rng=self._rng,
+        )
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.model.predict(np.asarray(x, dtype=np.float64))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self.model.predict_proba(np.asarray(x, dtype=np.float64))

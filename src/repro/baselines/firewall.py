@@ -1,0 +1,115 @@
+"""Classic 5-tuple firewall baseline.
+
+The pre-SDN/pre-learning comparator: during "training" it records the exact
+5-tuples of flows labelled as attacks and installs one exact-match blocklist
+entry per tuple.  Two structural weaknesses the evaluation surfaces:
+
+* **universality** — it needs an IP parser, so it abstains on non-IP
+  stacks (Zigbee-like, BLE-like) and on unparseable packets;
+* **efficiency** — spoofed-source floods generate one entry per spoofed
+  tuple, exploding the table (E5), and unseen tuples are never blocked.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.net.flow import FlowKey, key_for_packet
+from repro.net.packet import Packet
+from repro.net.protocols import inet
+
+__all__ = ["FiveTupleFirewall"]
+
+
+class FiveTupleFirewall:
+    """Exact-match blocklist over normalised 5-tuples (or source addresses).
+
+    Unlike the ML baselines this consumes :class:`Packet` objects, since it
+    must parse protocol headers — which is exactly its limitation.
+
+    Args:
+        stack: parser family (``"ethernet"``, ``"zigbee"``, ``"ble"``).
+        granularity: ``"exact"`` blocklists full 5-tuples (dynamic attacks
+            with random ports then evade it entirely); ``"src"`` blocklists
+            source addresses (catches floods from fixed sources but also
+            blocks every benign packet of a compromised device).
+    """
+
+    name = "5-tuple-firewall"
+
+    def __init__(self, *, stack: str = "ethernet", granularity: str = "exact"):
+        if granularity not in ("exact", "src"):
+            raise ValueError(f"unknown granularity {granularity!r}")
+        self.stack = stack
+        self.granularity = granularity
+        self._blocked: Set[object] = set()
+        self.unparseable_seen = 0
+
+    def _key(self, packet: Packet) -> Optional[object]:
+        if self.granularity == "src":
+            return self._source_of(packet)
+        return key_for_packet(packet, self.stack)
+
+    def _source_of(self, packet: Packet) -> Optional[str]:
+        if self.stack == "zigbee":
+            if len(packet.data) < 9:
+                return None
+            return str(int.from_bytes(packet.data[7:9], "big"))
+        if self.stack == "ble":
+            if len(packet.data) < 6:
+                return None
+            return str(int.from_bytes(packet.data[2:6], "big"))
+        try:
+            frame = inet.parse_ethernet_stack(packet.data)
+        except ValueError:
+            return None
+        if frame.ipv4 is None:
+            return None
+        return ".".join(str(b) for b in frame.ipv4["src_addr"].to_bytes(4, "big"))
+
+    def fit_packets(self, packets: Sequence[Packet]) -> "FiveTupleFirewall":
+        """Record the keys of every attack-labelled training packet."""
+        self._blocked.clear()
+        self.unparseable_seen = 0
+        for packet in packets:
+            key = self._key(packet)
+            if key is None:
+                self.unparseable_seen += 1
+                continue
+            if packet.label.is_attack:
+                self._blocked.add(key)
+        return self
+
+    @property
+    def table_entries(self) -> int:
+        return len(self._blocked)
+
+    def predict_packet(self, packet: Packet) -> Optional[int]:
+        """1 = drop, 0 = allow, None = cannot parse (structural abstain)."""
+        key = self._key(packet)
+        if key is None:
+            return None
+        return 1 if key in self._blocked else 0
+
+    def predict_packets(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Vectorised predictions with abstains mapped to allow (0).
+
+        A firewall that cannot parse a packet forwards it — the fail-open
+        behaviour that makes it useless on non-IP attack traffic.
+        """
+        out = np.zeros(len(packets), dtype=np.int64)
+        for i, packet in enumerate(packets):
+            decision = self.predict_packet(packet)
+            out[i] = decision if decision is not None else 0
+        return out
+
+    def coverage(self, packets: Sequence[Packet]) -> float:
+        """Fraction of packets the firewall can parse at all."""
+        if not packets:
+            return 0.0
+        parsed = sum(
+            1 for p in packets if key_for_packet(p, self.stack) is not None
+        )
+        return parsed / len(packets)

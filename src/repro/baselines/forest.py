@@ -1,0 +1,86 @@
+"""Random-forest baseline: bagged CARTs with feature subsampling."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.distill import DecisionTree
+
+__all__ = ["RandomForest"]
+
+
+class RandomForest:
+    """Bootstrap-aggregated CART ensemble.
+
+    Args:
+        n_trees: ensemble size.
+        max_depth / min_samples_leaf: per-tree CART knobs.
+        max_features: features visible to each tree (None = sqrt(d)).
+        seed: bootstrap/subsample seed.
+    """
+
+    name = "random-forest"
+
+    def __init__(
+        self,
+        *,
+        n_trees: int = 15,
+        max_depth: int = 10,
+        min_samples_leaf: int = 3,
+        max_features: Optional[int] = None,
+        seed: int = 0,
+    ):
+        if n_trees < 1:
+            raise ValueError("n_trees must be >= 1")
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self._trees: List[DecisionTree] = []
+        self._features: List[np.ndarray] = []
+        self._n_classes = 0
+
+    @staticmethod
+    def _to_bytes(x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x)
+        if x.size and x.max() <= 1.0:
+            return np.round(x * 255.0).astype(np.int64)
+        return x.astype(np.int64)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RandomForest":
+        x = self._to_bytes(x)
+        y = np.asarray(y, dtype=np.int64)
+        rng = np.random.default_rng(self.seed)
+        n, d = x.shape
+        self._n_classes = int(y.max()) + 1
+        k = self.max_features or max(1, int(np.sqrt(d)))
+        self._trees, self._features = [], []
+        for __ in range(self.n_trees):
+            rows = rng.integers(0, n, size=n)  # bootstrap
+            cols = rng.choice(d, size=min(k, d), replace=False)
+            cols.sort()
+            tree = DecisionTree(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+            )
+            tree.fit(x[np.ix_(rows, cols)], y[rows])
+            self._trees.append(tree)
+            self._features.append(cols)
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if not self._trees:
+            raise RuntimeError("forest is not fitted")
+        x = self._to_bytes(x)
+        votes = np.zeros((len(x), self._n_classes))
+        for tree, cols in zip(self._trees, self._features):
+            predictions = tree.predict(x[:, cols])
+            # A tree trained on a bootstrap may have seen fewer classes.
+            votes[np.arange(len(x)), np.clip(predictions, 0, self._n_classes - 1)] += 1
+        return votes / self.n_trees
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)

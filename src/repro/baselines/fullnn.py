@@ -1,0 +1,77 @@
+"""Full-packet MLP baseline: a DNN over every byte feature.
+
+The accuracy ceiling the two-stage method is measured against — it sees all
+``n_bytes`` features with no field budget, so it cannot be implemented as
+switch flow rules (that is the efficiency trade-off the paper quantifies).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.layers import Dense, Dropout, ReLU
+from repro.nn.model import Sequential
+from repro.nn.optim import Adam
+
+__all__ = ["FullPacketMLP"]
+
+
+class FullPacketMLP:
+    """MLP over the full feature matrix.
+
+    Args:
+        n_features: input width.
+        n_classes: output classes.
+        hidden: hidden widths.
+        dropout: dropout rate after each hidden layer.
+        epochs / batch_size / lr / seed: training knobs.
+    """
+
+    name = "full-mlp"
+
+    def __init__(
+        self,
+        n_features: int,
+        n_classes: int = 2,
+        *,
+        hidden: Tuple[int, ...] = (128, 64),
+        dropout: float = 0.1,
+        epochs: int = 40,
+        batch_size: int = 64,
+        lr: float = 2e-3,
+        seed: int = 0,
+    ):
+        rng = np.random.default_rng(seed)
+        layers = []
+        width = n_features
+        for h in hidden:
+            layers.append(Dense(width, h, rng=rng))
+            layers.append(ReLU())
+            if dropout:
+                layers.append(Dropout(dropout, rng=rng))
+            width = h
+        layers.append(Dense(width, n_classes, rng=rng))
+        self.model = Sequential(layers)
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self._rng = rng
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "FullPacketMLP":
+        self.model.fit(
+            np.asarray(x, dtype=np.float64),
+            np.asarray(y, dtype=np.int64),
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            optimizer=Adam(self.model.params(), lr=self.lr),
+            rng=self._rng,
+        )
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.model.predict(np.asarray(x, dtype=np.float64))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self.model.predict_proba(np.asarray(x, dtype=np.float64))

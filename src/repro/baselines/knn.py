@@ -1,0 +1,58 @@
+"""k-nearest-neighbours baseline (brute force, chunked distances)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["KNearestNeighbors"]
+
+
+class KNearestNeighbors:
+    """Euclidean k-NN with majority vote.
+
+    Args:
+        k: neighbourhood size.
+        chunk: query rows per distance block (bounds memory at
+            ``chunk × n_train`` floats).
+    """
+
+    name = "knn"
+
+    def __init__(self, *, k: int = 5, chunk: int = 256):
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.k = k
+        self.chunk = chunk
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._n_classes = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "KNearestNeighbors":
+        self._x = np.asarray(x, dtype=np.float64)
+        self._y = np.asarray(y, dtype=np.int64)
+        if len(self._x) < self.k:
+            raise ValueError(f"need at least k={self.k} training points")
+        self._n_classes = int(self._y.max()) + 1
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._x is None or self._y is None:
+            raise RuntimeError("kNN is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty(len(x), dtype=np.int64)
+        train_sq = (self._x**2).sum(axis=1)
+        for start in range(0, len(x), self.chunk):
+            block = x[start : start + self.chunk]
+            # squared distances via the expansion ||a-b||² = ||a||²+||b||²-2ab
+            d2 = (
+                (block**2).sum(axis=1)[:, None]
+                + train_sq[None, :]
+                - 2.0 * block @ self._x.T
+            )
+            neighbours = np.argpartition(d2, self.k - 1, axis=1)[:, : self.k]
+            for row, idx in enumerate(neighbours):
+                votes = np.bincount(self._y[idx], minlength=self._n_classes)
+                out[start + row] = int(votes.argmax())
+        return out

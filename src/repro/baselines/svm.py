@@ -1,0 +1,86 @@
+"""Linear SVM baseline: one-vs-rest hinge loss trained with SGD."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM:
+    """L2-regularised linear SVM (Pegasos-style SGD), one-vs-rest.
+
+    Args:
+        c: inverse regularisation strength (larger = less regularised).
+        epochs: passes over the data.
+        batch_size: SGD minibatch size.
+        lr: base learning rate (decays as 1/sqrt(t)).
+        seed: shuffle/init seed.
+    """
+
+    name = "linear-svm"
+
+    def __init__(
+        self,
+        *,
+        c: float = 1.0,
+        epochs: int = 30,
+        batch_size: int = 64,
+        lr: float = 0.05,
+        seed: int = 0,
+    ):
+        if c <= 0:
+            raise ValueError("c must be positive")
+        self.c = c
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.weights: Optional[np.ndarray] = None  # (classes, features)
+        self.bias: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        # Centre features: with all-positive inputs (byte values) the
+        # decision boundary otherwise hinges entirely on the slowly-learnt
+        # bias term.
+        self._mean = x.mean(axis=0)
+        x = x - self._mean
+        rng = np.random.default_rng(self.seed)
+        n, d = x.shape
+        classes = int(y.max()) + 1
+        self.weights = np.zeros((classes, d))
+        self.bias = np.zeros(classes)
+        lam = 1.0 / (self.c * n)
+        step = 0
+        for __ in range(self.epochs):
+            order = rng.permutation(n)
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb = x[idx]
+                step += 1
+                lr_t = self.lr / np.sqrt(step)
+                for cls in range(classes):
+                    target = np.where(y[idx] == cls, 1.0, -1.0)
+                    margin = target * (xb @ self.weights[cls] + self.bias[cls])
+                    active = margin < 1.0
+                    grad_w = lam * self.weights[cls] - (
+                        (target[active, None] * xb[active]).sum(axis=0) / len(idx)
+                    )
+                    grad_b = -target[active].sum() / len(idx)
+                    self.weights[cls] -= lr_t * grad_w
+                    self.bias[cls] -= lr_t * grad_b
+        return self
+
+    def decision_function(self, x: np.ndarray) -> np.ndarray:
+        if self.weights is None or self.bias is None or self._mean is None:
+            raise RuntimeError("SVM is not fitted")
+        centred = np.asarray(x, dtype=np.float64) - self._mean
+        return centred @ self.weights.T + self.bias
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.decision_function(x).argmax(axis=1)

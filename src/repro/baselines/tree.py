@@ -1,0 +1,51 @@
+"""Decision-tree baseline: CART trained directly on ground truth.
+
+Unlike the two-stage pipeline (which distils a tree from the compact DNN on
+*selected* fields), this baseline sees every byte feature — the standard
+"train a tree on everything" comparator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.distill import DecisionTree
+
+__all__ = ["DecisionTreeBaseline"]
+
+
+class DecisionTreeBaseline:
+    """CART over the full feature matrix.
+
+    Args:
+        max_depth / min_samples_leaf: CART knobs.
+    """
+
+    name = "decision-tree"
+
+    def __init__(self, *, max_depth: int = 10, min_samples_leaf: int = 5):
+        self.tree = DecisionTree(
+            max_depth=max_depth, min_samples_leaf=min_samples_leaf
+        )
+
+    @staticmethod
+    def _to_bytes(x: np.ndarray) -> np.ndarray:
+        """Accept scaled [0,1] floats or raw byte values."""
+        x = np.asarray(x)
+        if x.size and x.max() <= 1.0:
+            return np.round(x * 255.0).astype(np.int64)
+        return x.astype(np.int64)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTreeBaseline":
+        self.tree.fit(self._to_bytes(x), np.asarray(y, dtype=np.int64))
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.tree.predict(self._to_bytes(x))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self.tree.predict_proba(self._to_bytes(x))
+
+    def fields_used(self) -> int:
+        """Distinct byte positions the grown tree actually tests."""
+        return len(self.tree.feature_usage())

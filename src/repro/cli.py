@@ -1,0 +1,296 @@
+"""Command-line interface: train, inspect, compile and evaluate gateways.
+
+Installed as the ``repro`` console script::
+
+    repro train --synthetic inet --rules rules.json --model model.npz
+    repro train --pcap capture.pcap --labels labels.csv --rules rules.json
+    repro rules rules.json
+    repro p4 rules.json --out gateway.p4
+    repro simulate rules.json --pcap capture.pcap
+    repro eval rules.json --pcap capture.pcap --labels labels.csv
+
+Label files are CSV with one ``index,category`` row per packet (category
+``benign`` or any attack name); packets not listed default to benign.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.core.serialize import load_ruleset, save_ruleset
+from repro.dataplane import GatewayController, generate_p4_program
+from repro.datasets import FeatureExtractor, standard_suite
+from repro.eval.metrics import binary_metrics
+from repro.net.packet import Packet
+from repro.net.pcap import read_pcap
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_labels(path: Path, count: int) -> np.ndarray:
+    """Read an index,category CSV into a binary label vector."""
+    labels = np.zeros(count, dtype=np.int64)
+    with open(path, newline="", encoding="utf-8") as handle:
+        for row in csv.reader(handle):
+            if not row or row[0].startswith("#") or row[0] == "index":
+                continue
+            index = int(row[0])
+            if not 0 <= index < count:
+                raise SystemExit(f"label index {index} out of range 0..{count - 1}")
+            labels[index] = 0 if row[1].strip() == "benign" else 1
+    return labels
+
+
+def _load_packets(args) -> tuple:
+    """(packets, binary labels or None) from --pcap/--labels or --synthetic."""
+    if args.pcap:
+        packets = read_pcap(args.pcap)
+        labels = (
+            _load_labels(Path(args.labels), len(packets))
+            if getattr(args, "labels", None)
+            else None
+        )
+        return packets, labels
+    if getattr(args, "synthetic", None):
+        if args.synthetic == "industrial":
+            from repro.datasets import TraceConfig, make_dataset
+
+            dataset = make_dataset(
+                "industrial",
+                TraceConfig(stack="industrial", duration=40.0, n_devices=3),
+            )
+        else:
+            dataset = standard_suite()[args.synthetic]
+        packets = dataset.train_packets + dataset.test_packets
+        labels = np.concatenate(
+            [dataset.y_train_binary, dataset.y_test_binary]
+        )
+        return packets, labels
+    raise SystemExit("need --pcap or --synthetic")
+
+
+def cmd_train(args) -> int:
+    packets, labels = _load_packets(args)
+    if labels is None:
+        raise SystemExit("training requires --labels with --pcap")
+    extractor = FeatureExtractor(n_bytes=args.window)
+    x = extractor.transform(packets)
+    config = DetectorConfig(
+        n_bytes=args.window, n_fields=args.fields, seed=args.seed
+    )
+    detector = TwoStageDetector(config)
+    detector.fit(x, labels)
+    rules = detector.generate_rules()
+    if args.optimize:
+        from repro.core import optimize_ruleset
+
+        rules, report = optimize_ruleset(rules)
+        print(f"optimised: {report}")
+    print(f"trained on {len(packets)} packets "
+          f"({int(labels.sum())} attack / {int((labels == 0).sum())} benign)")
+    print(f"selected offsets: {list(detector.offsets or ())}")
+    print(rules.describe())
+    save_ruleset(rules, args.rules)
+    print(f"wrote {args.rules}")
+    if args.model:
+        assert detector.classifier is not None
+        detector.classifier.model.save(args.model)
+        print(f"wrote {args.model}")
+    return 0
+
+
+def cmd_rules(args) -> int:
+    rules = load_ruleset(args.rules)
+    print(rules.describe())
+    report = rules.resource_report()
+    print(
+        f"\nresources: {report['rules']} rules, "
+        f"{report['ternary_entries']} ternary entries, "
+        f"key {report['match_width_bits']}b, TCAM {report['tcam_bits']}b"
+    )
+    return 0
+
+
+def cmd_synth(args) -> int:
+    from repro.datasets import TraceConfig, generate_trace
+    from repro.net.pcap import write_pcap
+
+    config = TraceConfig(
+        stack=args.stack,
+        duration=args.duration,
+        n_devices=args.devices,
+        seed=args.seed,
+        chatter=args.chatter,
+    )
+    packets = generate_trace(config)
+    write_pcap(args.pcap, packets)
+    print(f"wrote {args.pcap} ({len(packets)} packets)")
+    if args.labels:
+        with open(args.labels, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(["index", "category"])
+            for index, packet in enumerate(packets):
+                writer.writerow([index, packet.label.category])
+        print(f"wrote {args.labels}")
+    return 0
+
+
+def cmd_explain(args) -> int:
+    from repro.eval.interpret import explain_ruleset
+
+    rules = load_ruleset(args.rules)
+    print(explain_ruleset(rules, stack=args.stack))
+    return 0
+
+
+def cmd_p4(args) -> int:
+    rules = load_ruleset(args.rules)
+    program = generate_p4_program(
+        rules.offsets,
+        ruleset=rules if args.const_entries else None,
+        table_size=args.table_size,
+    )
+    Path(args.out).write_text(program, encoding="utf-8")
+    print(f"wrote {args.out} ({len(program.splitlines())} lines)")
+    return 0
+
+
+def _controller_for(rules) -> GatewayController:
+    capacity = max(4096, rules.resource_report()["ternary_entries"])
+    return GatewayController.for_ruleset(rules, table_capacity=capacity)
+
+
+def cmd_simulate(args) -> int:
+    rules = load_ruleset(args.rules)
+    packets, __ = _load_packets(args)
+    controller = _controller_for(rules)
+    controller.deploy(rules)
+    controller.switch.process_trace(packets)
+    stats = controller.switch.stats
+    print(
+        f"{stats.received} packets: {stats.dropped} dropped "
+        f"({100 * stats.drop_rate:.1f}%), {stats.allowed} allowed"
+    )
+    for rule, hits in zip(rules, controller.rule_hit_counts()):
+        print(f"  {hits:>8} hits  {rule}")
+    return 0
+
+
+def cmd_eval(args) -> int:
+    rules = load_ruleset(args.rules)
+    packets, labels = _load_packets(args)
+    if labels is None:
+        raise SystemExit("evaluation requires --labels with --pcap")
+    controller = _controller_for(rules)
+    controller.deploy(rules)
+    verdicts = controller.switch.process_trace(packets)
+    predictions = np.array([1 if v.dropped else 0 for v in verdicts])
+    metrics = binary_metrics(labels, predictions)
+    for key, value in metrics.row().items():
+        print(f"{key:>10}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Two-stage learned IoT firewall (ICDCS 2020 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_input(p, labels_required=False):
+        p.add_argument("--pcap", help="input pcap file")
+        p.add_argument(
+            "--labels",
+            required=False,
+            help="CSV of index,category packet labels",
+        )
+        p.add_argument(
+            "--synthetic",
+            choices=["inet", "industrial", "zigbee", "ble"],
+            help="use a built-in synthetic trace instead of a pcap",
+        )
+
+    train = sub.add_parser("train", help="train and emit a rule set")
+    add_input(train)
+    train.add_argument("--rules", required=True, help="output rules JSON")
+    train.add_argument("--model", help="optional output model .npz")
+    train.add_argument("--fields", type=int, default=6, help="field budget k")
+    train.add_argument("--window", type=int, default=64, help="byte window")
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument(
+        "--optimize",
+        action="store_true",
+        help="merge/shadow-eliminate rules before writing them",
+    )
+    train.set_defaults(func=cmd_train)
+
+    rules = sub.add_parser("rules", help="inspect a rules JSON file")
+    rules.add_argument("rules", help="rules JSON")
+    rules.set_defaults(func=cmd_rules)
+
+    explain = sub.add_parser(
+        "explain", help="operator-readable rule report with field names"
+    )
+    explain.add_argument("rules", help="rules JSON")
+    explain.add_argument(
+        "--stack",
+        default="inet",
+        choices=["inet", "industrial", "zigbee", "ble"],
+        help="header layout used to name byte offsets",
+    )
+    explain.set_defaults(func=cmd_explain)
+
+    synth = sub.add_parser(
+        "synth", help="generate a labelled synthetic trace to pcap + CSV"
+    )
+    synth.add_argument(
+        "--stack", default="inet",
+        choices=["inet", "industrial", "zigbee", "ble"],
+    )
+    synth.add_argument("--duration", type=float, default=40.0)
+    synth.add_argument("--devices", type=int, default=3)
+    synth.add_argument("--seed", type=int, default=7)
+    synth.add_argument("--chatter", action="store_true")
+    synth.add_argument("--pcap", required=True, help="output pcap path")
+    synth.add_argument("--labels", help="output labels CSV path")
+    synth.set_defaults(func=cmd_synth)
+
+    p4 = sub.add_parser("p4", help="emit the P4-16 gateway program")
+    p4.add_argument("rules", help="rules JSON")
+    p4.add_argument("--out", required=True, help="output .p4 path")
+    p4.add_argument(
+        "--const-entries",
+        action="store_true",
+        help="compile the rules as const entries instead of runtime installs",
+    )
+    p4.add_argument("--table-size", type=int, default=4096)
+    p4.set_defaults(func=cmd_p4)
+
+    simulate = sub.add_parser("simulate", help="replay traffic through the switch")
+    simulate.add_argument("rules", help="rules JSON")
+    add_input(simulate)
+    simulate.set_defaults(func=cmd_simulate)
+
+    evaluate = sub.add_parser("eval", help="score a rule set on labelled traffic")
+    evaluate.add_argument("rules", help="rules JSON")
+    add_input(evaluate)
+    evaluate.set_defaults(func=cmd_eval)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""The paper's contribution: two-stage learning → P4 flow rules.
+
+* Stage 1 (:mod:`repro.core.stage1`): learn a *small* set of byte positions
+  from raw packets of arbitrary protocols.
+* Stage 2 (:mod:`repro.core.stage2` + :mod:`repro.core.distill` +
+  :mod:`repro.core.rules`): train a compact classifier on those positions
+  and convert it into match-action rules a P4 ternary table can hold.
+* :class:`repro.core.pipeline.TwoStageDetector` ties it together.
+"""
+
+from repro.core.distill import DecisionTree
+from repro.core.optimize import OptimizeReport, optimize_ruleset
+from repro.core.pipeline import DetectorConfig, TwoStageDetector
+from repro.core.rules import MatchField, Rule, RuleSet, TernaryEntry
+from repro.core.serialize import load_ruleset, save_ruleset
+from repro.core.stage1 import (
+    GateSelector,
+    MutualInformationSelector,
+    SaliencySelector,
+    make_selector,
+)
+from repro.core.stage2 import CompactClassifier
+
+__all__ = [
+    "TwoStageDetector",
+    "DetectorConfig",
+    "GateSelector",
+    "MutualInformationSelector",
+    "SaliencySelector",
+    "make_selector",
+    "CompactClassifier",
+    "DecisionTree",
+    "MatchField",
+    "Rule",
+    "RuleSet",
+    "TernaryEntry",
+    "optimize_ruleset",
+    "OptimizeReport",
+    "save_ruleset",
+    "load_ruleset",
+]

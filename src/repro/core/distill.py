@@ -1,0 +1,375 @@
+"""CART decision tree, built for distillation into match-action rules.
+
+The tree trains on *integer byte values* (0..255 per selected position) and
+axis-aligned thresholds, so every leaf is a hyper-rectangle over byte values
+— exactly the shape a range/ternary match-action rule can express.  Stage 2
+uses it as the student model that mimics the compact DNN (teacher), and
+:mod:`repro.core.rules` converts its leaves into rules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["DecisionTree", "Leaf", "gini_impurity"]
+
+
+def gini_impurity(counts: np.ndarray) -> float:
+    """Gini impurity of a class-count vector."""
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - (p**2).sum())
+
+
+@dataclasses.dataclass
+class _Node:
+    """Internal tree node (leaf when ``feature is None``)."""
+
+    prediction: int
+    probability: float
+    samples: int
+    impurity: float
+    feature: Optional[int] = None
+    threshold: int = 0  # go left when x[feature] <= threshold
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+@dataclasses.dataclass(frozen=True)
+class Leaf:
+    """A leaf exported for rule generation.
+
+    Attributes:
+        bounds: per-feature closed integer interval ``{feature: (lo, hi)}``,
+            only for features actually tested on the path.
+        prediction: majority class at the leaf.
+        probability: fraction of leaf samples in the majority class.
+        samples: training samples that reached the leaf.
+    """
+
+    bounds: Tuple[Tuple[int, Tuple[int, int]], ...]
+    prediction: int
+    probability: float
+    samples: int
+
+    def bounds_dict(self) -> Dict[int, Tuple[int, int]]:
+        return dict(self.bounds)
+
+
+class DecisionTree:
+    """Binary CART classifier over small-integer features.
+
+    Args:
+        max_depth: depth cap (root = depth 0); the knob the E4 benchmark
+            sweeps to trade rule count against accuracy.
+        min_samples_leaf: minimum samples on each side of a split.
+        min_impurity_decrease: prune splits that gain less than this.
+        max_value: maximum feature value (255 for bytes); thresholds are
+            searched over observed values only.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_depth: int = 6,
+        min_samples_leaf: int = 5,
+        min_impurity_decrease: float = 1e-7,
+        max_value: int = 255,
+        snap_thresholds: bool = False,
+        snap_tolerance: float = 0.9,
+    ):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if not 0.0 < snap_tolerance <= 1.0:
+            raise ValueError("snap_tolerance must be in (0, 1]")
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_value = max_value
+        self.snap_thresholds = snap_thresholds
+        self.snap_tolerance = snap_tolerance
+        self._root: Optional[_Node] = None
+        self._n_classes = 0
+        self._n_features = 0
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        """Grow the tree on integer features ``x`` and int labels ``y``."""
+        x = np.asarray(x)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D, got shape {x.shape}")
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if x.min() < 0 or x.max() > self.max_value:
+            raise ValueError(f"features must lie in [0, {self.max_value}]")
+        self._n_features = x.shape[1]
+        self._n_classes = int(y.max()) + 1
+        self._root = self._grow(x.astype(np.int64), y, depth=0)
+        return self
+
+    def _class_counts(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=self._n_classes).astype(np.float64)
+
+    def _grow(self, x: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        counts = self._class_counts(y)
+        prediction = int(counts.argmax())
+        node = _Node(
+            prediction=prediction,
+            probability=float(counts[prediction] / counts.sum()),
+            samples=len(y),
+            impurity=gini_impurity(counts),
+        )
+        if (
+            depth >= self.max_depth
+            or node.impurity == 0.0
+            or len(y) < 2 * self.min_samples_leaf
+        ):
+            return node
+        split = self._best_split(x, y, counts)
+        if split is None:
+            return node
+        feature, threshold, gain = split
+        if gain < self.min_impurity_decrease:
+            return node
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(x[mask], y[mask], depth + 1)
+        node.right = self._grow(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray, parent_counts: np.ndarray
+    ) -> Optional[Tuple[int, int, float]]:
+        """Exhaustive Gini search over features × observed thresholds.
+
+        Vectorised per feature: sort once, scan class counts cumulatively.
+        Returns ``(feature, threshold, impurity_decrease)`` or None.
+        """
+        total = len(y)
+        parent_impurity = gini_impurity(parent_counts)
+        best: Optional[Tuple[int, int, float]] = None
+        for feature in range(self._n_features):
+            column = x[:, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_vals = column[order]
+            sorted_y = y[order]
+            # candidate cut positions: boundaries between distinct values
+            boundaries = np.nonzero(np.diff(sorted_vals))[0]
+            if boundaries.size == 0:
+                continue
+            onehot = np.zeros((total, self._n_classes))
+            onehot[np.arange(total), sorted_y] = 1.0
+            prefix = onehot.cumsum(axis=0)
+            left_counts = prefix[boundaries]
+            left_n = boundaries + 1
+            right_counts = parent_counts - left_counts
+            right_n = total - left_n
+            valid = (left_n >= self.min_samples_leaf) & (
+                right_n >= self.min_samples_leaf
+            )
+            if not valid.any():
+                continue
+            with np.errstate(invalid="ignore", divide="ignore"):
+                left_p = left_counts / left_n[:, None]
+                right_p = right_counts / right_n[:, None]
+                left_gini = 1.0 - (left_p**2).sum(axis=1)
+                right_gini = 1.0 - (right_p**2).sum(axis=1)
+            weighted = (left_n * left_gini + right_n * right_gini) / total
+            weighted[~valid] = np.inf
+            best_idx = int(weighted.argmin())
+            gain = parent_impurity - weighted[best_idx]
+            if not np.isfinite(gain):
+                continue
+            threshold = int(sorted_vals[boundaries[best_idx]])
+            if self.snap_thresholds and gain > 0:
+                gains = parent_impurity - weighted
+                threshold, gain = self._snap(
+                    sorted_vals, boundaries, gains, float(gain)
+                )
+            if best is None or gain > best[2]:
+                best = (feature, threshold, float(gain))
+        return best
+
+    def _snap(
+        self,
+        sorted_vals: np.ndarray,
+        boundaries: np.ndarray,
+        gains: np.ndarray,
+        best_gain: float,
+    ) -> Tuple[int, float]:
+        """Pick a TCAM-friendly threshold among near-optimal cuts.
+
+        Ranges split at threshold *t* expand into ``prefixes(0, t) +
+        prefixes(t+1, max)`` ternary entries; among cuts within
+        ``snap_tolerance`` of the best Gini gain, take the one minimising
+        that expansion (ties → higher gain).  This is the "tailored to P4"
+        adaptation: trading a sliver of split quality for much smaller
+        TCAM tables.
+        """
+        from repro.net.bytesutil import iter_prefix_ranges
+
+        acceptable = np.nonzero(gains >= self.snap_tolerance * best_gain)[0]
+        best_cost = None
+        choice: Tuple[int, float] = (int(sorted_vals[boundaries[gains.argmax()]]), best_gain)
+        for idx in acceptable:
+            t = int(sorted_vals[boundaries[idx]])
+            cost = len(list(iter_prefix_ranges(0, t, 8)))
+            if t < self.max_value:
+                cost += len(list(iter_prefix_ranges(t + 1, self.max_value, 8)))
+            candidate = (cost, -gains[idx])
+            if best_cost is None or candidate < best_cost:
+                best_cost = candidate
+                choice = (t, float(gains[idx]))
+        return choice
+
+    # -- inference -------------------------------------------------------------
+
+    def _walk(self, row: np.ndarray) -> _Node:
+        node = self._require_fitted()
+        while not node.is_leaf:
+            node = node.left if row[node.feature] <= node.threshold else node.right  # type: ignore[assignment]
+        return node
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Majority-class predictions."""
+        x = np.asarray(x)
+        return np.array([self._walk(row).prediction for row in x], dtype=np.int64)
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Per-row (classes,) probability estimates from leaf frequencies."""
+        x = np.asarray(x)
+        out = np.zeros((len(x), self._n_classes))
+        for i, row in enumerate(x):
+            leaf = self._walk(row)
+            out[i, leaf.prediction] = leaf.probability
+            rest = (1.0 - leaf.probability) / max(self._n_classes - 1, 1)
+            out[i, np.arange(self._n_classes) != leaf.prediction] += rest
+        return out
+
+    def _require_fitted(self) -> _Node:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        return self._root
+
+    # -- pruning ---------------------------------------------------------------
+
+    def prune(self, x_val: np.ndarray, y_val: np.ndarray) -> int:
+        """Reduced-error pruning against a validation set.
+
+        Bottom-up: replace any subtree whose leaf-ified prediction makes no
+        more validation errors than the subtree itself.  Directly shrinks
+        the rule count at equal (validation) accuracy.
+
+        Returns:
+            The number of subtrees collapsed.
+        """
+        root = self._require_fitted()
+        x_val = np.asarray(x_val, dtype=np.int64)
+        y_val = np.asarray(y_val, dtype=np.int64)
+        if len(x_val) != len(y_val):
+            raise ValueError("x_val and y_val length mismatch")
+        pruned = 0
+
+        def errors_as_leaf(node: _Node, y: np.ndarray) -> int:
+            return int((y != node.prediction).sum())
+
+        def visit(node: _Node, x: np.ndarray, y: np.ndarray) -> int:
+            """Prune below ``node``; returns subtree validation errors."""
+            nonlocal pruned
+            if node.is_leaf:
+                return errors_as_leaf(node, y)
+            mask = x[:, node.feature] <= node.threshold
+            left_errors = visit(node.left, x[mask], y[mask])  # type: ignore[arg-type]
+            right_errors = visit(node.right, x[~mask], y[~mask])  # type: ignore[arg-type]
+            subtree_errors = left_errors + right_errors
+            leaf_errors = errors_as_leaf(node, y)
+            if leaf_errors <= subtree_errors:
+                node.feature = None
+                node.left = None
+                node.right = None
+                pruned += 1
+                return leaf_errors
+            return subtree_errors
+
+        visit(root, x_val, y_val)
+        return pruned
+
+    # -- structure export --------------------------------------------------------
+
+    def leaves(self) -> List[Leaf]:
+        """All leaves with their path hyper-rectangles."""
+        root = self._require_fitted()
+        result: List[Leaf] = []
+
+        def visit(node: _Node, bounds: Dict[int, Tuple[int, int]]) -> None:
+            if node.is_leaf:
+                result.append(
+                    Leaf(
+                        bounds=tuple(sorted(bounds.items())),
+                        prediction=node.prediction,
+                        probability=node.probability,
+                        samples=node.samples,
+                    )
+                )
+                return
+            feature, threshold = node.feature, node.threshold
+            lo, hi = bounds.get(feature, (0, self.max_value))  # type: ignore[arg-type]
+            left_bounds = dict(bounds)
+            left_bounds[feature] = (lo, min(hi, threshold))  # type: ignore[index]
+            visit(node.left, left_bounds)  # type: ignore[arg-type]
+            right_bounds = dict(bounds)
+            right_bounds[feature] = (max(lo, threshold + 1), hi)  # type: ignore[index]
+            visit(node.right, right_bounds)  # type: ignore[arg-type]
+
+        visit(root, {})
+        return result
+
+    def depth(self) -> int:
+        """Actual grown depth."""
+        def measure(node: Optional[_Node]) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(measure(node.left), measure(node.right))
+
+        return measure(self._require_fitted())
+
+    def node_count(self) -> int:
+        """Total nodes (internal + leaves)."""
+        def count(node: Optional[_Node]) -> int:
+            if node is None:
+                return 0
+            if node.is_leaf:
+                return 1
+            return 1 + count(node.left) + count(node.right)
+
+        return count(self._require_fitted())
+
+    def feature_usage(self) -> Dict[int, int]:
+        """How many internal nodes test each feature."""
+        usage: Dict[int, int] = {}
+
+        def visit(node: Optional[_Node]) -> None:
+            if node is None or node.is_leaf:
+                return
+            usage[node.feature] = usage.get(node.feature, 0) + 1  # type: ignore[index]
+            visit(node.left)
+            visit(node.right)
+
+        visit(self._require_fitted())
+        return usage

@@ -1,0 +1,197 @@
+"""Online operation: drift detection and retrain-and-redeploy orchestration.
+
+The abstract's "dynamically reconfigurable" property, packaged: a gateway
+that watches live traffic, detects when its byte-level distribution drifts
+away from what the deployed model was trained on (new devices, new attack
+wave), retrains the two-stage pipeline on a sliding window, and pushes the
+new rules through the controller with minimal table churn.
+
+The drift signal is deliberately label-free — per-byte-position value
+histograms compared by total-variation distance — because ground truth is
+not available on a live gateway.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Deque, List, Optional, Sequence
+
+import collections
+
+import numpy as np
+
+from repro.core.pipeline import DetectorConfig, TwoStageDetector
+from repro.dataplane.controller import GatewayController, UpdateReport
+
+__all__ = ["DriftMonitor", "OnlineGateway", "RetrainEvent"]
+
+
+class DriftMonitor:
+    """Label-free distribution-drift detector over packet bytes.
+
+    Keeps a reference histogram per byte position (16 bins over 0..255)
+    and scores new batches by the mean total-variation distance across
+    positions — a statistic that is itself implementable with data-plane
+    counters.
+
+    Args:
+        n_bytes: feature width (byte positions tracked).
+        bins: histogram bins per position.
+        threshold: mean-TV distance above which :meth:`drifted` fires.
+    """
+
+    def __init__(self, n_bytes: int = 64, *, bins: int = 16, threshold: float = 0.2):
+        if not 1 <= bins <= 256:
+            raise ValueError("bins must be in [1, 256]")
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.n_bytes = n_bytes
+        self.bins = bins
+        self.threshold = threshold
+        self._reference: Optional[np.ndarray] = None
+
+    def _histogram(self, x_bytes: np.ndarray) -> np.ndarray:
+        """(n_bytes, bins) row-normalised histograms of a byte matrix."""
+        binned = x_bytes.astype(int) * self.bins // 256
+        hist = np.zeros((self.n_bytes, self.bins))
+        for position in range(self.n_bytes):
+            counts = np.bincount(binned[:, position], minlength=self.bins)
+            hist[position] = counts / max(len(x_bytes), 1)
+        return hist
+
+    def set_reference(self, x_bytes: np.ndarray) -> None:
+        """Record the training-time distribution."""
+        if x_bytes.shape[1] != self.n_bytes:
+            raise ValueError(
+                f"expected {self.n_bytes} byte positions, got {x_bytes.shape[1]}"
+            )
+        self._reference = self._histogram(x_bytes)
+
+    def score(self, x_bytes: np.ndarray) -> float:
+        """Mean total-variation distance of a batch vs. the reference."""
+        if self._reference is None:
+            raise RuntimeError("set_reference was never called")
+        batch = self._histogram(x_bytes)
+        tv_per_position = 0.5 * np.abs(batch - self._reference).sum(axis=1)
+        return float(tv_per_position.mean())
+
+    def drifted(self, x_bytes: np.ndarray) -> bool:
+        """True when the batch's drift score exceeds the threshold."""
+        return self.score(x_bytes) > self.threshold
+
+
+@dataclasses.dataclass
+class RetrainEvent:
+    """Record of one retraining cycle."""
+
+    reason: str
+    drift_score: float
+    window_size: int
+    offsets_changed: bool
+    update: Optional[UpdateReport]
+
+
+class OnlineGateway:
+    """A self-updating gateway: observe → drift-check → retrain → redeploy.
+
+    Args:
+        config: detector hyper-parameters used for every (re)training.
+        window: sliding-window capacity in packets (labelled feedback —
+            on a real deployment these labels come from an out-of-band
+            analyst or honeypot feed).
+        drift_threshold: passed to the :class:`DriftMonitor`.
+        min_batch: packets required before a drift check runs.
+    """
+
+    def __init__(
+        self,
+        config: Optional[DetectorConfig] = None,
+        *,
+        window: int = 4096,
+        drift_threshold: float = 0.2,
+        min_batch: int = 64,
+    ):
+        self.config = config or DetectorConfig()
+        self.window = window
+        self.min_batch = min_batch
+        self.detector: Optional[TwoStageDetector] = None
+        self.controller: Optional[GatewayController] = None
+        self.monitor = DriftMonitor(
+            self.config.n_bytes, threshold=drift_threshold
+        )
+        self._x: Deque[np.ndarray] = collections.deque(maxlen=window)
+        self._y: Deque[int] = collections.deque(maxlen=window)
+        self._pending: List[np.ndarray] = []
+        self.history: List[RetrainEvent] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def bootstrap(self, x: np.ndarray, y: np.ndarray) -> None:
+        """Initial training + deployment from a labelled capture."""
+        for row, label in zip(x, y):
+            self._x.append(np.asarray(row))
+            self._y.append(int(label))
+        self._retrain(reason="bootstrap", drift_score=0.0)
+
+    def _window_arrays(self):
+        return np.stack(list(self._x)), np.array(list(self._y), dtype=np.int64)
+
+    def _retrain(self, *, reason: str, drift_score: float) -> RetrainEvent:
+        x, y = self._window_arrays()
+        detector = TwoStageDetector(self.config)
+        detector.fit(x, y)
+        rules = detector.generate_rules()
+        offsets_changed = (
+            self.detector is None or detector.offsets != self.detector.offsets
+        )
+        update: Optional[UpdateReport] = None
+        if self.controller is not None and not offsets_changed:
+            update = self.controller.update(rules)
+        else:
+            # New field set → new parser, as on hardware.
+            self.controller = GatewayController.for_ruleset(rules)
+            self.controller.deploy(rules)
+        self.detector = detector
+        self.monitor.set_reference(np.round(x * 255).astype(np.uint8))
+        event = RetrainEvent(
+            reason=reason,
+            drift_score=drift_score,
+            window_size=len(y),
+            offsets_changed=offsets_changed,
+            update=update,
+        )
+        self.history.append(event)
+        return event
+
+    # -- live operation -------------------------------------------------------
+
+    def observe(self, x: np.ndarray, y: np.ndarray) -> Optional[RetrainEvent]:
+        """Feed a labelled batch; retrains when drift is detected.
+
+        Returns the retrain event if one was triggered, else None.
+        """
+        if self.detector is None:
+            raise RuntimeError("call bootstrap first")
+        x = np.asarray(x)
+        for row, label in zip(x, y):
+            self._x.append(row)
+            self._y.append(int(label))
+        self._pending.append(x)
+        pending = np.concatenate(self._pending)
+        if len(pending) < self.min_batch:
+            return None
+        score = self.monitor.score(np.round(pending * 255).astype(np.uint8))
+        self._pending = []
+        if score > self.monitor.threshold:
+            return self._retrain(reason="drift", drift_score=score)
+        return None
+
+    def force_retrain(self) -> RetrainEvent:
+        """Operator-initiated retraining on the current window."""
+        return self._retrain(reason="manual", drift_score=0.0)
+
+    def process(self, packet):
+        """Run one packet through the currently deployed switch."""
+        if self.controller is None:
+            raise RuntimeError("call bootstrap first")
+        return self.controller.switch.process(packet)

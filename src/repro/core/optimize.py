@@ -1,0 +1,175 @@
+"""Rule-set optimisation: merge adjacent boxes, drop shadowed rules.
+
+TCAM space is the scarce resource, so the controller should install the
+*smallest* rule set with identical semantics.  Two sound transformations:
+
+* **adjacent merge** — two same-action rules identical except at one
+  offset whose ranges touch or overlap collapse into one rule covering
+  the union (classic hyper-rectangle coalescing; tree leaves sharing a
+  parent often merge this way after the multi-class → binary collapse);
+* **shadow elimination** — a rule whose entire match region is covered by
+  an earlier-matching rule can never fire and is removed (regardless of
+  its action, since it is unreachable).
+
+Both preserve first-match semantics exactly; the property tests check
+equivalence on randomly sampled keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.rules import MatchField, Rule, RuleSet
+
+__all__ = ["optimize_ruleset", "merge_adjacent", "remove_shadowed", "OptimizeReport"]
+
+
+@dataclasses.dataclass
+class OptimizeReport:
+    """What the optimisation pass achieved."""
+
+    rules_before: int
+    rules_after: int
+    entries_before: int
+    entries_after: int
+    merged: int
+    shadowed: int
+
+    def __str__(self) -> str:
+        return (
+            f"rules {self.rules_before}→{self.rules_after}, "
+            f"entries {self.entries_before}→{self.entries_after} "
+            f"({self.merged} merges, {self.shadowed} shadowed removed)"
+        )
+
+
+def _bounds(rule: Rule, offsets: Tuple[int, ...]) -> Dict[int, Tuple[int, int]]:
+    """Rule constraints as offset → (lo, hi), wildcards explicit."""
+    out = {offset: (0, 255) for offset in offsets}
+    for match in rule.matches:
+        out[match.offset] = (match.lo, match.hi)
+    return out
+
+
+def _rule_from_bounds(
+    bounds: Dict[int, Tuple[int, int]], template: Rule
+) -> Rule:
+    matches = tuple(
+        MatchField(offset, lo, hi)
+        for offset, (lo, hi) in sorted(bounds.items())
+        if (lo, hi) != (0, 255)
+    )
+    return Rule(
+        matches=matches,
+        action=template.action,
+        priority=template.priority,
+        confidence=template.confidence,
+        label=template.label,
+    )
+
+
+def _try_merge(
+    a: Rule, b: Rule, offsets: Tuple[int, ...]
+) -> Optional[Rule]:
+    """Merge two same-action rules differing in at most one dimension."""
+    if a.action != b.action or a.label != b.label:
+        return None
+    bounds_a, bounds_b = _bounds(a, offsets), _bounds(b, offsets)
+    differing = [
+        offset for offset in offsets if bounds_a[offset] != bounds_b[offset]
+    ]
+    if len(differing) > 1:
+        return None
+    if not differing:
+        # identical regions: keep one
+        merged_bounds = bounds_a
+    else:
+        offset = differing[0]
+        (lo_a, hi_a), (lo_b, hi_b) = bounds_a[offset], bounds_b[offset]
+        # mergeable when the ranges touch or overlap
+        if max(lo_a, lo_b) > min(hi_a, hi_b) + 1:
+            return None
+        merged_bounds = dict(bounds_a)
+        merged_bounds[offset] = (min(lo_a, lo_b), max(hi_a, hi_b))
+    template = a if a.priority >= b.priority else b
+    merged = _rule_from_bounds(merged_bounds, template)
+    # keep the higher priority and the combined support
+    return dataclasses.replace(
+        merged,
+        priority=max(a.priority, b.priority),
+        confidence=min(a.confidence, b.confidence),
+    )
+
+
+def merge_adjacent(ruleset: RuleSet) -> Tuple[RuleSet, int]:
+    """Coalesce same-action rules until no merge applies.
+
+    Safe for rule sets whose same-action rules are disjoint (always true
+    for tree-derived sets).  Returns ``(new_ruleset, merge_count)``.
+    """
+    rules: List[Rule] = list(ruleset.rules)
+    merges = 0
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(rules)):
+            for j in range(i + 1, len(rules)):
+                merged = _try_merge(rules[i], rules[j], ruleset.offsets)
+                if merged is not None:
+                    rules[i] = merged
+                    del rules[j]
+                    merges += 1
+                    changed = True
+                    break
+            if changed:
+                break
+    return (
+        RuleSet(ruleset.offsets, rules, default_action=ruleset.default_action),
+        merges,
+    )
+
+
+def _covers(outer: Rule, inner: Rule, offsets: Tuple[int, ...]) -> bool:
+    """True when every key matching ``inner`` also matches ``outer``."""
+    bounds_outer, bounds_inner = _bounds(outer, offsets), _bounds(inner, offsets)
+    return all(
+        bounds_outer[offset][0] <= bounds_inner[offset][0]
+        and bounds_inner[offset][1] <= bounds_outer[offset][1]
+        for offset in offsets
+    )
+
+
+def remove_shadowed(ruleset: RuleSet) -> Tuple[RuleSet, int]:
+    """Drop rules that can never fire (fully covered by an earlier match).
+
+    Uses the rule set's actual match order (priority desc, then insertion),
+    so the check is exact for single-rule shadowing.
+    """
+    kept: List[Rule] = []
+    shadowed = 0
+    for rule in ruleset.rules:  # already in match order
+        if any(_covers(earlier, rule, ruleset.offsets) for earlier in kept):
+            shadowed += 1
+            continue
+        kept.append(rule)
+    return (
+        RuleSet(ruleset.offsets, kept, default_action=ruleset.default_action),
+        shadowed,
+    )
+
+
+def optimize_ruleset(ruleset: RuleSet) -> Tuple[RuleSet, OptimizeReport]:
+    """Full pass: shadow elimination, then merging to fixpoint."""
+    before = ruleset.resource_report()
+    unshadowed, shadowed = remove_shadowed(ruleset)
+    merged_set, merges = merge_adjacent(unshadowed)
+    after = merged_set.resource_report()
+    return merged_set, OptimizeReport(
+        rules_before=before["rules"],
+        rules_after=after["rules"],
+        entries_before=before["ternary_entries"],
+        entries_after=after["ternary_entries"],
+        merged=merges,
+        shadowed=shadowed,
+    )

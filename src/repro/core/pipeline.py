@@ -1,0 +1,345 @@
+"""End-to-end two-stage detector — the library's main public API.
+
+Typical use::
+
+    from repro.core import TwoStageDetector, DetectorConfig
+    from repro.datasets import standard_suite
+
+    dataset = standard_suite()["inet"]
+    detector = TwoStageDetector(DetectorConfig(n_fields=6))
+    detector.fit(dataset.x_train, dataset.y_train_binary)
+
+    rules = detector.generate_rules()          # match-action RuleSet
+    accuracy = detector.rule_accuracy(dataset.x_test, dataset.y_test_binary)
+
+The detector is *binary* at the rule level (drop attack / allow benign),
+matching what a firewall data plane enforces; the Stage-2 model itself may
+optionally be trained multi-class for reporting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.distill import DecisionTree
+from repro.core.rules import RuleSet, rules_from_leaves
+from repro.core.stage1 import FieldSelector, make_selector
+from repro.core.stage2 import CompactClassifier
+
+__all__ = ["DetectorConfig", "TwoStageDetector"]
+
+
+@dataclasses.dataclass
+class DetectorConfig:
+    """Hyper-parameters of the two-stage pipeline.
+
+    Attributes:
+        n_bytes: packet bytes visible to Stage 1.
+        n_fields: byte positions kept after Stage 1 (the paper's "small
+            number of header fields").
+        selector: ``"gate"`` (learned, default), ``"mi"`` or ``"saliency"``.
+        selector_l1: gate sparsity strength (gate selector only).
+        selector_epochs: Stage-1 training epochs.
+        hidden: Stage-2 MLP hidden widths.
+        epochs: Stage-2 training epochs.
+        distill_depth: CART depth for rule generation.
+        min_samples_leaf: CART leaf size floor.
+        rule_mode: ``"drop"`` or ``"smallest"`` (see
+            :func:`repro.core.rules.rules_from_leaves`).
+        p4_friendly: snap tree thresholds to TCAM-cheap cut points
+            (see :class:`repro.core.distill.DecisionTree`) — the paper's
+            "tailored to P4" adaptation.  The E4 bench ablates this.
+        prune_fraction: fraction of the distillation data held out for
+            reduced-error pruning of the student tree (0 disables).
+        seed: master seed.
+    """
+
+    n_bytes: int = 64
+    n_fields: int = 6
+    selector: str = "gate"
+    selector_l1: float = 5e-3
+    selector_epochs: int = 30
+    hidden: Tuple[int, ...] = (32, 16)
+    epochs: int = 40
+    distill_depth: int = 6
+    min_samples_leaf: int = 5
+    rule_mode: str = "drop"
+    p4_friendly: bool = True
+    prune_fraction: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.n_fields <= self.n_bytes:
+            raise ValueError("need 1 <= n_fields <= n_bytes")
+        if not 0.0 <= self.prune_fraction < 1.0:
+            raise ValueError("prune_fraction must be in [0, 1)")
+
+
+class TwoStageDetector:
+    """Two-stage deep-learning attack detector with P4 rule generation."""
+
+    def __init__(self, config: Optional[DetectorConfig] = None):
+        self.config = config or DetectorConfig()
+        self.selector: Optional[FieldSelector] = None
+        self.offsets: Optional[Tuple[int, ...]] = None
+        self.classifier: Optional[CompactClassifier] = None
+        self.tree: Optional[DecisionTree] = None
+        self._x_bytes_train: Optional[np.ndarray] = None
+
+    # -- training ------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "TwoStageDetector":
+        """Run both stages on a scaled feature matrix and binary labels.
+
+        Args:
+            x: ``(n, n_bytes)`` float matrix in [0, 1] from
+                :class:`repro.datasets.FeatureExtractor`.
+            y: binary labels (1 = attack).  Multi-class labels also work;
+                the rule set then drops every non-zero class.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or x.shape[1] != self.config.n_bytes:
+            raise ValueError(
+                f"x must be (n, {self.config.n_bytes}), got {x.shape}"
+            )
+        cfg = self.config
+        n_classes = int(y.max()) + 1
+        self.selector = make_selector(
+            cfg.selector,
+            cfg.n_bytes,
+            n_classes,
+            seed=cfg.seed,
+            **(
+                {"l1": cfg.selector_l1, "epochs": cfg.selector_epochs}
+                if cfg.selector == "gate"
+                else {"epochs": cfg.selector_epochs}
+                if cfg.selector == "saliency"
+                else {}
+            ),
+        )
+        self.selector.fit(x, y)
+        self.offsets = self.selector.select(cfg.n_fields)
+        self.classifier = CompactClassifier(
+            self.offsets,
+            n_classes,
+            hidden=cfg.hidden,
+            epochs=cfg.epochs,
+            seed=cfg.seed,
+        )
+        self.classifier.fit(x, y)
+        # Keep the unscaled byte view of the training data for distillation.
+        self._x_bytes_train = np.round(x * 255.0).astype(np.uint8)
+        self.tree = None  # invalidate any previous distillation
+        return self
+
+    # -- model-level inference -------------------------------------------------
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Stage-2 model predictions on a scaled feature matrix."""
+        return self._require_classifier().predict(np.asarray(x, dtype=np.float64))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self._require_classifier().predict_proba(np.asarray(x, dtype=np.float64))
+
+    def model_accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == np.asarray(y)).mean())
+
+    # -- rule generation ---------------------------------------------------------
+
+    def distill(
+        self,
+        x_bytes: Optional[np.ndarray] = None,
+        *,
+        max_depth: Optional[int] = None,
+    ) -> DecisionTree:
+        """Fit the student tree (defaults to the training bytes).
+
+        When ``config.prune_fraction`` > 0, that fraction of the data is
+        held out and the grown tree is reduced-error-pruned against the
+        teacher's labels on it.
+        """
+        classifier = self._require_classifier()
+        if x_bytes is None:
+            x_bytes = self._x_bytes_train
+        if x_bytes is None:
+            raise RuntimeError("no byte data available; pass x_bytes")
+        x_bytes = np.asarray(x_bytes)
+        prune_bytes: Optional[np.ndarray] = None
+        if self.config.prune_fraction:
+            rng = np.random.default_rng(self.config.seed + 7)
+            order = rng.permutation(len(x_bytes))
+            cut = int(round(len(x_bytes) * (1.0 - self.config.prune_fraction)))
+            prune_bytes = x_bytes[order[cut:]]
+            x_bytes = x_bytes[order[:cut]]
+        self.tree = classifier.distill(
+            x_bytes,
+            max_depth=max_depth or self.config.distill_depth,
+            min_samples_leaf=self.config.min_samples_leaf,
+            snap_thresholds=self.config.p4_friendly,
+        )
+        if prune_bytes is not None and len(prune_bytes):
+            selected = classifier._project(prune_bytes)
+            teacher = classifier.model.predict(
+                selected.astype(np.float64) / 255.0
+            )
+            self.tree.prune(selected.astype(np.int64), teacher)
+        return self.tree
+
+    def generate_rules(
+        self,
+        *,
+        max_depth: Optional[int] = None,
+        min_confidence: float = 0.0,
+    ) -> RuleSet:
+        """Distill (if needed) and convert tree leaves into a rule set.
+
+        The rules are binary: any non-benign tree class maps to drop.
+        """
+        if self.tree is None or max_depth is not None:
+            self.distill(max_depth=max_depth)
+        assert self.tree is not None and self.offsets is not None
+        leaves = self.tree.leaves()
+        # Collapse multi-class leaves to binary: class 0 = benign.
+        binary_leaves = [
+            dataclasses.replace(leaf, prediction=int(leaf.prediction != 0))
+            for leaf in leaves
+        ]
+        return rules_from_leaves(
+            binary_leaves,
+            self.offsets,
+            drop_class=1,
+            mode=self.config.rule_mode,
+            min_confidence=min_confidence,
+        )
+
+    def generate_multiclass_rules(
+        self,
+        *,
+        action_map: Optional[Dict[int, str]] = None,
+        max_depth: Optional[int] = None,
+        min_confidence: float = 0.0,
+    ) -> RuleSet:
+        """Per-attack-class rules (requires multi-class training labels).
+
+        Each non-benign tree leaf becomes one rule carrying its class id as
+        the rule ``label`` and the action from ``action_map`` (class id →
+        ``"drop"`` / ``"quarantine"``; default drop).  Use
+        :meth:`repro.core.rules.RuleSet.predict_class` to recover per-class
+        predictions from the rules.
+        """
+        if self.tree is None or max_depth is not None:
+            self.distill(max_depth=max_depth)
+        assert self.tree is not None and self.offsets is not None
+        return rules_from_leaves(
+            self.tree.leaves(),
+            self.offsets,
+            mode="multiclass",
+            action_map=action_map,
+            min_confidence=min_confidence,
+        )
+
+    def rule_accuracy(self, x: np.ndarray, y_binary: np.ndarray) -> float:
+        """Accuracy of the *generated rules* on scaled features."""
+        rules = self.generate_rules()
+        x_bytes = np.round(np.asarray(x) * 255.0).astype(np.uint8)
+        predictions = rules.predict(x_bytes)
+        return float((predictions == np.asarray(y_binary)).mean())
+
+    # -- introspection ---------------------------------------------------------
+
+    def field_report(self, spans=None) -> List[Dict[str, object]]:
+        """Selected offsets with scores and (optionally) field names.
+
+        Args:
+            spans: optional ``(HeaderSpec, base_offset)`` pairs used to name
+                offsets (see :func:`repro.net.headers.describe_offset`).
+        """
+        if self.selector is None or self.offsets is None:
+            raise RuntimeError("detector is not fitted")
+        from repro.net.headers import describe_offset
+
+        scores = self.selector.scores()
+        report = []
+        for offset in self.offsets:
+            entry: Dict[str, object] = {
+                "offset": int(offset),
+                "score": float(scores[offset]),
+            }
+            if spans is not None:
+                entry["field"] = describe_offset(spans, offset) or "payload"
+            report.append(entry)
+        return report
+
+    def _require_classifier(self) -> CompactClassifier:
+        if self.classifier is None:
+            raise RuntimeError("detector is not fitted")
+        return self.classifier
+
+    # -- persistence ------------------------------------------------------------
+
+    def save(self, directory: Union[str, Path]) -> None:
+        """Persist the fitted detector to a directory.
+
+        Writes ``detector.json`` (config, offsets, class count, selector
+        scores) and ``classifier.npz`` (Stage-2 weights); the training
+        bytes are *not* stored — re-distil after loading if you need a new
+        tree depth, or regenerate rules (the default depth works from the
+        saved model alone via fresh data).
+        """
+        classifier = self._require_classifier()
+        assert self.offsets is not None and self.selector is not None
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest = {
+            "format": 1,
+            "config": dataclasses.asdict(self.config),
+            "offsets": list(self.offsets),
+            "n_classes": classifier.n_classes,
+            "selector_scores": [float(s) for s in self.selector.scores()],
+        }
+        # tuples are not JSON; normalise hidden sizes
+        manifest["config"]["hidden"] = list(self.config.hidden)
+        with open(directory / "detector.json", "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2)
+        classifier.model.save(directory / "classifier.npz")
+
+    @classmethod
+    def load(cls, directory: Union[str, Path]) -> "TwoStageDetector":
+        """Rebuild a detector saved by :meth:`save`.
+
+        The returned detector predicts and generates rules (after
+        :meth:`distill` with fresh byte data) but keeps no Stage-1 model —
+        only its scores, which is all ``field_report`` needs.
+        """
+        directory = Path(directory)
+        with open(directory / "detector.json", "r", encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        if manifest.get("format") != 1:
+            raise ValueError(f"unsupported detector format {manifest.get('format')!r}")
+        config_data = dict(manifest["config"])
+        config_data["hidden"] = tuple(config_data["hidden"])
+        config = DetectorConfig(**config_data)
+        detector = cls(config)
+        detector.offsets = tuple(int(o) for o in manifest["offsets"])
+        detector.classifier = CompactClassifier(
+            detector.offsets,
+            int(manifest["n_classes"]),
+            hidden=config.hidden,
+            epochs=config.epochs,
+            seed=config.seed,
+        )
+        detector.classifier.model.load(directory / "classifier.npz")
+        scores = np.array(manifest["selector_scores"])
+
+        class _FrozenSelector(FieldSelector):
+            def scores(self) -> np.ndarray:  # noqa: D102 - tiny shim
+                return scores
+
+        detector.selector = _FrozenSelector()
+        return detector

@@ -1,0 +1,389 @@
+"""Match-action flow rules over selected byte positions.
+
+The output format of the whole pipeline: a :class:`RuleSet` is an ordered
+list of :class:`Rule` objects, each matching closed byte ranges at a fixed
+set of packet offsets and carrying an action (``drop`` / ``allow``).  The
+set can
+
+* classify packets directly (reference semantics, used in tests),
+* expand to TCAM-style :class:`TernaryEntry` lists via prefix expansion
+  (what actually goes into a P4 ternary table), and
+* report its data-plane resource cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.bytesutil import iter_prefix_ranges
+from repro.net.packet import Packet
+
+__all__ = [
+    "ACTION_ALLOW",
+    "ACTION_DROP",
+    "ACTION_QUARANTINE",
+    "KNOWN_ACTIONS",
+    "MatchField",
+    "Rule",
+    "TernaryEntry",
+    "RuleSet",
+    "rules_from_leaves",
+]
+
+ACTION_ALLOW = "allow"
+ACTION_DROP = "drop"
+#: Forward to a quarantine port/VLAN for inspection instead of dropping.
+ACTION_QUARANTINE = "quarantine"
+
+KNOWN_ACTIONS = frozenset({ACTION_ALLOW, ACTION_DROP, ACTION_QUARANTINE})
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class MatchField:
+    """Closed byte-value range ``[lo, hi]`` at packet byte ``offset``."""
+
+    offset: int
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ValueError("offset must be >= 0")
+        if not 0 <= self.lo <= self.hi <= 255:
+            raise ValueError(f"invalid byte range [{self.lo}, {self.hi}]")
+
+    @property
+    def is_wildcard(self) -> bool:
+        return self.lo == 0 and self.hi == 255
+
+    @property
+    def is_exact(self) -> bool:
+        return self.lo == self.hi
+
+    def matches(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+    def ternary_pairs(self) -> List[Tuple[int, int]]:
+        """(value, mask) pairs covering the range (prefix expansion)."""
+        return list(iter_prefix_ranges(self.lo, self.hi, 8))
+
+    def __str__(self) -> str:
+        if self.is_wildcard:
+            return f"b[{self.offset}]=*"
+        if self.is_exact:
+            return f"b[{self.offset}]={self.lo}"
+        return f"b[{self.offset}]in[{self.lo},{self.hi}]"
+
+
+@dataclasses.dataclass(frozen=True)
+class Rule:
+    """One match-action rule.
+
+    Attributes:
+        matches: non-wildcard field constraints (any offset not listed is
+            a wildcard).
+        action: one of :data:`KNOWN_ACTIONS`.
+        priority: higher wins on overlap.
+        confidence: leaf purity of the tree leaf the rule came from.
+        label: class id the rule encodes (0 = benign side, >0 = an attack
+            class) — carries the multi-class prediction through to
+            :meth:`RuleSet.predict_class`.
+    """
+
+    matches: Tuple[MatchField, ...]
+    action: str
+    priority: int = 0
+    confidence: float = 1.0
+    label: int = 1
+
+    def __post_init__(self) -> None:
+        if self.action not in KNOWN_ACTIONS:
+            raise ValueError(f"unknown action {self.action!r}")
+        offsets = [m.offset for m in self.matches]
+        if len(offsets) != len(set(offsets)):
+            raise ValueError("duplicate offsets in rule matches")
+
+    def matches_packet(self, packet: Packet) -> bool:
+        return all(field.matches(packet.byte_at(field.offset)) for field in self.matches)
+
+    def matches_vector(self, values: Dict[int, int]) -> bool:
+        """Match against an offset → byte-value mapping (0 when missing)."""
+        return all(field.matches(values.get(field.offset, 0)) for field in self.matches)
+
+    def ternary_entry_count(self) -> int:
+        """Entries after range→prefix expansion (product over fields)."""
+        count = 1
+        for field in self.matches:
+            if not field.is_wildcard:
+                count *= len(field.ternary_pairs())
+        return count
+
+    def __str__(self) -> str:
+        condition = " and ".join(str(m) for m in self.matches) or "any"
+        return f"[p{self.priority}] if {condition} then {self.action}"
+
+
+@dataclasses.dataclass(frozen=True)
+class TernaryEntry:
+    """One TCAM entry over the concatenated selected bytes.
+
+    ``value`` and ``mask`` have one entry per selected offset (in the rule
+    set's offset order); a key byte ``k`` matches when
+    ``(k & mask) == (value & mask)``.
+    """
+
+    value: Tuple[int, ...]
+    mask: Tuple[int, ...]
+    action: str
+    priority: int
+
+    def matches_key(self, key: Sequence[int]) -> bool:
+        if len(key) != len(self.value):
+            raise ValueError(
+                f"key width {len(key)} != entry width {len(self.value)}"
+            )
+        return all(
+            (k & m) == (v & m) for k, v, m in zip(key, self.value, self.mask)
+        )
+
+
+class RuleSet:
+    """An ordered rule list over a fixed tuple of byte offsets.
+
+    Args:
+        offsets: the selected byte positions (Stage-1 output); every rule's
+            matches must use only these offsets.
+        rules: initial rules.
+        default_action: applied when no rule matches.
+    """
+
+    def __init__(
+        self,
+        offsets: Sequence[int],
+        rules: Iterable[Rule] = (),
+        *,
+        default_action: str = ACTION_ALLOW,
+    ):
+        if default_action not in KNOWN_ACTIONS:
+            raise ValueError(f"unknown default action {default_action!r}")
+        self.offsets: Tuple[int, ...] = tuple(offsets)
+        self.default_action = default_action
+        self.rules: List[Rule] = []
+        for rule in rules:
+            self.add(rule)
+
+    def add(self, rule: Rule) -> None:
+        """Add a rule (validating its offsets), keeping priority order."""
+        allowed = set(self.offsets)
+        for field in rule.matches:
+            if field.offset not in allowed:
+                raise ValueError(
+                    f"rule uses offset {field.offset} outside selected {self.offsets}"
+                )
+        self.rules.append(rule)
+        self.rules.sort(key=lambda r: -r.priority)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    # -- reference classification semantics ---------------------------------
+
+    def action_for_packet(self, packet: Packet) -> str:
+        """First-match (highest priority) action, or the default."""
+        for rule in self.rules:
+            if rule.matches_packet(packet):
+                return rule.action
+        return self.default_action
+
+    def action_for_key(self, key: Sequence[int]) -> str:
+        """Action for an already-extracted key (offset order = self.offsets)."""
+        values = dict(zip(self.offsets, key))
+        for rule in self.rules:
+            if rule.matches_vector(values):
+                return rule.action
+        return self.default_action
+
+    def _first_match_values(
+        self, x_bytes: np.ndarray, value_of: "Callable[[Rule], int]", default: int
+    ) -> np.ndarray:
+        """Vectorised first-match evaluation over a byte matrix.
+
+        Walks rules in match order; each rule claims the still-undecided
+        rows whose key bytes fall in all its ranges — identical semantics
+        to :meth:`action_for_key`, verified by property tests, but ~two
+        orders of magnitude faster than a per-row Python loop.
+        """
+        keys = np.asarray(x_bytes)[:, list(self.offsets)].astype(np.int64)
+        position = {offset: idx for idx, offset in enumerate(self.offsets)}
+        out = np.full(len(keys), default, dtype=np.int64)
+        undecided = np.ones(len(keys), dtype=bool)
+        for rule in self.rules:
+            if not undecided.any():
+                break
+            matched = undecided.copy()
+            for field in rule.matches:
+                column = keys[:, position[field.offset]]
+                matched &= (column >= field.lo) & (column <= field.hi)
+            out[matched] = value_of(rule)
+            undecided &= ~matched
+        return out
+
+    def predict(self, x_bytes: np.ndarray) -> np.ndarray:
+        """Vector classification of a byte matrix (columns = full packet bytes).
+
+        Args:
+            x_bytes: ``(n, n_bytes)`` uint8 matrix of leading packet bytes.
+
+        Returns:
+            int array, 1 = attack (any non-allow action), 0 = allow.
+        """
+        return self._first_match_values(
+            x_bytes,
+            lambda rule: 0 if rule.action == ACTION_ALLOW else 1,
+            default=0 if self.default_action == ACTION_ALLOW else 1,
+        )
+
+    def predict_class(self, x_bytes: np.ndarray) -> np.ndarray:
+        """Multi-class prediction: the matched rule's ``label`` (0 = default).
+
+        Only meaningful for rule sets built with an ``action_map`` (one rule
+        per attack-class leaf); binary rule sets return {0, 1}.
+        """
+        return self._first_match_values(
+            x_bytes, lambda rule: rule.label, default=0
+        )
+
+    # -- data-plane compilation ----------------------------------------------
+
+    def to_ternary(self) -> List[TernaryEntry]:
+        """Expand every rule into TCAM entries over the selected bytes."""
+        entries: List[TernaryEntry] = []
+        width = len(self.offsets)
+        position = {offset: idx for idx, offset in enumerate(self.offsets)}
+        for rule in self.rules:
+            per_field: List[List[Tuple[int, int, int]]] = []
+            for field in rule.matches:
+                if field.is_wildcard:
+                    continue
+                pairs = field.ternary_pairs()
+                per_field.append(
+                    [(position[field.offset], v, m) for v, m in pairs]
+                )
+            if not per_field:
+                entries.append(
+                    TernaryEntry((0,) * width, (0,) * width, rule.action, rule.priority)
+                )
+                continue
+            for combination in itertools.product(*per_field):
+                value = [0] * width
+                mask = [0] * width
+                for idx, v, m in combination:
+                    value[idx] = v
+                    mask[idx] = m
+                entries.append(
+                    TernaryEntry(tuple(value), tuple(mask), rule.action, rule.priority)
+                )
+        return entries
+
+    def resource_report(self) -> Dict[str, int]:
+        """Data-plane cost: rules, TCAM entries, match width, TCAM bits."""
+        entries = self.to_ternary()
+        width_bits = 8 * len(self.offsets)
+        return {
+            "rules": len(self.rules),
+            "ternary_entries": len(entries),
+            "match_width_bits": width_bits,
+            # value + mask both occupy TCAM
+            "tcam_bits": 2 * width_bits * len(entries),
+        }
+
+    def describe(self) -> str:
+        """Multi-line human-readable listing."""
+        lines = [f"RuleSet over offsets {list(self.offsets)} "
+                 f"(default={self.default_action}):"]
+        lines.extend(f"  {rule}" for rule in self.rules)
+        return "\n".join(lines)
+
+
+def rules_from_leaves(
+    leaves,
+    offsets: Sequence[int],
+    *,
+    drop_class: int = 1,
+    mode: str = "drop",
+    min_confidence: float = 0.0,
+    action_map: Optional[Dict[int, str]] = None,
+) -> RuleSet:
+    """Convert decision-tree leaves into a :class:`RuleSet`.
+
+    Args:
+        leaves: :class:`repro.core.distill.Leaf` list; leaf ``bounds`` index
+            features by *position within* ``offsets``.
+        offsets: selected byte offsets, in the tree's feature order.
+        drop_class: tree class treated as attack (binary modes).
+        mode: ``"drop"`` installs rules for attack leaves with default
+            allow; ``"smallest"`` installs whichever side has fewer leaves
+            and flips the default accordingly (smaller tables);
+            ``"multiclass"`` installs one rule per non-benign leaf, with
+            the action taken from ``action_map`` (class id → action,
+            default drop) and the class id recorded as the rule label.
+        min_confidence: skip leaves with lower purity.
+        action_map: per-class actions for ``"multiclass"`` mode.
+    """
+    if mode not in ("drop", "smallest", "multiclass"):
+        raise ValueError(f"unknown mode {mode!r}")
+
+    def leaf_matches(leaf) -> Tuple[MatchField, ...]:
+        return tuple(
+            MatchField(offsets[feature], lo, hi)
+            for feature, (lo, hi) in leaf.bounds
+            if not (lo == 0 and hi == 255)
+        )
+
+    if mode == "multiclass":
+        action_map = action_map or {}
+        ruleset = RuleSet(offsets, default_action=ACTION_ALLOW)
+        for leaf in leaves:
+            if leaf.prediction == 0 or leaf.probability < min_confidence:
+                continue
+            action = action_map.get(leaf.prediction, ACTION_DROP)
+            if action == ACTION_ALLOW:
+                continue  # explicitly whitelisted class → default path
+            ruleset.add(
+                Rule(
+                    matches=leaf_matches(leaf),
+                    action=action,
+                    priority=leaf.samples,
+                    confidence=leaf.probability,
+                    label=leaf.prediction,
+                )
+            )
+        return ruleset
+
+    drop_leaves = [l for l in leaves if l.prediction == drop_class]
+    allow_leaves = [l for l in leaves if l.prediction != drop_class]
+    if mode == "smallest" and len(allow_leaves) < len(drop_leaves):
+        selected, action, default = allow_leaves, ACTION_ALLOW, ACTION_DROP
+    else:
+        selected, action, default = drop_leaves, ACTION_DROP, ACTION_ALLOW
+    ruleset = RuleSet(offsets, default_action=default)
+    for leaf in selected:
+        if leaf.probability < min_confidence:
+            continue
+        ruleset.add(
+            Rule(
+                matches=leaf_matches(leaf),
+                action=action,
+                priority=leaf.samples,  # busier leaves match first
+                confidence=leaf.probability,
+                label=0 if action == ACTION_ALLOW else 1,
+            )
+        )
+    return ruleset

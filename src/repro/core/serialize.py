@@ -1,0 +1,83 @@
+"""JSON (de)serialisation of rule sets and detector artifacts.
+
+Gives rule sets a stable on-disk format so the CLI (and any external
+controller) can move them between the training host and the gateway —
+the role P4Runtime's wire format plays in a real deployment.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.rules import MatchField, Rule, RuleSet
+
+__all__ = ["ruleset_to_dict", "ruleset_from_dict", "save_ruleset", "load_ruleset"]
+
+FORMAT_VERSION = 1
+
+
+def ruleset_to_dict(ruleset: RuleSet) -> Dict:
+    """Serialise a rule set into plain JSON-compatible data."""
+    return {
+        "version": FORMAT_VERSION,
+        "offsets": list(ruleset.offsets),
+        "default_action": ruleset.default_action,
+        "rules": [
+            {
+                "matches": [
+                    {"offset": m.offset, "lo": m.lo, "hi": m.hi}
+                    for m in rule.matches
+                ],
+                "action": rule.action,
+                "priority": rule.priority,
+                "confidence": rule.confidence,
+                "label": rule.label,
+            }
+            for rule in ruleset.rules
+        ],
+    }
+
+
+def ruleset_from_dict(data: Dict) -> RuleSet:
+    """Rebuild a rule set from :func:`ruleset_to_dict` output.
+
+    Raises:
+        ValueError: on unknown format versions or malformed entries.
+    """
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported ruleset format version {version!r}")
+    ruleset = RuleSet(
+        tuple(int(o) for o in data["offsets"]),
+        default_action=data["default_action"],
+    )
+    for entry in data["rules"]:
+        matches = tuple(
+            MatchField(int(m["offset"]), int(m["lo"]), int(m["hi"]))
+            for m in entry["matches"]
+        )
+        ruleset.add(
+            Rule(
+                matches=matches,
+                action=entry["action"],
+                priority=int(entry.get("priority", 0)),
+                confidence=float(entry.get("confidence", 1.0)),
+                label=int(entry.get("label", 1)),
+            )
+        )
+    return ruleset
+
+
+def save_ruleset(ruleset: RuleSet, path: Union[str, Path]) -> None:
+    """Write a rule set as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(ruleset_to_dict(ruleset), handle, indent=2)
+        handle.write("\n")
+
+
+def load_ruleset(path: Union[str, Path]) -> RuleSet:
+    """Read a rule set written by :func:`save_ruleset`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return ruleset_from_dict(json.load(handle))

@@ -1,0 +1,140 @@
+"""Stage 2: compact classifier on the selected fields.
+
+A small MLP trained only on the Stage-1 byte positions.  It is the
+*teacher* for rule generation: a CART tree (:mod:`repro.core.distill`)
+is fitted to mimic its predictions on raw byte values, and the tree's
+leaves become the match-action rules.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.distill import DecisionTree
+from repro.nn.layers import Dense, Dropout, ReLU
+from repro.nn.model import Sequential, TrainHistory
+from repro.nn.optim import Adam
+
+__all__ = ["CompactClassifier"]
+
+
+class CompactClassifier:
+    """MLP over ``len(offsets)`` selected byte features.
+
+    Args:
+        offsets: Stage-1 selected byte positions (ascending).
+        n_classes: output classes (2 for attack/benign).
+        hidden: widths of the hidden layers.
+        dropout: dropout rate between hidden layers (0 disables).
+        epochs / batch_size / lr: training knobs.
+        seed: weight/shuffle seed.
+    """
+
+    def __init__(
+        self,
+        offsets: Sequence[int],
+        n_classes: int = 2,
+        *,
+        hidden: Tuple[int, ...] = (32, 16),
+        dropout: float = 0.0,
+        epochs: int = 40,
+        batch_size: int = 64,
+        lr: float = 3e-3,
+        seed: int = 0,
+    ):
+        if not offsets:
+            raise ValueError("offsets must be non-empty")
+        self.offsets: Tuple[int, ...] = tuple(offsets)
+        self.n_classes = n_classes
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        layers = []
+        width = len(self.offsets)
+        for h in hidden:
+            layers.append(Dense(width, h, rng=rng))
+            layers.append(ReLU())
+            if dropout:
+                layers.append(Dropout(dropout, rng=rng))
+            width = h
+        layers.append(Dense(width, n_classes, rng=rng))
+        self.model = Sequential(layers)
+        self._rng = rng
+
+    def _project(self, x: np.ndarray) -> np.ndarray:
+        """Restrict a full-width feature matrix to the selected columns."""
+        if x.shape[1] == len(self.offsets):
+            return x
+        return x[:, list(self.offsets)]
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        validation: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    ) -> TrainHistory:
+        """Train on a full-width or pre-projected feature matrix."""
+        if validation is not None:
+            validation = (self._project(validation[0]), validation[1])
+        return self.model.fit(
+            self._project(x),
+            y,
+            epochs=self.epochs,
+            batch_size=self.batch_size,
+            optimizer=Adam(self.model.params(), lr=self.lr),
+            validation=validation,
+            patience=5 if validation is not None else 0,
+            rng=self._rng,
+        )
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.model.predict(self._project(x))
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        return self.model.predict_proba(self._project(x))
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        return float((self.predict(x) == y).mean())
+
+    def distill(
+        self,
+        x_bytes: np.ndarray,
+        *,
+        max_depth: int = 6,
+        min_samples_leaf: int = 5,
+        scale: float = 255.0,
+        snap_thresholds: bool = False,
+    ) -> DecisionTree:
+        """Fit a CART student that mimics this model on raw byte values.
+
+        Args:
+            x_bytes: ``(n, n_bytes)`` or ``(n, k)`` *unscaled* uint8 matrix
+                of packets to label with the teacher.
+            scale: divisor converting byte values into the model's input
+                units (255 when the extractor scales, 1 otherwise).
+
+        Returns:
+            The fitted student tree over the selected features, in the
+            order of ``self.offsets``.
+        """
+        selected = self._project(np.asarray(x_bytes))
+        teacher_labels = self.model.predict(selected.astype(np.float64) / scale)
+        tree = DecisionTree(
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            snap_thresholds=snap_thresholds,
+        )
+        tree.fit(selected.astype(np.int64), teacher_labels)
+        return tree
+
+    def fidelity(self, tree: DecisionTree, x_bytes: np.ndarray, *, scale: float = 255.0) -> float:
+        """Fraction of inputs where the student tree agrees with the teacher."""
+        selected = self._project(np.asarray(x_bytes))
+        teacher = self.model.predict(selected.astype(np.float64) / scale)
+        student = tree.predict(selected.astype(np.int64))
+        return float((teacher == student).mean())

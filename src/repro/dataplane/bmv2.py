@@ -1,0 +1,240 @@
+"""bmv2 JSON pipeline-configuration generation.
+
+The behavioural-model switch (bmv2) consumes a JSON pipeline configuration
+normally produced by ``p4c``.  This module emits that configuration
+directly from the learned deployment — headers for the byte window, a
+start-state parser, the ternary firewall table, and its runtime entries —
+so the artifact can be loaded into ``simple_switch`` without running the
+compiler.  Structure follows the public bmv2 JSON format (format
+``version [2, 18]``); tests validate the structural invariants this module
+guarantees rather than executing bmv2 (unavailable offline).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.rules import RuleSet
+
+__all__ = [
+    "generate_bmv2_config",
+    "bmv2_runtime_entries",
+    "simple_switch_cli_commands",
+]
+
+_ACTION_IDS = {"drop_packet": 0, "allow_packet": 1, "quarantine_packet": 2}
+
+
+def _window_header_type(window: int) -> Dict:
+    return {
+        "name": "window_t",
+        "id": 0,
+        "fields": [[f"b{i}", 8, False] for i in range(window)],
+    }
+
+
+def bmv2_runtime_entries(ruleset: RuleSet) -> List[Dict]:
+    """Runtime table entries in simple_switch_CLI-compatible structure."""
+    entries = []
+    for index, entry in enumerate(ruleset.to_ternary()):
+        action = f"{entry.action}_packet"
+        entries.append(
+            {
+                "table": "firewall",
+                "match_type": "ternary",
+                "match_key": [
+                    {"type": "ternary", "key": f"0x{v:02x}", "mask": f"0x{m:02x}"}
+                    for v, m in zip(entry.value, entry.mask)
+                ],
+                "action_name": action,
+                "action_data": [],
+                "priority": entry.priority,
+                "entry_id": index,
+            }
+        )
+    return entries
+
+
+def simple_switch_cli_commands(ruleset: RuleSet) -> List[str]:
+    """``simple_switch_CLI`` lines installing a rule set at runtime.
+
+    The interactive companion to :func:`generate_bmv2_config`: paste (or
+    pipe) these into ``simple_switch_CLI`` against a running bmv2 to load
+    the learned rules without recompiling.  Ternary keys use bmv2's
+    ``value&&&mask`` syntax; priorities are mandatory for ternary tables
+    (bmv2 treats *lower* numbers as higher priority, so rule priorities
+    are inverted into rank order here).
+    """
+    entries = ruleset.to_ternary()
+    # bmv2: lower number = matched first; our entries are already in
+    # match order after sorting by (-priority, insertion).
+    ordered = sorted(
+        range(len(entries)), key=lambda i: (-entries[i].priority, i)
+    )
+    lines = [
+        f"table_set_default firewall {ruleset.default_action}_packet"
+    ]
+    for rank, index in enumerate(ordered, start=1):
+        entry = entries[index]
+        key = " ".join(
+            f"0x{v:02x}&&&0x{m:02x}" for v, m in zip(entry.value, entry.mask)
+        )
+        lines.append(
+            f"table_add firewall {entry.action}_packet {key} => {rank}"
+        )
+    return lines
+
+
+def generate_bmv2_config(
+    offsets: Sequence[int],
+    *,
+    window: Optional[int] = None,
+    table_size: int = 4096,
+    ruleset: Optional[RuleSet] = None,
+) -> Dict:
+    """Build the bmv2 JSON pipeline configuration as a Python dict.
+
+    Args:
+        offsets: selected byte offsets (ternary key fields).
+        window: parsed byte window (default ``max(offsets) + 1``).
+        table_size: declared firewall capacity.
+        ruleset: when given, embed its expansion as table ``entries``.
+
+    Returns:
+        A JSON-serialisable dict (``json.dumps`` it to write a file).
+    """
+    offsets = list(offsets)
+    if not offsets:
+        raise ValueError("offsets must be non-empty")
+    window = window if window is not None else max(offsets) + 1
+    if window <= max(offsets):
+        raise ValueError(f"window {window} does not cover offset {max(offsets)}")
+
+    actions = [
+        {
+            "name": name,
+            "id": action_id,
+            "runtime_data": [],
+            "primitives": (
+                [{"op": "mark_to_drop", "parameters": []}]
+                if name == "drop_packet"
+                else [
+                    {
+                        "op": "assign",
+                        "parameters": [
+                            {"type": "field", "value": ["standard_metadata", "egress_spec"]},
+                            {"type": "hexstr", "value": "0x1fe"},
+                        ],
+                    }
+                ]
+                if name == "quarantine_packet"
+                else []
+            ),
+        }
+        for name, action_id in _ACTION_IDS.items()
+    ]
+
+    table: Dict = {
+        "name": "firewall",
+        "id": 0,
+        "match_type": "ternary",
+        "type": "simple",
+        "max_size": table_size,
+        "with_counters": True,
+        "key": [
+            {
+                "match_type": "ternary",
+                "name": f"hdr.window.b{o}",
+                "target": ["window", f"b{o}"],
+                "mask": None,
+            }
+            for o in offsets
+        ],
+        "actions": list(_ACTION_IDS),
+        "action_ids": list(_ACTION_IDS.values()),
+        "default_entry": {
+            "action_id": _ACTION_IDS["allow_packet"],
+            "action_const": False,
+            "action_data": [],
+            "action_entry_const": False,
+        },
+    }
+    if ruleset is not None:
+        table["entries"] = bmv2_runtime_entries(ruleset)
+        table["default_entry"]["action_id"] = _ACTION_IDS[
+            f"{ruleset.default_action}_packet"
+        ]
+
+    return {
+        "program": "learned_gateway.p4",
+        "__meta__": {
+            "version": [2, 18],
+            "compiler": "repro.dataplane.bmv2",
+        },
+        "header_types": [_window_header_type(window)],
+        "headers": [
+            {
+                "name": "window",
+                "id": 0,
+                "header_type": "window_t",
+                "metadata": False,
+                "pi_omit": True,
+            }
+        ],
+        "parsers": [
+            {
+                "name": "parser",
+                "id": 0,
+                "init_state": "start",
+                "parse_states": [
+                    {
+                        "name": "start",
+                        "id": 0,
+                        "parser_ops": [
+                            {
+                                "parameters": [
+                                    {"type": "regular", "value": "window"}
+                                ],
+                                "op": "extract",
+                            }
+                        ],
+                        "transitions": [
+                            {"type": "default", "value": None, "mask": None,
+                             "next_state": None}
+                        ],
+                        "transition_key": [],
+                    }
+                ],
+            }
+        ],
+        "deparsers": [
+            {"name": "deparser", "id": 0, "order": ["window"]}
+        ],
+        "actions": actions,
+        "pipelines": [
+            {
+                "name": "ingress",
+                "id": 0,
+                "init_table": "firewall",
+                "tables": [table],
+                "conditionals": [],
+            },
+            {
+                "name": "egress",
+                "id": 1,
+                "init_table": None,
+                "tables": [],
+                "conditionals": [],
+            },
+        ],
+        "checksums": [],
+        "errors": [],
+        "enums": [],
+        "register_arrays": [],
+        "counter_arrays": [],
+        "meter_arrays": [],
+        "learn_lists": [],
+        "extern_instances": [],
+        "field_lists": [],
+    }

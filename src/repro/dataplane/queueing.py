@@ -1,0 +1,132 @@
+"""Egress queueing model: what the firewall buys the LAN behind it.
+
+A gateway's uplink to the constrained IoT LAN has finite service capacity;
+attack floods that are *not* dropped at ingress occupy that queue and delay
+(or tail-drop) benign traffic.  This module implements the standard
+fluid/event model — single FIFO queue, deterministic per-byte service
+rate, finite buffer — so the E14 benchmark can quantify benign-traffic
+latency and loss with and without the learned firewall at ingress.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.packet import Packet
+
+__all__ = ["EgressQueue", "QueueResult", "simulate_queue"]
+
+
+@dataclasses.dataclass
+class QueueResult:
+    """Per-trace queueing outcome.
+
+    Attributes:
+        delays: per-forwarded-packet queueing delay in seconds (aligned
+            with ``forwarded_index``).
+        forwarded_index: indices (into the input trace) of packets that
+            made it through the queue.
+        tail_dropped_index: indices of packets lost to buffer overflow.
+        ingress_dropped_index: indices dropped by the firewall before the
+            queue (empty when no firewall is attached).
+    """
+
+    delays: np.ndarray
+    forwarded_index: np.ndarray
+    tail_dropped_index: np.ndarray
+    ingress_dropped_index: np.ndarray
+
+    def mean_delay(self) -> float:
+        return float(self.delays.mean()) if self.delays.size else 0.0
+
+    def p99_delay(self) -> float:
+        if not self.delays.size:
+            return 0.0
+        return float(np.percentile(self.delays, 99))
+
+    def loss_rate(self) -> float:
+        total = (
+            self.forwarded_index.size
+            + self.tail_dropped_index.size
+        )
+        return self.tail_dropped_index.size / total if total else 0.0
+
+
+class EgressQueue:
+    """Single FIFO egress queue with byte-rate service and finite buffer.
+
+    Args:
+        rate_bytes_per_s: service capacity.
+        buffer_bytes: maximum queued bytes; arrivals beyond are tail-dropped.
+    """
+
+    def __init__(self, rate_bytes_per_s: float, buffer_bytes: int = 64 * 1024):
+        if rate_bytes_per_s <= 0:
+            raise ValueError("service rate must be positive")
+        if buffer_bytes <= 0:
+            raise ValueError("buffer must be positive")
+        self.rate = rate_bytes_per_s
+        self.buffer_bytes = buffer_bytes
+
+    def run(
+        self,
+        packets: Sequence[Packet],
+        *,
+        admit: Optional[Callable[[Packet], bool]] = None,
+    ) -> QueueResult:
+        """Run the trace through the queue (packets must be time-sorted).
+
+        Args:
+            admit: optional ingress filter; packets for which it returns
+                False are counted as ingress drops and never enqueue
+                (this is where the learned firewall plugs in).
+        """
+        times = [p.timestamp for p in packets]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise ValueError("packets must be sorted by timestamp")
+        delays: List[float] = []
+        forwarded: List[int] = []
+        tail_dropped: List[int] = []
+        ingress_dropped: List[int] = []
+        # State: when the server frees up, and queued bytes at that moment.
+        busy_until = 0.0
+        queued_bytes = 0.0
+        last_time = 0.0
+        for index, packet in enumerate(packets):
+            now = packet.timestamp
+            # Drain the queue for the elapsed time.
+            drained = (now - last_time) * self.rate
+            queued_bytes = max(0.0, queued_bytes - drained)
+            last_time = now
+            if admit is not None and not admit(packet):
+                ingress_dropped.append(index)
+                continue
+            size = len(packet.data)
+            if queued_bytes + size > self.buffer_bytes:
+                tail_dropped.append(index)
+                continue
+            queued_bytes += size
+            # Delay = time to transmit everything ahead of us + ourselves.
+            delays.append(queued_bytes / self.rate)
+            forwarded.append(index)
+        return QueueResult(
+            delays=np.array(delays),
+            forwarded_index=np.array(forwarded, dtype=int),
+            tail_dropped_index=np.array(tail_dropped, dtype=int),
+            ingress_dropped_index=np.array(ingress_dropped, dtype=int),
+        )
+
+
+def simulate_queue(
+    packets: Sequence[Packet],
+    *,
+    rate_bytes_per_s: float,
+    buffer_bytes: int = 64 * 1024,
+    admit: Optional[Callable[[Packet], bool]] = None,
+) -> QueueResult:
+    """One-shot convenience wrapper around :class:`EgressQueue`."""
+    queue = EgressQueue(rate_bytes_per_s, buffer_bytes)
+    return queue.run(packets, admit=admit)

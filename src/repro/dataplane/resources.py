@@ -1,0 +1,75 @@
+"""Data-plane resource accounting.
+
+Compares what different firewall strategies cost on switch hardware, in the
+units the paper's efficiency claim is about: match key width, table entries,
+and TCAM/SRAM bits.  Used by the E5 benchmark.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Sequence
+
+from repro.core.rules import RuleSet
+
+__all__ = ["ResourceEstimate", "estimate_ruleset", "estimate_exact_table", "FIVE_TUPLE_BITS"]
+
+#: Classic firewall key: src/dst IPv4 + src/dst port + protocol.
+FIVE_TUPLE_BITS = 32 + 32 + 16 + 16 + 8
+
+
+@dataclasses.dataclass(frozen=True)
+class ResourceEstimate:
+    """Hardware cost of one table strategy."""
+
+    strategy: str
+    entries: int
+    key_bits: int
+    tcam_bits: int
+    sram_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        return self.tcam_bits + self.sram_bits
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "entries": self.entries,
+            "key_bits": self.key_bits,
+            "tcam_bits": self.tcam_bits,
+            "sram_bits": self.sram_bits,
+            "total_bits": self.total_bits,
+        }
+
+
+#: SRAM overhead per entry (action id + counter), a typical ASIC figure.
+_ACTION_SRAM_BITS = 8 + 64
+
+
+def estimate_ruleset(ruleset: RuleSet, *, strategy: str = "two-stage") -> ResourceEstimate:
+    """Cost of the learned rule set in a ternary table."""
+    report = ruleset.resource_report()
+    entries = report["ternary_entries"]
+    key_bits = report["match_width_bits"]
+    return ResourceEstimate(
+        strategy=strategy,
+        entries=entries,
+        key_bits=key_bits,
+        tcam_bits=2 * key_bits * entries,
+        sram_bits=_ACTION_SRAM_BITS * entries,
+    )
+
+
+def estimate_exact_table(
+    n_entries: int, key_bits: int, *, strategy: str
+) -> ResourceEstimate:
+    """Cost of an exact-match (SRAM hash) table with ``n_entries``."""
+    return ResourceEstimate(
+        strategy=strategy,
+        entries=n_entries,
+        key_bits=key_bits,
+        tcam_bits=0,
+        # hash tables typically provision ~1.25x for load factor
+        sram_bits=int(1.25 * n_entries * (key_bits + _ACTION_SRAM_BITS)),
+    )

@@ -1,0 +1,182 @@
+"""Behavioural-model software switch (bmv2-style).
+
+The switch models the pieces of a P4 target the evaluation needs:
+
+* a **parser** configured with byte offsets (the P4 program slices the same
+  offsets out of the packet; bytes past the end of a short packet read 0,
+  matching the zero-initialised header convention),
+* an **ingress pipeline** of match-action tables applied in order until a
+  terminal action (``drop`` / ``allow``) decides the packet,
+* **registers** (named integer arrays, as in P4 ``register<>``),
+* port and drop **statistics**.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.net.packet import Packet
+from repro.dataplane.tables import (
+    ExactTable,
+    LpmTable,
+    MatchResult,
+    RangeTable,
+    TernaryTable,
+)
+
+__all__ = ["SwitchConfig", "Switch", "Verdict", "Register"]
+
+AnyTable = Union[ExactTable, TernaryTable, RangeTable, LpmTable]
+
+#: Actions with pipeline-terminating semantics.  ``quarantine`` forwards to
+#: a dedicated inspection port instead of the normal egress.
+TERMINAL_ACTIONS = ("drop", "allow", "quarantine")
+
+
+@dataclasses.dataclass
+class SwitchConfig:
+    """Static switch configuration.
+
+    Attributes:
+        key_offsets: byte offsets the parser extracts, in key order
+            (identical to the rule set's offsets).
+        pipeline_depth: maximum tables in the ingress pipeline.
+    """
+
+    key_offsets: Tuple[int, ...]
+    pipeline_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.key_offsets:
+            raise ValueError("key_offsets must be non-empty")
+        if len(set(self.key_offsets)) != len(self.key_offsets):
+            raise ValueError("key_offsets must be unique")
+
+
+@dataclasses.dataclass(frozen=True)
+class Verdict:
+    """Per-packet pipeline outcome."""
+
+    action: str
+    table: Optional[str] = None
+    entry_id: Optional[int] = None
+
+    @property
+    def dropped(self) -> bool:
+        return self.action == "drop"
+
+
+class Register:
+    """A named integer array, as in P4 ``register<bit<64>>(size)``."""
+
+    def __init__(self, name: str, size: int):
+        if size < 1:
+            raise ValueError("register size must be >= 1")
+        self.name = name
+        self._cells = [0] * size
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def read(self, index: int) -> int:
+        return self._cells[index]
+
+    def write(self, index: int, value: int) -> None:
+        self._cells[index] = int(value)
+
+    def increment(self, index: int, delta: int = 1) -> int:
+        self._cells[index] += delta
+        return self._cells[index]
+
+
+@dataclasses.dataclass
+class SwitchStats:
+    """Aggregate packet statistics."""
+
+    received: int = 0
+    dropped: int = 0
+    allowed: int = 0
+    quarantined: int = 0
+    bytes_received: int = 0
+    bytes_dropped: int = 0
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.received if self.received else 0.0
+
+
+class Switch:
+    """A P4-style gateway switch: parser → ingress tables → verdict."""
+
+    def __init__(self, config: SwitchConfig):
+        self.config = config
+        self._pipeline: List[AnyTable] = []
+        self._registers: Dict[str, Register] = {}
+        self.stats = SwitchStats()
+
+    # -- configuration -----------------------------------------------------
+
+    def add_table(self, table: AnyTable) -> None:
+        """Append a table to the ingress pipeline."""
+        if len(self._pipeline) >= self.config.pipeline_depth:
+            raise RuntimeError(
+                f"pipeline depth {self.config.pipeline_depth} exceeded"
+            )
+        if table.key_width != len(self.config.key_offsets):
+            raise ValueError(
+                f"table {table.name!r} key width {table.key_width} != "
+                f"parser width {len(self.config.key_offsets)}"
+            )
+        self._pipeline.append(table)
+
+    def table(self, name: str) -> AnyTable:
+        """Look up a pipeline table by name."""
+        for table in self._pipeline:
+            if table.name == name:
+                return table
+        raise KeyError(f"no table {name!r}")
+
+    @property
+    def tables(self) -> List[AnyTable]:
+        return list(self._pipeline)
+
+    def register(self, name: str, size: int = 1) -> Register:
+        """Get or create a named register array."""
+        if name not in self._registers:
+            self._registers[name] = Register(name, size)
+        return self._registers[name]
+
+    # -- data path -----------------------------------------------------------
+
+    def parse_key(self, packet: Packet) -> Tuple[int, ...]:
+        """Extract the match key (the P4 parser's job)."""
+        return packet.bytes_at(self.config.key_offsets)
+
+    def process(self, packet: Packet) -> Verdict:
+        """Run one packet through the pipeline and update statistics."""
+        self.stats.received += 1
+        self.stats.bytes_received += len(packet.data)
+        key = self.parse_key(packet)
+        verdict = Verdict("allow")
+        for table in self._pipeline:
+            result: MatchResult = table.lookup(key, packet_size=len(packet.data))
+            action = result.action
+            if action in TERMINAL_ACTIONS:
+                verdict = Verdict(action, table=table.name, entry_id=result.entry_id)
+                break
+        if verdict.dropped:
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += len(packet.data)
+        elif verdict.action == "quarantine":
+            self.stats.quarantined += 1
+        else:
+            self.stats.allowed += 1
+        return verdict
+
+    def process_trace(self, packets: Sequence[Packet]) -> List[Verdict]:
+        """Process a whole trace; returns per-packet verdicts in order."""
+        return [self.process(packet) for packet in packets]
+
+    def reset_stats(self) -> None:
+        self.stats = SwitchStats()

@@ -1,0 +1,349 @@
+"""Match-action tables with P4 semantics.
+
+Each table matches a fixed-width key (a tuple of bytes extracted by the
+switch parser) and returns an action name.  Faithful to hardware behaviour
+where it matters for the evaluation:
+
+* **capacity limits** — inserting beyond ``max_entries`` raises
+  :class:`TableFullError` (the E5 resource experiment relies on this),
+* **priorities** — ternary/range overlap resolved by explicit priority,
+  ties by earlier insertion (the P4Runtime convention),
+* **per-entry hit counters** — direct counters as in P4 ``direct_counter``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TableFullError",
+    "EntryExistsError",
+    "MatchResult",
+    "ExactTable",
+    "TernaryTable",
+    "RangeTable",
+    "LpmTable",
+]
+
+
+class TableFullError(RuntimeError):
+    """Raised when a table has no free entries."""
+
+
+class EntryExistsError(ValueError):
+    """Raised when adding a duplicate exact/LPM key."""
+
+
+@dataclasses.dataclass
+class MatchResult:
+    """Outcome of a table lookup."""
+
+    hit: bool
+    action: str
+    entry_id: Optional[int] = None
+    priority: int = 0
+
+
+@dataclasses.dataclass
+class _Counter:
+    packets: int = 0
+    bytes: int = 0
+
+    def bump(self, size: int) -> None:
+        self.packets += 1
+        self.bytes += size
+
+
+class _BaseTable:
+    """Shared bookkeeping: capacity, default action, counters."""
+
+    def __init__(
+        self,
+        name: str,
+        key_width: int,
+        *,
+        max_entries: int = 1024,
+        default_action: str = "allow",
+    ):
+        if key_width < 1:
+            raise ValueError("key_width must be >= 1")
+        if max_entries < 1:
+            raise ValueError("max_entries must be >= 1")
+        self.name = name
+        self.key_width = key_width
+        self.max_entries = max_entries
+        self.default_action = default_action
+        self.counters: Dict[int, _Counter] = {}
+        self.default_counter = _Counter()
+        self._next_id = 0
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def free_entries(self) -> int:
+        return self.max_entries - len(self)
+
+    def _allocate_id(self) -> int:
+        if len(self) >= self.max_entries:
+            raise TableFullError(
+                f"table {self.name!r} is full ({self.max_entries} entries)"
+            )
+        self._next_id += 1
+        self.counters[self._next_id] = _Counter()
+        return self._next_id
+
+    def _check_key(self, key: Sequence[int]) -> Tuple[int, ...]:
+        key = tuple(int(b) for b in key)
+        if len(key) != self.key_width:
+            raise ValueError(
+                f"table {self.name!r}: key width {len(key)} != {self.key_width}"
+            )
+        if any(not 0 <= b <= 255 for b in key):
+            raise ValueError("key bytes must be in [0, 255]")
+        return key
+
+    def _count(self, result: MatchResult, packet_size: int) -> None:
+        if result.hit and result.entry_id is not None:
+            self.counters[result.entry_id].bump(packet_size)
+        else:
+            self.default_counter.bump(packet_size)
+
+    def hit_count(self, entry_id: int) -> int:
+        """Packets that hit ``entry_id`` so far."""
+        return self.counters[entry_id].packets
+
+
+class ExactTable(_BaseTable):
+    """Exact match on the whole key (hash-table in hardware)."""
+
+    def __init__(self, name: str, key_width: int, **kwargs):
+        super().__init__(name, key_width, **kwargs)
+        self._entries: Dict[Tuple[int, ...], Tuple[int, str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, key: Sequence[int], action: str) -> int:
+        key = self._check_key(key)
+        if key in self._entries:
+            raise EntryExistsError(f"duplicate exact key {key}")
+        entry_id = self._allocate_id()
+        self._entries[key] = (entry_id, action)
+        return entry_id
+
+    def remove(self, entry_id: int) -> None:
+        for key, (eid, __) in list(self._entries.items()):
+            if eid == entry_id:
+                del self._entries[key]
+                del self.counters[entry_id]
+                return
+        raise KeyError(f"no entry {entry_id}")
+
+    def lookup(self, key: Sequence[int], packet_size: int = 0) -> MatchResult:
+        key = self._check_key(key)
+        found = self._entries.get(key)
+        if found is None:
+            result = MatchResult(False, self.default_action)
+        else:
+            result = MatchResult(True, found[1], entry_id=found[0])
+        self._count(result, packet_size)
+        return result
+
+
+@dataclasses.dataclass
+class _TernaryEntryRecord:
+    entry_id: int
+    value: Tuple[int, ...]
+    mask: Tuple[int, ...]
+    priority: int
+    action: str
+    order: int  # insertion order, used as the tie-break
+
+
+class TernaryTable(_BaseTable):
+    """TCAM-style value/mask match with priorities."""
+
+    def __init__(self, name: str, key_width: int, **kwargs):
+        super().__init__(name, key_width, **kwargs)
+        self._entries: List[_TernaryEntryRecord] = []
+        self._order = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(
+        self,
+        value: Sequence[int],
+        mask: Sequence[int],
+        action: str,
+        *,
+        priority: int = 0,
+    ) -> int:
+        value = self._check_key(value)
+        mask = self._check_key(mask)
+        entry_id = self._allocate_id()
+        self._order += 1
+        record = _TernaryEntryRecord(
+            entry_id, value, mask, priority, action, self._order
+        )
+        self._entries.append(record)
+        # Keep sorted: higher priority first, then earlier insertion.
+        self._entries.sort(key=lambda e: (-e.priority, e.order))
+        return entry_id
+
+    def remove(self, entry_id: int) -> None:
+        for index, record in enumerate(self._entries):
+            if record.entry_id == entry_id:
+                del self._entries[index]
+                del self.counters[entry_id]
+                return
+        raise KeyError(f"no entry {entry_id}")
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.counters.clear()
+
+    def lookup(self, key: Sequence[int], packet_size: int = 0) -> MatchResult:
+        key = self._check_key(key)
+        for record in self._entries:
+            if all(
+                (k & m) == (v & m)
+                for k, v, m in zip(key, record.value, record.mask)
+            ):
+                result = MatchResult(
+                    True, record.action, entry_id=record.entry_id,
+                    priority=record.priority,
+                )
+                self._count(result, packet_size)
+                return result
+        result = MatchResult(False, self.default_action)
+        self._count(result, packet_size)
+        return result
+
+    def entries(self) -> List[_TernaryEntryRecord]:
+        """Current entries in match order (for inspection/tests)."""
+        return list(self._entries)
+
+    def tcam_bits(self) -> int:
+        """TCAM cost: 2 × key bits × entries (value and mask both stored)."""
+        return 2 * 8 * self.key_width * len(self._entries)
+
+
+@dataclasses.dataclass
+class _RangeEntryRecord:
+    entry_id: int
+    ranges: Tuple[Tuple[int, int], ...]
+    priority: int
+    action: str
+    order: int
+
+
+class RangeTable(_BaseTable):
+    """Per-byte range match with priorities (Tofino range match units)."""
+
+    def __init__(self, name: str, key_width: int, **kwargs):
+        super().__init__(name, key_width, **kwargs)
+        self._entries: List[_RangeEntryRecord] = []
+        self._order = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(
+        self,
+        ranges: Sequence[Tuple[int, int]],
+        action: str,
+        *,
+        priority: int = 0,
+    ) -> int:
+        if len(ranges) != self.key_width:
+            raise ValueError(
+                f"table {self.name!r}: {len(ranges)} ranges != width {self.key_width}"
+            )
+        for lo, hi in ranges:
+            if not 0 <= lo <= hi <= 255:
+                raise ValueError(f"invalid byte range [{lo}, {hi}]")
+        entry_id = self._allocate_id()
+        self._order += 1
+        self._entries.append(
+            _RangeEntryRecord(
+                entry_id, tuple((int(l), int(h)) for l, h in ranges),
+                priority, action, self._order,
+            )
+        )
+        self._entries.sort(key=lambda e: (-e.priority, e.order))
+        return entry_id
+
+    def remove(self, entry_id: int) -> None:
+        for index, record in enumerate(self._entries):
+            if record.entry_id == entry_id:
+                del self._entries[index]
+                del self.counters[entry_id]
+                return
+        raise KeyError(f"no entry {entry_id}")
+
+    def lookup(self, key: Sequence[int], packet_size: int = 0) -> MatchResult:
+        key = self._check_key(key)
+        for record in self._entries:
+            if all(lo <= k <= hi for k, (lo, hi) in zip(key, record.ranges)):
+                result = MatchResult(
+                    True, record.action, entry_id=record.entry_id,
+                    priority=record.priority,
+                )
+                self._count(result, packet_size)
+                return result
+        result = MatchResult(False, self.default_action)
+        self._count(result, packet_size)
+        return result
+
+
+class LpmTable(_BaseTable):
+    """Longest-prefix match over the concatenated key bits."""
+
+    def __init__(self, name: str, key_width: int, **kwargs):
+        super().__init__(name, key_width, **kwargs)
+        # prefix_len -> {prefix_bits_int: (entry_id, action)}
+        self._by_length: Dict[int, Dict[int, Tuple[int, str]]] = {}
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_length.values())
+
+    def add(self, key: Sequence[int], prefix_len: int, action: str) -> int:
+        key = self._check_key(key)
+        total_bits = 8 * self.key_width
+        if not 0 <= prefix_len <= total_bits:
+            raise ValueError(f"prefix_len {prefix_len} out of [0, {total_bits}]")
+        value = int.from_bytes(bytes(key), "big") >> (total_bits - prefix_len) if prefix_len else 0
+        bucket = self._by_length.setdefault(prefix_len, {})
+        if value in bucket:
+            raise EntryExistsError(f"duplicate prefix {value}/{prefix_len}")
+        entry_id = self._allocate_id()
+        bucket[value] = (entry_id, action)
+        return entry_id
+
+    def remove(self, entry_id: int) -> None:
+        for bucket in self._by_length.values():
+            for value, (eid, __) in list(bucket.items()):
+                if eid == entry_id:
+                    del bucket[value]
+                    del self.counters[entry_id]
+                    return
+        raise KeyError(f"no entry {entry_id}")
+
+    def lookup(self, key: Sequence[int], packet_size: int = 0) -> MatchResult:
+        key = self._check_key(key)
+        total_bits = 8 * self.key_width
+        key_int = int.from_bytes(bytes(key), "big")
+        for prefix_len in sorted(self._by_length, reverse=True):
+            bucket = self._by_length[prefix_len]
+            value = key_int >> (total_bits - prefix_len) if prefix_len else 0
+            found = bucket.get(value)
+            if found is not None:
+                result = MatchResult(True, found[1], entry_id=found[0])
+                self._count(result, packet_size)
+                return result
+        result = MatchResult(False, self.default_action)
+        self._count(result, packet_size)
+        return result

@@ -1,0 +1,26 @@
+"""Synthetic labelled IoT traces and feature extraction.
+
+Stands in for the paper's real gateway captures (see the substitution table
+in ``DESIGN.md``): seeded generators emit byte-exact packets from benign
+device behaviour models and eight attack families over three protocol
+stacks (Ethernet/IP, Zigbee-like, BLE-like).
+"""
+
+from repro.datasets.features import FeatureExtractor, LabelEncoder
+from repro.datasets.generator import (
+    Dataset,
+    TraceConfig,
+    generate_trace,
+    make_dataset,
+    standard_suite,
+)
+
+__all__ = [
+    "FeatureExtractor",
+    "LabelEncoder",
+    "TraceConfig",
+    "Dataset",
+    "generate_trace",
+    "make_dataset",
+    "standard_suite",
+]

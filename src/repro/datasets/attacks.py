@@ -1,0 +1,516 @@
+"""Attack traffic generators — eight families across three stacks.
+
+Each generator models a *hacked IoT device or external attacker* and emits
+labelled packets.  The families were chosen to cover the attack surface the
+paper's introduction motivates (hacked devices infecting the network) and to
+have distinguishable — but not single-byte-trivial — byte-level structure:
+
+======================  =====  ==========================================
+family                  stack  signal
+======================  =====  ==========================================
+``syn_flood``           inet   spoofed sources, random TTL, tiny window
+``udp_flood``           inet   random high ports, junk payload, random TTL
+``port_scan``           inet   one source sweeping destination ports
+``mirai_telnet``        inet   telnet brute force with credential payloads
+``mqtt_connect_flood``  inet   CONNECT storms with random client ids
+``coap_amplification``  coap   spoofed-source NON GETs with block options
+``zigbee_storm``        zigbee broadcast on/off commands, max radius
+``ble_spoof``           ble    writes to protected handles, bad opcodes
+======================  =====  ==========================================
+
+Benign traffic from :mod:`repro.datasets.devices` also contains SYNs, UDP,
+CONNECTs, broadcasts — so detection requires *combinations* of header bytes,
+which is exactly the regime the two-stage method targets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.datasets import devices
+from repro.net.packet import Packet
+from repro.net.protocols import ble, coap, dns, inet, modbus, mqtt, zigbee
+
+__all__ = [
+    "AttackModel",
+    "SynFlood",
+    "UdpFlood",
+    "PortScan",
+    "MiraiTelnet",
+    "MqttConnectFlood",
+    "CoapAmplification",
+    "Ipv6CoapFlood",
+    "IcmpFlood",
+    "ArpSpoof",
+    "ModbusWriteStorm",
+    "ZigbeeStorm",
+    "BleSpoof",
+    "INET_ATTACKS",
+    "INET_ATTACKS_EXTENDED",
+    "INDUSTRIAL_ATTACKS",
+    "ZIGBEE_ATTACKS",
+    "BLE_ATTACKS",
+]
+
+# Real Mirai dictionary entries (public knowledge, used for realism).
+MIRAI_CREDENTIALS = [
+    b"root:xc3511",
+    b"root:vizxv",
+    b"admin:admin",
+    b"root:888888",
+    b"root:default",
+    b"support:support",
+    b"user:user",
+    b"root:54321",
+]
+
+
+def _random_mac(rng: np.random.Generator) -> str:
+    return "06:" + ":".join(f"{int(b):02x}" for b in rng.integers(0, 256, size=5))
+
+
+def _spoofed_ip(rng: np.random.Generator) -> str:
+    """Random routable-looking source, outside the benign 192.168.1.0/24."""
+    return (
+        f"{int(rng.integers(11, 223))}.{int(rng.integers(0, 256))}."
+        f"{int(rng.integers(0, 256))}.{int(rng.integers(1, 255))}"
+    )
+
+
+def _compromised(rng: np.random.Generator) -> tuple:
+    """(mac, ip) of a hacked device inside the benign LAN pool.
+
+    Attacks launched from compromised devices carry *legitimate* link and
+    network addresses, so source address alone cannot separate them — the
+    detector must look at transport/application bytes.
+    """
+    index = int(rng.integers(0, 16))
+    return devices.device_mac(index), devices.device_ip(index)
+
+
+class AttackModel:
+    """Base attack generator."""
+
+    #: label category; subclasses override.
+    category = "attack"
+
+    def __init__(self, index: int = 0, *, rate: float = 12.0):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.index = index
+        self.rate = rate
+        self.name = f"{self.category}-{index}"
+
+    def generate(
+        self, rng: np.random.Generator, start: float, duration: float
+    ) -> Iterator[Packet]:
+        raise NotImplementedError
+
+    def _label(self, data: bytes, timestamp: float) -> Packet:
+        return Packet(data=data, timestamp=timestamp).with_label(
+            self.category, self.name
+        )
+
+    def _times(
+        self, rng: np.random.Generator, start: float, duration: float
+    ) -> Iterator[float]:
+        """Poisson arrivals at ``self.rate`` packets/second."""
+        t = start + float(rng.exponential(1.0 / self.rate))
+        end = start + duration
+        while t < end:
+            yield t
+            t += float(rng.exponential(1.0 / self.rate))
+
+
+class SynFlood(AttackModel):
+    """TCP SYN flood against the gateway from spoofed sources."""
+
+    category = "syn_flood"
+
+    def __init__(self, index: int = 0, *, rate: float = 20.0, dst_port: int = 1883):
+        super().__init__(index, rate=rate)
+        self.dst_port = dst_port
+
+    def generate(self, rng, start, duration):
+        for t in self._times(rng, start, duration):
+            yield self._label(
+                inet.build_tcp_packet(
+                    _random_mac(rng),
+                    devices.GATEWAY_MAC,
+                    _spoofed_ip(rng),
+                    devices.GATEWAY_IP,
+                    int(rng.integers(1024, 65535)),
+                    self.dst_port,
+                    seq=int(rng.integers(0, 2**32)),
+                    flags=inet.TCP_SYN,
+                    window=int(rng.integers(1, 1024)),  # tiny windows
+                    ttl=int(rng.integers(30, 255)),
+                ),
+                t,
+            )
+
+
+class UdpFlood(AttackModel):
+    """Volumetric UDP junk toward random high ports on the gateway."""
+
+    category = "udp_flood"
+
+    def generate(self, rng, start, duration):
+        for t in self._times(rng, start, duration):
+            size = int(rng.integers(64, 512))
+            yield self._label(
+                inet.build_udp_packet(
+                    _random_mac(rng),
+                    devices.GATEWAY_MAC,
+                    _spoofed_ip(rng),
+                    devices.GATEWAY_IP,
+                    int(rng.integers(1024, 65535)),
+                    int(rng.integers(10000, 65535)),
+                    ttl=int(rng.integers(30, 255)),
+                    payload=bytes(rng.integers(0, 256, size=size, dtype=np.uint8)),
+                ),
+                t,
+            )
+
+
+class PortScan(AttackModel):
+    """One compromised LAN host sweeping gateway ports with SYNs."""
+
+    category = "port_scan"
+
+    def __init__(self, index: int = 0, *, rate: float = 15.0):
+        super().__init__(index, rate=rate)
+        self.mac = devices.device_mac(200 + index)
+        self.ip = devices.device_ip(200 + index)
+        self._port = 1
+
+    def generate(self, rng, start, duration):
+        for t in self._times(rng, start, duration):
+            self._port = self._port % 10000 + 1
+            yield self._label(
+                inet.build_tcp_packet(
+                    self.mac,
+                    devices.GATEWAY_MAC,
+                    self.ip,
+                    devices.GATEWAY_IP,
+                    int(rng.integers(40000, 65535)),
+                    self._port,
+                    seq=int(rng.integers(0, 2**32)),
+                    flags=inet.TCP_SYN,
+                    window=1024,
+                    ttl=64,
+                ),
+                t,
+            )
+
+
+class MiraiTelnet(AttackModel):
+    """Mirai-style telnet credential brute force from infected devices."""
+
+    category = "mirai_telnet"
+
+    def __init__(self, index: int = 0, *, rate: float = 12.0):
+        super().__init__(index, rate=rate)
+
+    def generate(self, rng, start, duration):
+        for t in self._times(rng, start, duration):
+            victim_port = 23 if rng.random() < 0.8 else 2323
+            credential = MIRAI_CREDENTIALS[int(rng.integers(0, len(MIRAI_CREDENTIALS)))]
+            mac, ip = _compromised(rng)
+            yield self._label(
+                inet.build_tcp_packet(
+                    mac,
+                    devices.GATEWAY_MAC,
+                    ip,
+                    devices.GATEWAY_IP,
+                    int(rng.integers(1024, 65535)),
+                    victim_port,
+                    seq=int(rng.integers(0, 2**32)),
+                    ack=int(rng.integers(0, 2**32)),
+                    flags=inet.TCP_PSH | inet.TCP_ACK,
+                    ttl=64,
+                    payload=credential + b"\r\n",
+                ),
+                t,
+            )
+
+
+class MqttConnectFlood(AttackModel):
+    """Broker resource exhaustion: CONNECT storms, random client ids."""
+
+    category = "mqtt_connect_flood"
+
+    def generate(self, rng, start, duration):
+        for t in self._times(rng, start, duration):
+            client_id = "".join(
+                chr(int(c)) for c in rng.integers(97, 123, size=16)
+            )
+            connect = mqtt.build_connect(client_id, keep_alive=0, clean_session=False)
+            mac, ip = _compromised(rng)
+            yield self._label(
+                inet.build_tcp_packet(
+                    mac,
+                    devices.GATEWAY_MAC,
+                    ip,
+                    devices.GATEWAY_IP,
+                    int(rng.integers(1024, 65535)),
+                    mqtt.MQTT_PORT,
+                    seq=int(rng.integers(0, 2**32)),
+                    ack=int(rng.integers(0, 2**32)),
+                    flags=inet.TCP_PSH | inet.TCP_ACK,
+                    ttl=64,
+                    payload=connect,
+                ),
+                t,
+            )
+
+
+class CoapAmplification(AttackModel):
+    """Spoofed-source CoAP NON GETs requesting large blocks (amplification)."""
+
+    category = "coap_amplification"
+
+    def generate(self, rng, start, duration):
+        for t in self._times(rng, start, duration):
+            request = coap.build_message(
+                msg_type=coap.NON,
+                code=coap.GET,
+                message_id=int(rng.integers(0, 0xFFFF)),
+                token=bytes(rng.integers(0, 256, size=2, dtype=np.uint8)),
+                options=[
+                    (coap.OPTION_URI_PATH, b".well-known"),
+                    (coap.OPTION_URI_PATH, b"core"),
+                    (coap.OPTION_BLOCK2, b"\x06"),  # ask for 1024-byte blocks
+                ],
+            )
+            yield self._label(
+                inet.build_udp_packet(
+                    _random_mac(rng),
+                    devices.GATEWAY_MAC,
+                    _spoofed_ip(rng),  # spoofed victim address
+                    devices.GATEWAY_IP,
+                    int(rng.integers(1024, 65535)),
+                    coap.COAP_PORT,
+                    ttl=int(rng.integers(30, 255)),
+                    payload=request,
+                ),
+                t,
+            )
+
+
+class Ipv6CoapFlood(AttackModel):
+    """Resource-exhaustion flood of CoAP CONs over IPv6 from spoofed ULAs.
+
+    Every CON requires server state (retransmission tracking), so a CON
+    storm with random tokens from rotating source addresses exhausts a
+    border router — the Thread-network counterpart of the MQTT flood.
+    """
+
+    category = "ipv6_coap_flood"
+
+    def __init__(self, index: int = 0, *, rate: float = 15.0):
+        super().__init__(index, rate=rate)
+
+    def generate(self, rng, start, duration):
+        from repro.datasets.devices import ThreadSensor
+
+        for t in self._times(rng, start, duration):
+            spoofed = f"fd00::{int(rng.integers(0x100, 0xFFFF)):x}"
+            request = coap.build_message(
+                msg_type=coap.CON,
+                code=coap.POST,
+                message_id=int(rng.integers(0, 0xFFFF)),
+                token=bytes(rng.integers(0, 256, size=8, dtype=np.uint8)),
+                options=[(coap.OPTION_URI_PATH, b"telemetry")],
+                payload=bytes(rng.integers(0, 256, size=int(rng.integers(40, 120)), dtype=np.uint8)),
+            )
+            yield self._label(
+                inet.build_udp6_packet(
+                    _random_mac(rng),
+                    devices.GATEWAY_MAC,
+                    spoofed,
+                    ThreadSensor.BORDER_ROUTER,
+                    int(rng.integers(1024, 65535)),
+                    coap.COAP_PORT,
+                    hop_limit=int(rng.integers(30, 255)),
+                    payload=request,
+                ),
+                t,
+            )
+
+
+class IcmpFlood(AttackModel):
+    """Ping flood: oversized ICMP echo requests from spoofed sources."""
+
+    category = "icmp_flood"
+
+    def __init__(self, index: int = 0, *, rate: float = 18.0):
+        super().__init__(index, rate=rate)
+
+    def generate(self, rng, start, duration):
+        sequence = 0
+        for t in self._times(rng, start, duration):
+            sequence = (sequence + 1) & 0xFFFF
+            payload = bytes(rng.integers(0, 256, size=int(rng.integers(400, 900)), dtype=np.uint8))
+            icmp_msg = inet.build_icmp_echo(
+                int(rng.integers(0, 0xFFFF)), sequence, payload
+            )
+            ip = inet.build_ipv4(
+                _spoofed_ip(rng),
+                devices.GATEWAY_IP,
+                inet.PROTO_ICMP,
+                icmp_msg,
+                ttl=int(rng.integers(30, 255)),
+            )
+            yield self._label(
+                inet.build_ethernet(
+                    devices.GATEWAY_MAC, _random_mac(rng), inet.ETHERTYPE_IPV4, ip
+                ),
+                t,
+            )
+
+
+class ArpSpoof(AttackModel):
+    """ARP-cache poisoning: gratuitous replies claiming the gateway's IP.
+
+    The attacker broadcasts ARP replies binding the *gateway's* IP address
+    to its own MAC — classic man-in-the-middle setup.  Benign traffic
+    contains no ARP replies for the gateway from non-gateway MACs, so the
+    tell is in the ARP sender fields.
+    """
+
+    category = "arp_spoof"
+
+    def __init__(self, index: int = 0, *, rate: float = 10.0):
+        super().__init__(index, rate=rate)
+        self.mac = devices.device_mac(210 + index)
+
+    def generate(self, rng, start, duration):
+        for t in self._times(rng, start, duration):
+            body = inet.build_arp(
+                self.mac,                 # attacker's MAC ...
+                devices.GATEWAY_IP,       # ... claiming the gateway's IP
+                "ff:ff:ff:ff:ff:ff",
+                devices.device_ip(int(rng.integers(0, 16))),
+                request=False,
+            )
+            yield self._label(
+                inet.build_ethernet(
+                    "ff:ff:ff:ff:ff:ff", self.mac, inet.ETHERTYPE_ARP, body
+                ),
+                t,
+            )
+
+
+class ModbusWriteStorm(AttackModel):
+    """Compromised HMI issuing unauthorised Modbus writes and restarts.
+
+    Mixes Write Single Coil toggles, out-of-range register writes, and
+    FC-8 diagnostics restarts — all from a legitimate LAN host on port 502,
+    so source addresses and ports look exactly like the benign poller.
+    """
+
+    category = "modbus_write_storm"
+
+    def generate(self, rng, start, duration):
+        mac, ip = _compromised(rng)
+        for t in self._times(rng, start, duration):
+            transaction = int(rng.integers(0, 0xFFFF))
+            unit = int(rng.integers(1, 5))
+            choice = rng.random()
+            if choice < 0.4:
+                pdu = modbus.build_write_coil(
+                    transaction, unit, int(rng.integers(0, 64)),
+                    bool(rng.integers(0, 2)),
+                )
+            elif choice < 0.8:
+                pdu = modbus.build_write_register(
+                    transaction, unit, int(rng.integers(0, 64)),
+                    int(rng.integers(0, 0xFFFF)),
+                )
+            else:
+                pdu = modbus.build_diagnostics(transaction, unit, 1)  # restart
+            yield self._label(
+                inet.build_tcp_packet(
+                    mac,
+                    devices.GATEWAY_MAC,
+                    ip,
+                    devices.GATEWAY_IP,
+                    int(rng.integers(49152, 65535)),
+                    modbus.MODBUS_PORT,
+                    seq=int(rng.integers(0, 2**32)),
+                    ack=int(rng.integers(0, 2**32)),
+                    flags=inet.TCP_PSH | inet.TCP_ACK,
+                    ttl=64,
+                    payload=pdu,
+                ),
+                t,
+            )
+
+
+class ZigbeeStorm(AttackModel):
+    """Compromised Zigbee node broadcasting on/off toggles at max radius."""
+
+    category = "zigbee_storm"
+
+    def __init__(self, index: int = 0, *, rate: float = 25.0):
+        super().__init__(index, rate=rate)
+        self.short_addr = 0x2000 + index
+
+    def generate(self, rng, start, duration):
+        counter = 0
+        for t in self._times(rng, start, duration):
+            counter = (counter + 1) & 0xFF
+            toggle = bytes([0x01, counter, 0x02])  # ZCL on/off toggle command
+            yield self._label(
+                zigbee.build_frame(
+                    src_addr=self.short_addr,
+                    dst_addr=zigbee.BROADCAST_ADDR,
+                    mac_sequence=counter,
+                    nwk_sequence=counter,
+                    aps_counter=counter,
+                    radius=30,
+                    cluster_id=zigbee.CLUSTER_ON_OFF,
+                    dst_endpoint=0xFF,  # broadcast endpoint
+                    payload=toggle,
+                    ack_request=False,
+                ),
+                t,
+            )
+
+
+class BleSpoof(AttackModel):
+    """Hijacked BLE link writing to protected attribute handles."""
+
+    category = "ble_spoof"
+
+    PROTECTED_HANDLES = [0x0001, 0x0002, 0x0003, 0xFF00, 0xFF01]
+
+    def __init__(self, index: int = 0, *, rate: float = 18.0):
+        super().__init__(index, rate=rate)
+        self.access_addr = 0xDEAD0000 + index
+
+    def generate(self, rng, start, duration):
+        sn = 0
+        for t in self._times(rng, start, duration):
+            handle = self.PROTECTED_HANDLES[
+                int(rng.integers(0, len(self.PROTECTED_HANDLES)))
+            ]
+            value = bytes(rng.integers(0, 256, size=int(rng.integers(8, 20)), dtype=np.uint8))
+            pdu = ble.build_att_pdu(ble.ATT_WRITE_REQ, handle, value)
+            yield self._label(
+                ble.build_frame(access_addr=self.access_addr, att_pdu=pdu, sn=sn),
+                t,
+            )
+            sn ^= 1
+
+
+#: Attack families per stack, used by the dataset assembler.
+INET_ATTACKS = [SynFlood, UdpFlood, PortScan, MiraiTelnet, MqttConnectFlood, CoapAmplification]
+#: Extended family list (adds L2/L3 attacks; pair with chatter=True).
+INET_ATTACKS_EXTENDED = INET_ATTACKS + [IcmpFlood, ArpSpoof]
+INDUSTRIAL_ATTACKS = [ModbusWriteStorm, SynFlood, PortScan]
+ZIGBEE_ATTACKS = [ZigbeeStorm]
+BLE_ATTACKS = [BleSpoof]

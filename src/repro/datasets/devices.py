@@ -1,0 +1,549 @@
+"""Benign IoT device behaviour models.
+
+Each model emits the timestamped, byte-exact packets one device produces
+over a time window: MQTT sensors publishing telemetry, CoAP smart plugs,
+UDP cameras, DNS lookups, and full TCP session lifecycles (so SYN packets
+also appear in *benign* traffic — attacks must not be separable by the SYN
+flag alone).  Non-IP models emit Zigbee-like and BLE-like frames.
+
+All randomness flows through the caller's ``numpy`` Generator, so traces
+are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.net.packet import Packet
+from repro.net.protocols import ble, coap, dns, inet, modbus, mqtt, zigbee
+
+__all__ = [
+    "GATEWAY_MAC",
+    "GATEWAY_IP",
+    "DeviceModel",
+    "MqttSensor",
+    "CoapPlug",
+    "UdpCamera",
+    "DnsClient",
+    "ThreadSensor",
+    "NetworkChatter",
+    "PlcPoller",
+    "ZigbeeSensor",
+    "BleWearable",
+    "TcpSession",
+]
+
+GATEWAY_MAC = "02:00:00:00:00:01"
+GATEWAY_IP = "192.168.1.1"
+BROKER_PORT = mqtt.MQTT_PORT
+
+
+def device_mac(index: int) -> str:
+    """Deterministic locally administered MAC for device ``index``."""
+    return f"02:00:00:00:01:{index % 256:02x}"
+
+
+def device_ip(index: int) -> str:
+    """Deterministic LAN address for device ``index``."""
+    return f"192.168.1.{10 + (index % 240)}"
+
+
+@dataclasses.dataclass
+class TcpSession:
+    """Helper that emits a full TCP session lifecycle as raw frames.
+
+    Produces SYN / SYN-ACK / ACK, then data segments with advancing
+    sequence numbers, then FIN-ACK teardown — benign traffic therefore
+    contains every TCP flag combination attacks also use.
+    """
+
+    src_mac: str
+    dst_mac: str
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    peer_seq: int = 0
+    ip_id: int = 1
+
+    def _frame(self, payload: bytes, flags: int, *, reverse: bool = False) -> bytes:
+        self.ip_id = (self.ip_id + 1) & 0xFFFF
+        if reverse:
+            frame = inet.build_tcp_packet(
+                self.dst_mac,
+                self.src_mac,
+                self.dst_ip,
+                self.src_ip,
+                self.dst_port,
+                self.src_port,
+                seq=self.peer_seq,
+                ack=self.seq,
+                flags=flags,
+                identification=self.ip_id,
+                payload=payload,
+            )
+            self.peer_seq = (self.peer_seq + max(len(payload), 1 if flags & (inet.TCP_SYN | inet.TCP_FIN) else 0)) & 0xFFFFFFFF
+            if not payload and not flags & (inet.TCP_SYN | inet.TCP_FIN):
+                pass
+            return frame
+        frame = inet.build_tcp_packet(
+            self.src_mac,
+            self.dst_mac,
+            self.src_ip,
+            self.dst_ip,
+            self.src_port,
+            self.dst_port,
+            seq=self.seq,
+            ack=self.peer_seq,
+            flags=flags,
+            identification=self.ip_id,
+            payload=payload,
+        )
+        self.seq = (self.seq + max(len(payload), 1 if flags & (inet.TCP_SYN | inet.TCP_FIN) else 0)) & 0xFFFFFFFF
+        return frame
+
+    def handshake(self) -> List[bytes]:
+        """SYN, SYN-ACK, ACK frames."""
+        return [
+            self._frame(b"", inet.TCP_SYN),
+            self._frame(b"", inet.TCP_SYN | inet.TCP_ACK, reverse=True),
+            self._frame(b"", inet.TCP_ACK),
+        ]
+
+    def send(self, payload: bytes) -> bytes:
+        """A PSH|ACK data segment from the client."""
+        return self._frame(payload, inet.TCP_PSH | inet.TCP_ACK)
+
+    def receive(self, payload: bytes) -> bytes:
+        """A PSH|ACK data segment from the server."""
+        return self._frame(payload, inet.TCP_PSH | inet.TCP_ACK, reverse=True)
+
+    def teardown(self) -> List[bytes]:
+        """FIN-ACK exchange frames."""
+        return [
+            self._frame(b"", inet.TCP_FIN | inet.TCP_ACK),
+            self._frame(b"", inet.TCP_FIN | inet.TCP_ACK, reverse=True),
+            self._frame(b"", inet.TCP_ACK),
+        ]
+
+
+class DeviceModel:
+    """Base benign device.
+
+    Subclasses implement :meth:`generate`, emitting labelled packets with
+    trace-relative timestamps in ``[start, start + duration)``.
+    """
+
+    def __init__(self, index: int, name: str):
+        self.index = index
+        self.name = f"{name}-{index}"
+        self.mac = device_mac(index)
+        self.ip = device_ip(index)
+
+    def generate(
+        self, rng: np.random.Generator, start: float, duration: float
+    ) -> Iterator[Packet]:
+        raise NotImplementedError
+
+    def _label(self, data: bytes, timestamp: float) -> Packet:
+        return Packet(data=data, timestamp=timestamp).with_label("benign", self.name)
+
+
+class MqttSensor(DeviceModel):
+    """Telemetry sensor: CONNECT, periodic PUBLISH, PINGREQ, DISCONNECT."""
+
+    def __init__(self, index: int, *, period: float = 1.0, topic: str = "home/temp"):
+        super().__init__(index, "mqtt-sensor")
+        self.period = period
+        self.topic = f"{topic}/{index}"
+
+    def generate(self, rng, start, duration):
+        session = TcpSession(
+            self.mac,
+            GATEWAY_MAC,
+            self.ip,
+            GATEWAY_IP,
+            int(rng.integers(49152, 65535)),
+            BROKER_PORT,
+            seq=int(rng.integers(0, 2**32)),
+            peer_seq=int(rng.integers(0, 2**32)),
+        )
+        t = start + float(rng.uniform(0, self.period))
+        for frame in session.handshake():
+            yield self._label(frame, t)
+            t += float(rng.uniform(0.0005, 0.003))
+        yield self._label(session.send(mqtt.build_connect(self.name, keep_alive=60)), t)
+        t += float(rng.uniform(0.001, 0.01))
+        yield self._label(session.receive(mqtt.build_connack()), t)
+        end = start + duration
+        last_ping = t
+        while t < end:
+            t += float(rng.uniform(0.5, 1.5)) * self.period
+            if t >= end:
+                break
+            reading = f"{{\"t\":{rng.normal(21.0, 2.0):.2f}}}".encode()
+            yield self._label(
+                session.send(mqtt.build_publish(self.topic, reading)), t
+            )
+            if t - last_ping > 30.0:
+                yield self._label(session.send(mqtt.build_pingreq()), t + 0.01)
+                last_ping = t
+        yield self._label(session.send(mqtt.build_disconnect()), min(t, end - 1e-3))
+        for frame in session.teardown():
+            yield self._label(frame, min(t + 0.01, end - 1e-4))
+
+
+class CoapPlug(DeviceModel):
+    """Smart plug polled over CoAP: CON GET → ACK 2.05 exchanges."""
+
+    def __init__(self, index: int, *, period: float = 1.5):
+        super().__init__(index, "coap-plug")
+        self.period = period
+
+    def generate(self, rng, start, duration):
+        t = start + float(rng.uniform(0, self.period))
+        end = start + duration
+        message_id = int(rng.integers(0, 0xFFFF))
+        while t < end:
+            token = bytes(rng.integers(0, 256, size=4, dtype=np.uint8))
+            message_id = (message_id + 1) & 0xFFFF
+            request = coap.build_message(
+                msg_type=coap.CON,
+                code=coap.GET,
+                message_id=message_id,
+                token=token,
+                options=[(coap.OPTION_URI_PATH, b"state")],
+            )
+            sport = int(rng.integers(49152, 65535))
+            yield self._label(
+                inet.build_udp_packet(
+                    GATEWAY_MAC, self.mac, GATEWAY_IP, self.ip,
+                    sport, coap.COAP_PORT, payload=request,
+                ),
+                t,
+            )
+            response = coap.build_message(
+                msg_type=coap.ACK,
+                code=coap.CONTENT,
+                message_id=message_id,
+                token=token,
+                options=[(coap.OPTION_CONTENT_FORMAT, b"\x00")],
+                payload=b"on" if rng.random() < 0.5 else b"off",
+            )
+            yield self._label(
+                inet.build_udp_packet(
+                    self.mac, GATEWAY_MAC, self.ip, GATEWAY_IP,
+                    coap.COAP_PORT, sport, payload=response,
+                ),
+                t + float(rng.uniform(0.002, 0.02)),
+            )
+            t += float(rng.uniform(0.5, 1.5)) * self.period
+
+
+class UdpCamera(DeviceModel):
+    """Camera streaming RTP-like UDP packets to the gateway."""
+
+    RTP_PORT = 5004
+
+    def __init__(self, index: int, *, fps: float = 6.0):
+        super().__init__(index, "udp-camera")
+        self.fps = fps
+
+    def generate(self, rng, start, duration):
+        t = start + float(rng.uniform(0, 1.0 / self.fps))
+        end = start + duration
+        sequence = int(rng.integers(0, 0xFFFF))
+        sport = int(rng.integers(49152, 65535))
+        while t < end:
+            sequence = (sequence + 1) & 0xFFFF
+            # RTP-ish header: V=2, PT=96, sequence, timestamp, SSRC.
+            header = bytes([0x80, 96]) + sequence.to_bytes(2, "big")
+            header += int(t * 90000).to_bytes(4, "big", signed=False)[-4:]
+            header += (0x1000 + self.index).to_bytes(4, "big")
+            body = bytes(rng.integers(0, 256, size=int(rng.integers(200, 400)), dtype=np.uint8))
+            yield self._label(
+                inet.build_udp_packet(
+                    self.mac, GATEWAY_MAC, self.ip, GATEWAY_IP,
+                    sport, self.RTP_PORT, payload=header + body,
+                ),
+                t,
+            )
+            t += float(rng.exponential(1.0 / self.fps))
+
+
+class DnsClient(DeviceModel):
+    """Device resolving its cloud endpoints now and then."""
+
+    NAMES = ["api.cloud.example", "time.cloud.example", "fw.vendor.example"]
+
+    def __init__(self, index: int, *, period: float = 6.0):
+        super().__init__(index, "dns-client")
+        self.period = period
+
+    def generate(self, rng, start, duration):
+        t = start + float(rng.uniform(0, self.period))
+        end = start + duration
+        while t < end:
+            txid = int(rng.integers(0, 0xFFFF))
+            name = self.NAMES[int(rng.integers(0, len(self.NAMES)))]
+            sport = int(rng.integers(49152, 65535))
+            yield self._label(
+                inet.build_udp_packet(
+                    self.mac, GATEWAY_MAC, self.ip, GATEWAY_IP,
+                    sport, dns.DNS_PORT, payload=dns.build_query(txid, name),
+                ),
+                t,
+            )
+            yield self._label(
+                inet.build_udp_packet(
+                    GATEWAY_MAC, self.mac, GATEWAY_IP, self.ip,
+                    dns.DNS_PORT, sport,
+                    payload=dns.build_response(txid, name, ["203.0.113.10"]),
+                ),
+                t + float(rng.uniform(0.005, 0.05)),
+            )
+            t += float(rng.uniform(0.5, 1.5)) * self.period
+
+
+class ThreadSensor(DeviceModel):
+    """Thread-style sensor: CoAP observations over UDP/IPv6.
+
+    Matter/Thread devices speak CoAP over IPv6 ULAs to a border router;
+    this model emits that traffic (CON telemetry PUTs + ACKs), giving the
+    trace generators an IPv6 flavour of the CoAP family.
+    """
+
+    BORDER_ROUTER = "fd00::1"
+
+    def __init__(self, index: int, *, period: float = 1.5):
+        super().__init__(index, "thread-sensor")
+        self.period = period
+        self.ip6 = f"fd00::{10 + index:x}"
+
+    def generate(self, rng, start, duration):
+        t = start + float(rng.uniform(0, self.period))
+        end = start + duration
+        message_id = int(rng.integers(0, 0xFFFF))
+        sport = int(rng.integers(49152, 65535))
+        while t < end:
+            message_id = (message_id + 1) & 0xFFFF
+            token = bytes(rng.integers(0, 256, size=2, dtype=np.uint8))
+            reading = f"{rng.normal(45.0, 5.0):.1f}".encode()
+            request = coap.build_message(
+                msg_type=coap.CON,
+                code=coap.PUT,
+                message_id=message_id,
+                token=token,
+                options=[(coap.OPTION_URI_PATH, b"telemetry")],
+                payload=reading,
+            )
+            yield self._label(
+                inet.build_udp6_packet(
+                    self.mac, GATEWAY_MAC, self.ip6, self.BORDER_ROUTER,
+                    sport, coap.COAP_PORT, payload=request,
+                ),
+                t,
+            )
+            ack = coap.build_message(
+                msg_type=coap.ACK,
+                code=coap.CONTENT,
+                message_id=message_id,
+                token=token,
+            )
+            yield self._label(
+                inet.build_udp6_packet(
+                    GATEWAY_MAC, self.mac, self.BORDER_ROUTER, self.ip6,
+                    coap.COAP_PORT, sport, payload=ack,
+                ),
+                t + float(rng.uniform(0.002, 0.02)),
+            )
+            t += float(rng.uniform(0.5, 1.5)) * self.period
+
+
+class NetworkChatter(DeviceModel):
+    """Background L2/L3 housekeeping: ARP resolution and liveness pings.
+
+    Emits the benign ARP request/reply and ICMP echo exchanges every LAN
+    carries, so ARP-spoofing and ping-flood attacks cannot be separated by
+    the mere presence of those protocols.
+    """
+
+    def __init__(self, index: int, *, period: float = 2.0):
+        super().__init__(index, "net-chatter")
+        self.period = period
+
+    def generate(self, rng, start, duration):
+        t = start + float(rng.uniform(0, self.period))
+        end = start + duration
+        sequence = 0
+        while t < end:
+            if rng.random() < 0.5:
+                # Device ARPs for the gateway; gateway replies.
+                request = inet.build_arp(
+                    self.mac, self.ip, "00:00:00:00:00:00", GATEWAY_IP
+                )
+                yield self._label(
+                    inet.build_ethernet(
+                        "ff:ff:ff:ff:ff:ff", self.mac, inet.ETHERTYPE_ARP, request
+                    ),
+                    t,
+                )
+                reply = inet.build_arp(
+                    GATEWAY_MAC, GATEWAY_IP, self.mac, self.ip, request=False
+                )
+                yield self._label(
+                    inet.build_ethernet(
+                        self.mac, GATEWAY_MAC, inet.ETHERTYPE_ARP, reply
+                    ),
+                    t + float(rng.uniform(0.001, 0.01)),
+                )
+            else:
+                # Gateway pings the device; device answers.
+                sequence = (sequence + 1) & 0xFFFF
+                ident = 0x4242 + self.index
+                echo = inet.build_icmp_echo(ident, sequence, b"liveness")
+                ip_out = inet.build_ipv4(
+                    GATEWAY_IP, self.ip, inet.PROTO_ICMP, echo
+                )
+                yield self._label(
+                    inet.build_ethernet(
+                        self.mac, GATEWAY_MAC, inet.ETHERTYPE_IPV4, ip_out
+                    ),
+                    t,
+                )
+                answer = inet.build_icmp_echo(ident, sequence, b"liveness", reply=True)
+                ip_back = inet.build_ipv4(
+                    self.ip, GATEWAY_IP, inet.PROTO_ICMP, answer
+                )
+                yield self._label(
+                    inet.build_ethernet(
+                        GATEWAY_MAC, self.mac, inet.ETHERTYPE_IPV4, ip_back
+                    ),
+                    t + float(rng.uniform(0.001, 0.02)),
+                )
+            t += float(rng.uniform(0.5, 1.5)) * self.period
+
+
+class PlcPoller(DeviceModel):
+    """Industrial SCADA poller: the gateway reads PLC holding registers.
+
+    Periodic Modbus/TCP FC-3 request/response pairs over a long-lived TCP
+    session — the benign pattern a write-storm attack must be separated
+    from on byte evidence (function code, value fields), since both use
+    port 502 from LAN hosts.
+    """
+
+    def __init__(self, index: int, *, period: float = 1.0):
+        super().__init__(index, "plc-poller")
+        self.period = period
+        self.unit_id = 1 + index % 4
+
+    def generate(self, rng, start, duration):
+        session = TcpSession(
+            GATEWAY_MAC,
+            self.mac,
+            GATEWAY_IP,
+            self.ip,
+            int(rng.integers(49152, 65535)),
+            modbus.MODBUS_PORT,
+            seq=int(rng.integers(0, 2**32)),
+            peer_seq=int(rng.integers(0, 2**32)),
+        )
+        t = start + float(rng.uniform(0, self.period))
+        for frame in session.handshake():
+            yield self._label(frame, t)
+            t += float(rng.uniform(0.0005, 0.003))
+        end = start + duration
+        transaction = int(rng.integers(0, 0xFFFF))
+        while t < end:
+            transaction = (transaction + 1) & 0xFFFF
+            request = modbus.build_read_holding_request(
+                transaction, self.unit_id, address=0x0000, count=8
+            )
+            yield self._label(session.send(request), t)
+            values = [int(v) for v in rng.integers(0, 1000, size=8)]
+            response = modbus.build_read_holding_response(
+                transaction, self.unit_id, values
+            )
+            yield self._label(session.receive(response), t + float(rng.uniform(0.002, 0.01)))
+            t += float(rng.uniform(0.5, 1.5)) * self.period
+
+
+class ZigbeeSensor(DeviceModel):
+    """Zigbee end device reporting an attribute to the coordinator."""
+
+    COORDINATOR = 0x0000
+
+    def __init__(self, index: int, *, period: float = 0.8,
+                 cluster: int = zigbee.CLUSTER_TEMPERATURE):
+        super().__init__(index, "zigbee-sensor")
+        self.short_addr = 0x1000 + index
+        self.period = period
+        self.cluster = cluster
+
+    def generate(self, rng, start, duration):
+        t = start + float(rng.uniform(0, self.period))
+        end = start + duration
+        counter = int(rng.integers(0, 256))
+        while t < end:
+            counter = (counter + 1) & 0xFF
+            # ZCL-ish report: frame control, seq, report-attributes command,
+            # attr id 0x0000, type int16, value.
+            value = int(rng.normal(2100, 150))
+            payload = bytes([0x18, counter, 0x0A, 0x00, 0x00, 0x29])
+            payload += max(0, min(0xFFFF, value)).to_bytes(2, "big")
+            frame = zigbee.build_frame(
+                src_addr=self.short_addr,
+                dst_addr=self.COORDINATOR,
+                mac_sequence=counter,
+                nwk_sequence=counter,
+                aps_counter=counter,
+                cluster_id=self.cluster,
+                payload=payload,
+            )
+            yield self._label(frame, t)
+            t += float(rng.uniform(0.5, 1.5)) * self.period
+
+
+class BleWearable(DeviceModel):
+    """BLE peripheral sending notifications and answering reads."""
+
+    def __init__(self, index: int, *, period: float = 0.4):
+        super().__init__(index, "ble-wearable")
+        self.access_addr = 0x8E89BE00 + index
+        self.period = period
+
+    def generate(self, rng, start, duration):
+        t = start + float(rng.uniform(0, self.period))
+        end = start + duration
+        sn = 0
+        while t < end:
+            heart_rate = int(np.clip(rng.normal(72, 8), 40, 180))
+            pdu = ble.build_att_pdu(
+                ble.ATT_NOTIFY, 0x0012, bytes([0x00, heart_rate])
+            )
+            yield self._label(
+                ble.build_frame(access_addr=self.access_addr, att_pdu=pdu, sn=sn),
+                t,
+            )
+            sn ^= 1
+            if rng.random() < 0.1:  # occasional battery read by the hub
+                read = ble.build_att_pdu(ble.ATT_READ_REQ, 0x0020)
+                yield self._label(
+                    ble.build_frame(access_addr=self.access_addr, att_pdu=read, sn=sn),
+                    t + 0.01,
+                )
+                sn ^= 1
+                rsp = ble.build_att_pdu(
+                    ble.ATT_READ_RSP, 0x0020, bytes([int(rng.integers(20, 100))])
+                )
+                yield self._label(
+                    ble.build_frame(access_addr=self.access_addr, att_pdu=rsp, sn=sn),
+                    t + 0.02,
+                )
+                sn ^= 1
+            t += float(rng.uniform(0.5, 1.5)) * self.period

@@ -1,0 +1,143 @@
+"""Raw-byte feature extraction and label encoding.
+
+The paper's premise: take the first *n* bytes of every packet (zero-padded),
+treat each byte position as a feature.  No protocol parsing, so the same
+extractor works for any stack — the P4 data plane can reproduce exactly this
+view by slicing the packet.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.packet import BENIGN, Packet
+
+__all__ = ["FeatureExtractor", "LabelEncoder", "train_test_split"]
+
+
+@dataclasses.dataclass
+class FeatureExtractor:
+    """Packets → ``(n_packets, n_bytes)`` float matrix in [0, 1].
+
+    Attributes:
+        n_bytes: how many leading bytes to keep (missing bytes read as 0,
+            matching :meth:`repro.net.packet.Packet.byte_at`).
+        scale: divide byte values by 255 so gradients are well-conditioned.
+    """
+
+    n_bytes: int = 64
+    scale: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_bytes <= 0:
+            raise ValueError("n_bytes must be positive")
+
+    def transform(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Vectorise ``packets`` (row order preserved)."""
+        out = np.zeros((len(packets), self.n_bytes), dtype=np.float64)
+        for row, packet in enumerate(packets):
+            data = packet.data[: self.n_bytes]
+            out[row, : len(data)] = np.frombuffer(data, dtype=np.uint8)
+        if self.scale:
+            out /= 255.0
+        return out
+
+    def transform_bytes(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Unscaled uint8 view (used when emitting rules in byte units)."""
+        out = np.zeros((len(packets), self.n_bytes), dtype=np.uint8)
+        for row, packet in enumerate(packets):
+            data = packet.data[: self.n_bytes]
+            out[row, : len(data)] = np.frombuffer(data, dtype=np.uint8)
+        return out
+
+    def to_model_units(self, byte_value: float) -> float:
+        """Convert a raw byte value into the model's input units."""
+        return byte_value / 255.0 if self.scale else float(byte_value)
+
+
+class LabelEncoder:
+    """Bidirectional mapping between category strings and int classes.
+
+    Class 0 is always ``"benign"`` so binary collapse (attack vs. benign)
+    is ``label != 0``.
+    """
+
+    def __init__(self, categories: Optional[Iterable[str]] = None):
+        self._to_index: Dict[str, int] = {BENIGN: 0}
+        self._to_name: List[str] = [BENIGN]
+        for category in categories or []:
+            self.add(category)
+
+    def add(self, category: str) -> int:
+        """Register a category (idempotent); returns its index."""
+        if category not in self._to_index:
+            self._to_index[category] = len(self._to_name)
+            self._to_name.append(category)
+        return self._to_index[category]
+
+    def fit(self, packets: Sequence[Packet]) -> "LabelEncoder":
+        """Register every category appearing in ``packets`` (sorted order)."""
+        for category in sorted({p.label.category for p in packets}):
+            self.add(category)
+        return self
+
+    def encode(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Packets → int class vector.
+
+        Raises:
+            KeyError: for a category never registered.
+        """
+        return np.array(
+            [self._to_index[p.label.category] for p in packets], dtype=np.int64
+        )
+
+    def encode_binary(self, packets: Sequence[Packet]) -> np.ndarray:
+        """Packets → {0 benign, 1 attack}."""
+        return np.array(
+            [0 if p.label.category == BENIGN else 1 for p in packets], dtype=np.int64
+        )
+
+    def decode(self, index: int) -> str:
+        return self._to_name[index]
+
+    @property
+    def classes(self) -> List[str]:
+        return list(self._to_name)
+
+    @property
+    def num_classes(self) -> int:
+        return len(self._to_name)
+
+
+def train_test_split(
+    packets: Sequence[Packet],
+    *,
+    test_fraction: float = 0.3,
+    rng: Optional[np.random.Generator] = None,
+    method: str = "shuffle",
+) -> Tuple[List[Packet], List[Packet]]:
+    """Split a trace into train/test packets.
+
+    Args:
+        method: ``"shuffle"`` (uniform random; class ratios preserved
+            within noise) or ``"time"`` (train on the first
+            ``1 - test_fraction`` of the capture by timestamp, test on the
+            rest — the deployment-realistic protocol where the model never
+            sees the future).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    if method not in ("shuffle", "time"):
+        raise ValueError(f"unknown split method {method!r}")
+    cut = int(round(len(packets) * (1.0 - test_fraction)))
+    if method == "time":
+        ordered = sorted(packets, key=lambda p: p.timestamp)
+        return list(ordered[:cut]), list(ordered[cut:])
+    rng = rng or np.random.default_rng()
+    order = rng.permutation(len(packets))
+    train = [packets[i] for i in order[:cut]]
+    test = [packets[i] for i in order[cut:]]
+    return train, test

@@ -1,0 +1,20 @@
+"""Evaluation: classification metrics, experiment harness, reporting."""
+
+from repro.eval.metrics import (
+    BinaryMetrics,
+    auc,
+    binary_metrics,
+    confusion_matrix,
+    roc_curve,
+)
+from repro.eval.report import format_series, format_table
+
+__all__ = [
+    "BinaryMetrics",
+    "binary_metrics",
+    "confusion_matrix",
+    "roc_curve",
+    "auc",
+    "format_table",
+    "format_series",
+]

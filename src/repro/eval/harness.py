@@ -1,0 +1,190 @@
+"""Experiment harness shared by the benchmarks.
+
+Caches the standard dataset suite per parameterisation (trace generation
+and training are the expensive parts) and provides the comparison runners
+used by several experiments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines import (
+    ByteCnn,
+    DecisionTreeBaseline,
+    FullPacketMLP,
+    KNearestNeighbors,
+    LinearSVM,
+    RandomForest,
+)
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.datasets import Dataset, standard_suite
+from repro.eval.metrics import binary_metrics
+
+__all__ = [
+    "cached_suite",
+    "fit_two_stage",
+    "baseline_factories",
+    "compare_methods",
+    "cross_validate",
+    "MethodResult",
+]
+
+
+@functools.lru_cache(maxsize=4)
+def cached_suite(
+    duration: float = 40.0, n_devices: int = 3, n_bytes: int = 64, seed: int = 7
+) -> Dict[str, Dataset]:
+    """Memoised :func:`repro.datasets.standard_suite`."""
+    return standard_suite(
+        duration=duration, n_devices=n_devices, n_bytes=n_bytes, seed=seed
+    )
+
+
+def fit_two_stage(
+    dataset: Dataset, *, config: Optional[DetectorConfig] = None
+) -> TwoStageDetector:
+    """Train the two-stage detector on a dataset's binary labels."""
+    detector = TwoStageDetector(
+        config or DetectorConfig(n_bytes=dataset.extractor.n_bytes)
+    )
+    detector.fit(dataset.x_train, dataset.y_train_binary)
+    return detector
+
+
+def baseline_factories(n_features: int) -> Dict[str, Callable[[], object]]:
+    """The standard ML comparator set, keyed by display name."""
+    return {
+        "decision-tree": lambda: DecisionTreeBaseline(max_depth=10),
+        "random-forest": lambda: RandomForest(n_trees=10, max_depth=10),
+        "linear-svm": lambda: LinearSVM(epochs=20),
+        "knn": lambda: KNearestNeighbors(k=5),
+        "full-mlp": lambda: FullPacketMLP(n_features, epochs=25),
+        "byte-cnn": lambda: ByteCnn(n_features, epochs=12),
+    }
+
+
+@dataclasses.dataclass
+class MethodResult:
+    """One method × dataset outcome."""
+
+    method: str
+    dataset: str
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    fpr: float
+    fields: object = "all"
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "fields": self.fields,
+            "accuracy": round(self.accuracy, 4),
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f1": round(self.f1, 4),
+            "fpr": round(self.fpr, 4),
+        }
+
+
+def _result(
+    method: str, dataset: Dataset, y_pred: np.ndarray, fields: object
+) -> MethodResult:
+    metrics = binary_metrics(dataset.y_test_binary, y_pred)
+    return MethodResult(
+        method=method,
+        dataset=dataset.name,
+        accuracy=metrics.accuracy,
+        precision=metrics.precision,
+        recall=metrics.recall,
+        f1=metrics.f1,
+        fpr=metrics.false_positive_rate,
+        fields=fields,
+    )
+
+
+def cross_validate(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    folds: int = 5,
+    config: Optional[DetectorConfig] = None,
+    seed: int = 0,
+) -> List[float]:
+    """K-fold cross-validated *rule* accuracy of the two-stage pipeline.
+
+    Returns one held-out-fold accuracy per fold; use mean ± std to judge
+    stability of a configuration (the E16 regime).
+    """
+    if folds < 2:
+        raise ValueError("folds must be >= 2")
+    x = np.asarray(x)
+    y = np.asarray(y)
+    if len(x) < folds:
+        raise ValueError("fewer samples than folds")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(x))
+    boundaries = np.linspace(0, len(x), folds + 1).astype(int)
+    accuracies: List[float] = []
+    for fold in range(folds):
+        test_idx = order[boundaries[fold] : boundaries[fold + 1]]
+        train_idx = np.setdiff1d(order, test_idx, assume_unique=True)
+        detector = TwoStageDetector(
+            config or DetectorConfig(n_bytes=x.shape[1])
+        )
+        detector.fit(x[train_idx], y[train_idx])
+        accuracies.append(
+            detector.rule_accuracy(x[test_idx], y[test_idx])
+        )
+    return accuracies
+
+
+def compare_methods(
+    dataset: Dataset,
+    *,
+    n_fields: int = 6,
+    detector_config: Optional[DetectorConfig] = None,
+    include: Optional[Sequence[str]] = None,
+) -> List[MethodResult]:
+    """Two-stage (model + rules) vs. the ML baselines on one dataset.
+
+    Args:
+        n_fields: field budget for the two-stage pipeline.
+        detector_config: full override of the pipeline config.
+        include: baseline names to run (default: all).
+    """
+    config = detector_config or DetectorConfig(
+        n_bytes=dataset.extractor.n_bytes, n_fields=n_fields
+    )
+    detector = fit_two_stage(dataset, config=config)
+    results = [
+        _result(
+            "two-stage (model)",
+            dataset,
+            detector.predict(dataset.x_test),
+            len(detector.offsets or ()),
+        ),
+        _result(
+            "two-stage (rules)",
+            dataset,
+            detector.generate_rules().predict(
+                np.round(dataset.x_test * 255.0).astype(np.uint8)
+            ),
+            len(detector.offsets or ()),
+        ),
+    ]
+    for name, factory in baseline_factories(dataset.extractor.n_bytes).items():
+        if include is not None and name not in include:
+            continue
+        model = factory()
+        model.fit(dataset.x_train, dataset.y_train_binary)
+        predictions = np.asarray(model.predict(dataset.x_test))
+        results.append(_result(name, dataset, (predictions != 0).astype(int), "all"))
+    return results

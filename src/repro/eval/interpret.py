@@ -1,0 +1,139 @@
+"""Interpretation: name learned offsets and explain deployed rules.
+
+Security operators will not deploy an opaque filter; this module renders
+the pipeline's artifacts in their language — which protocol fields the
+model matches, and what each installed rule means — using the header-span
+registry of every stack the generators know about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.rules import MatchField, Rule, RuleSet
+from repro.net.headers import HeaderSpec, describe_offset
+from repro.net.protocols import ble, inet, modbus, zigbee
+
+__all__ = ["stack_spans", "name_offset", "explain_rule", "explain_ruleset", "field_table"]
+
+#: Header layouts per stack: (HeaderSpec, base byte offset) — the fixed
+#: layouts the generators emit (IPv4 without options, TCP without options).
+_SPANS: Dict[str, List[Tuple[HeaderSpec, int]]] = {
+    "inet": [
+        (inet.ETHERNET, 0),
+        (inet.IPV4, 14),
+        (inet.TCP, 34),
+    ],
+    "inet-udp": [
+        (inet.ETHERNET, 0),
+        (inet.IPV4, 14),
+        (inet.UDP, 34),
+    ],
+    "industrial": [
+        (inet.ETHERNET, 0),
+        (inet.IPV4, 14),
+        (inet.TCP, 34),
+        (modbus.MBAP, 54),
+    ],
+    "zigbee": [
+        (zigbee.MAC_802154, 0),
+        (zigbee.ZIGBEE_NWK, zigbee.MAC_802154.size_bytes),
+        (
+            zigbee.ZIGBEE_APS,
+            zigbee.MAC_802154.size_bytes + zigbee.ZIGBEE_NWK.size_bytes,
+        ),
+    ],
+    "ble": [
+        (ble.BLE_LL, 0),
+        (ble.L2CAP, ble.BLE_LL.size_bytes),
+    ],
+}
+
+
+def stack_spans(stack: str) -> List[Tuple[HeaderSpec, int]]:
+    """Header layout of a named stack.
+
+    Raises:
+        KeyError: for unknown stacks.
+    """
+    if stack not in _SPANS:
+        raise KeyError(
+            f"unknown stack {stack!r}; known: {sorted(_SPANS)}"
+        )
+    return list(_SPANS[stack])
+
+
+def name_offset(offset: int, stack: str = "inet") -> str:
+    """Human name of a byte offset in a stack (``header.field`` or payload).
+
+    TCP and UDP share offsets 34+ in the IP stacks; for the ambiguous
+    transport region the TCP naming is primary with the UDP alternative
+    appended, since the model cannot know which transport a byte belongs
+    to without the protocol field.
+    """
+    primary = describe_offset(stack_spans(stack), offset)
+    if stack == "inet" and 34 <= offset < 42:
+        alternative = describe_offset(stack_spans("inet-udp"), offset)
+        if alternative and alternative != primary:
+            return f"{primary} / {alternative}"
+    return primary or f"payload+{offset}"
+
+
+def explain_rule(rule: Rule, stack: str = "inet") -> str:
+    """One-sentence operator-readable description of a rule."""
+    if not rule.matches:
+        condition = "any packet"
+    else:
+        parts = []
+        for match in rule.matches:
+            name = name_offset(match.offset, stack)
+            if match.is_exact:
+                parts.append(f"{name} == {match.lo}")
+            else:
+                parts.append(f"{name} in [{match.lo}, {match.hi}]")
+        condition = " and ".join(parts)
+    return (
+        f"{rule.action.upper()} when {condition} "
+        f"(confidence {rule.confidence:.2f}, matched "
+        f"{rule.priority} training packets)"
+    )
+
+
+def explain_ruleset(ruleset: RuleSet, stack: str = "inet") -> str:
+    """Markdown report of a deployed rule set."""
+    lines = [
+        f"# Deployed firewall rules ({len(ruleset)} rules, "
+        f"default = {ruleset.default_action})",
+        "",
+        f"Match key: byte offsets {list(ruleset.offsets)} "
+        f"({8 * len(ruleset.offsets)} bits)",
+        "",
+    ]
+    for index, rule in enumerate(ruleset, 1):
+        lines.append(f"{index}. {explain_rule(rule, stack)}")
+    report = ruleset.resource_report()
+    lines += [
+        "",
+        f"Data-plane cost: {report['ternary_entries']} TCAM entries, "
+        f"{report['tcam_bits']} TCAM bits.",
+    ]
+    return "\n".join(lines)
+
+
+def field_table(
+    offsets: Sequence[int],
+    scores: Optional[Sequence[float]] = None,
+    *,
+    stack: str = "inet",
+) -> List[Dict[str, object]]:
+    """Rows naming each selected offset (for ``repro.eval.report`` tables)."""
+    rows: List[Dict[str, object]] = []
+    for index, offset in enumerate(offsets):
+        row: Dict[str, object] = {
+            "offset": int(offset),
+            "field": name_offset(offset, stack),
+        }
+        if scores is not None:
+            row["score"] = round(float(scores[index]), 4)
+        rows.append(row)
+    return rows

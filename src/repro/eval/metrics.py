@@ -1,0 +1,140 @@
+"""Classification metrics implemented from scratch."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "BinaryMetrics",
+    "binary_metrics",
+    "roc_curve",
+    "auc",
+    "per_class_report",
+]
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int = 0) -> np.ndarray:
+    """(n_classes, n_classes) matrix, rows = truth, columns = prediction."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true / y_pred shape mismatch")
+    if not n_classes:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+@dataclasses.dataclass(frozen=True)
+class BinaryMetrics:
+    """Standard binary-detection metrics (positive class = attack)."""
+
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.fp + self.tn + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        denominator = self.tp + self.fp
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.tp + self.fn
+        return self.tp / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    @property
+    def false_positive_rate(self) -> float:
+        denominator = self.fp + self.tn
+        return self.fp / denominator if denominator else 0.0
+
+    def row(self) -> dict:
+        return {
+            "accuracy": round(self.accuracy, 4),
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f1": round(self.f1, 4),
+            "fpr": round(self.false_positive_rate, 4),
+        }
+
+
+def binary_metrics(y_true: np.ndarray, y_pred: np.ndarray) -> BinaryMetrics:
+    """Compute :class:`BinaryMetrics` from {0,1} arrays."""
+    y_true = np.asarray(y_true, dtype=int)
+    y_pred = np.asarray(y_pred, dtype=int)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true / y_pred shape mismatch")
+    return BinaryMetrics(
+        tp=int(((y_true == 1) & (y_pred == 1)).sum()),
+        fp=int(((y_true == 0) & (y_pred == 1)).sum()),
+        tn=int(((y_true == 0) & (y_pred == 0)).sum()),
+        fn=int(((y_true == 1) & (y_pred == 0)).sum()),
+    )
+
+
+def roc_curve(
+    y_true: np.ndarray, scores: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """ROC points ``(fpr, tpr, thresholds)`` sweeping all score cuts."""
+    y_true = np.asarray(y_true, dtype=int)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape:
+        raise ValueError("y_true / scores shape mismatch")
+    order = np.argsort(-scores, kind="stable")
+    sorted_true = y_true[order]
+    sorted_scores = scores[order]
+    positives = max(int((y_true == 1).sum()), 1)
+    negatives = max(int((y_true == 0).sum()), 1)
+    tp = np.cumsum(sorted_true == 1)
+    fp = np.cumsum(sorted_true == 0)
+    # keep the last index of each distinct score (standard construction)
+    distinct = np.nonzero(np.diff(sorted_scores, append=-np.inf))[0]
+    tpr = np.concatenate([[0.0], tp[distinct] / positives])
+    fpr = np.concatenate([[0.0], fp[distinct] / negatives])
+    thresholds = np.concatenate([[np.inf], sorted_scores[distinct]])
+    return fpr, tpr, thresholds
+
+
+def auc(fpr: np.ndarray, tpr: np.ndarray) -> float:
+    """Trapezoidal area under an ROC curve."""
+    fpr = np.asarray(fpr, dtype=float)
+    tpr = np.asarray(tpr, dtype=float)
+    if fpr.shape != tpr.shape:
+        raise ValueError("fpr / tpr shape mismatch")
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 2 / 1
+    return float(trapezoid(tpr, fpr))
+
+
+def per_class_report(
+    y_true: np.ndarray, y_pred: np.ndarray, class_names: List[str]
+) -> List[dict]:
+    """One-vs-rest precision/recall/F1 per class."""
+    rows = []
+    for index, name in enumerate(class_names):
+        metrics = binary_metrics(
+            (np.asarray(y_true) == index).astype(int),
+            (np.asarray(y_pred) == index).astype(int),
+        )
+        row = {"class": name, "support": metrics.tp + metrics.fn}
+        row.update(metrics.row())
+        rows.append(row)
+    return rows

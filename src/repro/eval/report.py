@@ -1,0 +1,65 @@
+"""ASCII table/series formatting for benchmark output.
+
+Every benchmark prints its table or figure-series through these helpers so
+EXPERIMENTS.md and the bench logs share one format.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+__all__ = ["format_table", "format_series"]
+
+Cell = Union[str, int, float]
+
+
+def _render(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[Dict[str, Cell]], *, title: str = "") -> str:
+    """Render dict rows as a fixed-width ASCII table.
+
+    Column order follows the first row's key order (Python dicts preserve
+    insertion order); missing cells render empty.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    columns = list(rows[0].keys())
+    for row in rows[1:]:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    rendered = [
+        {col: _render(row.get(col, "")) for col in columns} for row in rows
+    ]
+    widths = {
+        col: max(len(col), *(len(r[col]) for r in rendered)) for col in columns
+    }
+    header = " | ".join(col.ljust(widths[col]) for col in columns)
+    separator = "-+-".join("-" * widths[col] for col in columns)
+    body = [
+        " | ".join(r[col].ljust(widths[col]) for col in columns)
+        for r in rendered
+    ]
+    lines = ([title] if title else []) + [header, separator] + body
+    return "\n".join(lines)
+
+
+def format_series(
+    x: Sequence[Cell],
+    series: Dict[str, Sequence[Cell]],
+    *,
+    x_name: str = "x",
+    title: str = "",
+) -> str:
+    """Render figure data (x values + named series) as a table."""
+    rows: List[Dict[str, Cell]] = []
+    for index, x_value in enumerate(x):
+        row: Dict[str, Cell] = {x_name: x_value}
+        for name, values in series.items():
+            row[name] = values[index]
+        rows.append(row)
+    return format_table(rows, title=title)

@@ -1,0 +1,5 @@
+"""Networking substrate: packets, protocol stacks, pcap I/O, flows."""
+
+from repro.net.packet import BENIGN, Label, Packet
+
+__all__ = ["Packet", "Label", "BENIGN"]

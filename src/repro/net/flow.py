@@ -1,0 +1,185 @@
+"""Flow abstraction over packet traces.
+
+The generated firewall rules act per packet, but the evaluation also reports
+flow-level outcomes (a flow is malicious if ground truth says so; it is
+*blocked* if the data plane drops its packets).  This module provides:
+
+* :class:`FlowKey` — canonical 5-tuple for IP traffic, with a fallback
+  link-level key for non-IP stacks,
+* :class:`Flow` — an ordered packet collection with summary statistics,
+* :class:`FlowTable` — timeout-based flow assembly, the standard
+  NetFlow-style construction.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.net.protocols import inet
+
+__all__ = ["FlowKey", "Flow", "FlowTable", "assemble_flows"]
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class FlowKey:
+    """Direction-normalised flow identity.
+
+    For IP traffic this is the classic 5-tuple with endpoints sorted so both
+    directions map to the same key.  For non-IP traffic, ``src``/``dst`` hold
+    link-level addresses (Zigbee short address, BLE access address) and
+    ``protocol`` a stack tag, with ports zero.
+    """
+
+    protocol: int
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+
+    @staticmethod
+    def normalised(
+        protocol: int, a: str, a_port: int, b: str, b_port: int
+    ) -> "FlowKey":
+        """Key with (addr, port) endpoints sorted for direction-independence."""
+        if (a, a_port) <= (b, b_port):
+            return FlowKey(protocol, a, b, a_port, b_port)
+        return FlowKey(protocol, b, a, b_port, a_port)
+
+
+#: Stack tags used in FlowKey.protocol for non-IP traffic.
+STACK_ZIGBEE = 1000
+STACK_BLE = 1001
+
+
+def key_for_packet(packet: Packet, stack: str = "ethernet") -> Optional[FlowKey]:
+    """Flow key for a packet, or None when it cannot be keyed.
+
+    Args:
+        stack: ``"ethernet"`` (parse IP 5-tuple), ``"zigbee"`` or ``"ble"``.
+    """
+    if stack == "zigbee":
+        if len(packet.data) < 9:
+            return None
+        src = str(int.from_bytes(packet.data[7:9], "big"))
+        dst = str(int.from_bytes(packet.data[5:7], "big"))
+        return FlowKey.normalised(STACK_ZIGBEE, src, 0, dst, 0)
+    if stack == "ble":
+        if len(packet.data) < 6:
+            return None
+        access = str(int.from_bytes(packet.data[2:6], "big"))
+        return FlowKey(STACK_BLE, access, access, 0, 0)
+    try:
+        frame = inet.parse_ethernet_stack(packet.data)
+    except ValueError:
+        return None
+    if frame.ipv4 is None:
+        return None
+    src = ".".join(
+        str(b) for b in frame.ipv4["src_addr"].to_bytes(4, "big")
+    )
+    dst = ".".join(
+        str(b) for b in frame.ipv4["dst_addr"].to_bytes(4, "big")
+    )
+    sport = dport = 0
+    if frame.tcp is not None:
+        sport, dport = frame.tcp["src_port"], frame.tcp["dst_port"]
+    elif frame.udp is not None:
+        sport, dport = frame.udp["src_port"], frame.udp["dst_port"]
+    return FlowKey.normalised(frame.ipv4["protocol"], src, sport, dst, dport)
+
+
+@dataclasses.dataclass
+class Flow:
+    """An assembled flow: key + ordered packets."""
+
+    key: FlowKey
+    packets: List[Packet] = dataclasses.field(default_factory=list)
+
+    def add(self, packet: Packet) -> None:
+        self.packets.append(packet)
+
+    @property
+    def first_seen(self) -> float:
+        return self.packets[0].timestamp if self.packets else 0.0
+
+    @property
+    def last_seen(self) -> float:
+        return self.packets[-1].timestamp if self.packets else 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.last_seen - self.first_seen
+
+    @property
+    def byte_count(self) -> int:
+        return sum(len(p.data) for p in self.packets)
+
+    @property
+    def packet_count(self) -> int:
+        return len(self.packets)
+
+    def majority_label(self) -> str:
+        """Most common ground-truth category across the flow's packets."""
+        counts: Dict[str, int] = {}
+        for packet in self.packets:
+            counts[packet.label.category] = counts.get(packet.label.category, 0) + 1
+        return max(counts.items(), key=lambda item: item[1])[0]
+
+    @property
+    def is_attack(self) -> bool:
+        return self.majority_label() != "benign"
+
+
+class FlowTable:
+    """Timeout-based flow assembly (NetFlow-style idle expiry).
+
+    Packets whose inter-arrival gap within a key exceeds ``idle_timeout``
+    start a new flow under the same key.
+    """
+
+    def __init__(self, idle_timeout: float = 60.0, stack: str = "ethernet"):
+        if idle_timeout <= 0:
+            raise ValueError("idle_timeout must be positive")
+        self.idle_timeout = idle_timeout
+        self.stack = stack
+        self._active: Dict[FlowKey, Flow] = {}
+        self._expired: List[Flow] = []
+        self._unkeyed = Flow(FlowKey(-1, "", "", 0, 0))
+
+    def add(self, packet: Packet) -> None:
+        """Route one packet into its flow (creating/expiring as needed)."""
+        key = key_for_packet(packet, self.stack)
+        if key is None:
+            self._unkeyed.add(packet)
+            return
+        flow = self._active.get(key)
+        if flow is not None and packet.timestamp - flow.last_seen > self.idle_timeout:
+            self._expired.append(flow)
+            flow = None
+        if flow is None:
+            flow = Flow(key)
+            self._active[key] = flow
+        flow.add(packet)
+
+    def flows(self) -> List[Flow]:
+        """All flows seen so far (expired + still active), arrival-ordered."""
+        result = self._expired + list(self._active.values())
+        result.sort(key=lambda f: f.first_seen)
+        return result
+
+    @property
+    def unkeyed(self) -> Flow:
+        """Packets that could not be keyed (non-IP in an ethernet table)."""
+        return self._unkeyed
+
+
+def assemble_flows(
+    packets: Iterable[Packet], *, idle_timeout: float = 60.0, stack: str = "ethernet"
+) -> List[Flow]:
+    """Convenience one-shot flow assembly."""
+    table = FlowTable(idle_timeout=idle_timeout, stack=stack)
+    for packet in packets:
+        table.add(packet)
+    return table.flows()

@@ -1,0 +1,184 @@
+"""Declarative wire-format header definitions.
+
+Every protocol in :mod:`repro.net.protocols` describes its header as a
+:class:`HeaderSpec` — an ordered list of named bit-fields.  A single spec
+drives three things:
+
+* **serialisation** (``pack``) used by the trace generators,
+* **parsing** (``unpack``) used by tests and debugging tools,
+* **P4 emission** — :mod:`repro.dataplane.p4gen` turns a spec into a
+  ``header`` declaration and parser state in the generated P4 program.
+
+Fields are big-endian and tightly bit-packed; a spec's total width must be a
+whole number of bytes, matching P4's header alignment requirement.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["FieldSpec", "HeaderSpec", "FieldRef"]
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldSpec:
+    """One named bit-field inside a header.
+
+    Attributes:
+        name: field identifier, unique within its header.
+        width_bits: field width in bits (1..64 for integer fields; wider
+            fields such as payload blobs use ``width_bits`` that is a
+            multiple of 8 and are packed from ``bytes``).
+    """
+
+    name: str
+    width_bits: int
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0:
+            raise ValueError(f"field {self.name!r}: width must be positive")
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width_bits) - 1
+
+
+@dataclasses.dataclass(frozen=True)
+class FieldRef:
+    """A (header, field) reference with its absolute byte span in a stack.
+
+    Produced by :meth:`HeaderSpec.field_spans`; used to map learned byte
+    offsets back to human-readable field names in reports.
+    """
+
+    header: str
+    field: str
+    byte_start: int
+    byte_end: int  # exclusive
+
+    def covers(self, offset: int) -> bool:
+        return self.byte_start <= offset < self.byte_end
+
+
+class HeaderSpec:
+    """An ordered, tightly packed sequence of bit-fields.
+
+    Args:
+        name: header name (used in P4 emission and reports).
+        fields: ordered field definitions; total width must be a multiple
+            of 8 bits.
+    """
+
+    def __init__(self, name: str, fields: Sequence[FieldSpec]):
+        self.name = name
+        self.fields: Tuple[FieldSpec, ...] = tuple(fields)
+        seen = set()
+        for field in self.fields:
+            if field.name in seen:
+                raise ValueError(f"duplicate field {field.name!r} in {name!r}")
+            seen.add(field.name)
+        total = sum(f.width_bits for f in self.fields)
+        if total % 8:
+            raise ValueError(
+                f"header {name!r} is {total} bits, not a whole number of bytes"
+            )
+        self.size_bits = total
+        self.size_bytes = total // 8
+        self._by_name: Dict[str, FieldSpec] = {f.name: f for f in self.fields}
+
+    def __repr__(self) -> str:
+        return f"HeaderSpec({self.name!r}, {self.size_bytes}B, {len(self.fields)} fields)"
+
+    def field(self, name: str) -> FieldSpec:
+        """Look up a field by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"header {self.name!r} has no field {name!r}") from None
+
+    def field_names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def pack(self, values: Mapping[str, object]) -> bytes:
+        """Serialise ``values`` (field name → int or bytes) to wire bytes.
+
+        Missing fields default to zero.  Integer fields are range-checked;
+        ``bytes`` values must match the field width exactly.
+        """
+        accumulator = 0
+        for field in self.fields:
+            raw = values.get(field.name, 0)
+            if isinstance(raw, (bytes, bytearray)):
+                if len(raw) * 8 != field.width_bits:
+                    raise ValueError(
+                        f"{self.name}.{field.name}: expected "
+                        f"{field.width_bits // 8} bytes, got {len(raw)}"
+                    )
+                value = int.from_bytes(bytes(raw), "big")
+            else:
+                value = int(raw)  # type: ignore[arg-type]
+            if value < 0 or value > field.max_value:
+                raise ValueError(
+                    f"{self.name}.{field.name}: value {value} out of range "
+                    f"for {field.width_bits}-bit field"
+                )
+            accumulator = (accumulator << field.width_bits) | value
+        return accumulator.to_bytes(self.size_bytes, "big")
+
+    def unpack(self, data: bytes, offset: int = 0) -> Dict[str, int]:
+        """Parse fields from ``data`` starting at ``offset``.
+
+        Raises:
+            ValueError: if fewer than ``size_bytes`` bytes remain.
+        """
+        chunk = data[offset : offset + self.size_bytes]
+        if len(chunk) < self.size_bytes:
+            raise ValueError(
+                f"short read for {self.name!r}: need {self.size_bytes} bytes "
+                f"at offset {offset}, have {len(chunk)}"
+            )
+        accumulator = int.from_bytes(chunk, "big")
+        values: Dict[str, int] = {}
+        remaining = self.size_bits
+        for field in self.fields:
+            remaining -= field.width_bits
+            values[field.name] = (accumulator >> remaining) & field.max_value
+        return values
+
+    def field_spans(self, base_offset: int = 0) -> List[FieldRef]:
+        """Byte spans of each field when the header starts at ``base_offset``.
+
+        A field that is not byte-aligned gets the span of every byte it
+        touches; this is only used for *naming* learned offsets in reports,
+        so over-approximation is fine.
+        """
+        spans: List[FieldRef] = []
+        bit_cursor = 0
+        for field in self.fields:
+            start_byte = base_offset + bit_cursor // 8
+            end_byte = base_offset + (bit_cursor + field.width_bits + 7) // 8
+            spans.append(FieldRef(self.name, field.name, start_byte, end_byte))
+            bit_cursor += field.width_bits
+        return spans
+
+
+def describe_offset(
+    specs: Sequence[Tuple[HeaderSpec, int]], offset: int
+) -> Optional[str]:
+    """Name the field at absolute byte ``offset`` in a stacked layout.
+
+    Args:
+        specs: ``(spec, base_offset)`` pairs describing where each header
+            starts in the frame.
+        offset: absolute byte position.
+
+    Returns:
+        ``"header.field"`` or None when no header covers the offset
+        (e.g. payload bytes).
+    """
+    for spec, base in specs:
+        for ref in spec.field_spans(base):
+            if ref.covers(offset):
+                return f"{ref.header}.{ref.field}"
+    return None

@@ -1,0 +1,14 @@
+"""Protocol stacks used by the trace generators.
+
+Two families:
+
+* IP-based (``inet`` + app layers ``mqtt``, ``coap``, ``dns``, ``telnet``):
+  the classic Wi-Fi/Ethernet IoT gateway traffic.
+* Non-IP (``zigbee``, ``ble``): simplified but structurally faithful stacks
+  that exercise the paper's *universality* claim — the learning pipeline
+  never parses them, it only sees raw bytes.
+"""
+
+from repro.net.protocols import ble, coap, dns, inet, modbus, mqtt, zigbee
+
+__all__ = ["inet", "mqtt", "coap", "dns", "modbus", "zigbee", "ble"]

@@ -1,0 +1,122 @@
+"""BLE-like non-IP stack: Link Layer data PDU + L2CAP + ATT.
+
+Mirrors Bluetooth Low Energy data-channel framing — a 2-byte LL data header
+(LLID / flow bits / length), a 4-byte L2CAP header (length, channel id), and
+ATT opcodes with handle/value payloads.  As with the Zigbee stack, the point
+is a second *non-IP* protocol family: the learning pipeline must work on its
+raw bytes with no parser, which classic 5-tuple firewalls cannot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict
+
+from repro.net.bytesutil import int_to_bytes
+from repro.net.headers import FieldSpec, HeaderSpec
+
+__all__ = [
+    "BLE_LL",
+    "L2CAP",
+    "ATT_CID",
+    "ATT_READ_REQ",
+    "ATT_READ_RSP",
+    "ATT_WRITE_REQ",
+    "ATT_WRITE_RSP",
+    "ATT_NOTIFY",
+    "ATT_ERROR",
+    "build_att_pdu",
+    "build_frame",
+    "parse_frame",
+    "BleFrame",
+]
+
+ATT_CID = 0x0004
+
+ATT_ERROR = 0x01
+ATT_READ_REQ = 0x0A
+ATT_READ_RSP = 0x0B
+ATT_WRITE_REQ = 0x12
+ATT_WRITE_RSP = 0x13
+ATT_NOTIFY = 0x1B
+
+BLE_LL = HeaderSpec(
+    "ble_ll",
+    [
+        FieldSpec("llid", 2),
+        FieldSpec("nesn", 1),
+        FieldSpec("sn", 1),
+        FieldSpec("more_data", 1),
+        FieldSpec("reserved", 3),
+        FieldSpec("length", 8),
+        # Access address of the connection: identifies the link, playing the
+        # role src/dst addresses play elsewhere.
+        FieldSpec("access_addr", 32),
+    ],
+)
+
+L2CAP = HeaderSpec(
+    "l2cap",
+    [
+        FieldSpec("length", 16),
+        FieldSpec("channel_id", 16),
+    ],
+)
+
+
+def build_att_pdu(opcode: int, handle: int, value: bytes = b"") -> bytes:
+    """ATT PDU: opcode byte + 16-bit attribute handle + value."""
+    return bytes([opcode]) + int_to_bytes(handle, 2) + value
+
+
+def build_frame(
+    *,
+    access_addr: int,
+    att_pdu: bytes,
+    sn: int = 0,
+    nesn: int = 0,
+    channel_id: int = ATT_CID,
+) -> bytes:
+    """Serialise LL + L2CAP + ATT into one data-channel frame."""
+    l2cap = L2CAP.pack({"length": len(att_pdu), "channel_id": channel_id})
+    body = l2cap + att_pdu
+    ll = BLE_LL.pack(
+        {
+            "llid": 2,  # start of L2CAP message
+            "nesn": nesn & 1,
+            "sn": sn & 1,
+            "length": len(body) & 0xFF,
+            "access_addr": access_addr,
+        }
+    )
+    return ll + body
+
+
+@dataclasses.dataclass(frozen=True)
+class BleFrame:
+    """Decoded LL/L2CAP/ATT frame."""
+
+    ll: Dict[str, int]
+    l2cap: Dict[str, int]
+    att_opcode: int
+    att_handle: int
+    att_value: bytes
+
+
+def parse_frame(data: bytes) -> BleFrame:
+    """Parse a frame built by :func:`build_frame`."""
+    ll = BLE_LL.unpack(data, 0)
+    offset = BLE_LL.size_bytes
+    l2cap = L2CAP.unpack(data, offset)
+    offset += L2CAP.size_bytes
+    if offset + 3 > len(data):
+        raise ValueError("truncated ATT PDU")
+    opcode = data[offset]
+    handle = int.from_bytes(data[offset + 1 : offset + 3], "big")
+    return BleFrame(
+        ll=ll,
+        l2cap=l2cap,
+        att_opcode=opcode,
+        att_handle=handle,
+        att_value=data[offset + 3 :],
+    )

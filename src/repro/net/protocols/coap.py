@@ -1,0 +1,185 @@
+"""CoAP (RFC 7252) message serialisation.
+
+Covers the 4-byte fixed header, tokens, option encoding (delta/length with
+extended nibbles), and payload marker — the full message framing, which is
+what the amplification-attack generator and the byte-level learner need.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.bytesutil import int_to_bytes
+from repro.net.headers import FieldSpec, HeaderSpec
+
+__all__ = [
+    "COAP_PORT",
+    "CON",
+    "NON",
+    "ACK",
+    "RST",
+    "GET",
+    "POST",
+    "PUT",
+    "DELETE",
+    "CONTENT",
+    "OPTION_URI_PATH",
+    "OPTION_CONTENT_FORMAT",
+    "OPTION_BLOCK2",
+    "COAP_FIXED",
+    "build_message",
+    "parse_message",
+    "CoapMessage",
+]
+
+COAP_PORT = 5683
+
+# Message types.
+CON, NON, ACK, RST = 0, 1, 2, 3
+
+# Method / response codes (class.detail packed as class*32+detail).
+GET, POST, PUT, DELETE = 1, 2, 3, 4
+CONTENT = 2 * 32 + 5  # 2.05
+
+OPTION_URI_PATH = 11
+OPTION_CONTENT_FORMAT = 12
+OPTION_BLOCK2 = 23
+
+COAP_FIXED = HeaderSpec(
+    "coap",
+    [
+        FieldSpec("version", 2),
+        FieldSpec("type", 2),
+        FieldSpec("token_length", 4),
+        FieldSpec("code", 8),
+        FieldSpec("message_id", 16),
+    ],
+)
+
+
+def _encode_option_part(value: int) -> Tuple[int, bytes]:
+    """Encode a delta or length per RFC 7252 §3.1; returns (nibble, ext)."""
+    if value < 13:
+        return value, b""
+    if value < 269:
+        return 13, bytes([value - 13])
+    if value < 65805:
+        return 14, int_to_bytes(value - 269, 2)
+    raise ValueError(f"option delta/length {value} too large")
+
+
+def _decode_option_part(nibble: int, data: bytes, offset: int) -> Tuple[int, int]:
+    """Decode a delta or length nibble; returns (value, bytes_consumed)."""
+    if nibble < 13:
+        return nibble, 0
+    if nibble == 13:
+        if offset >= len(data):
+            raise ValueError("truncated CoAP option extension")
+        return data[offset] + 13, 1
+    if nibble == 14:
+        if offset + 2 > len(data):
+            raise ValueError("truncated CoAP option extension")
+        return int.from_bytes(data[offset : offset + 2], "big") + 269, 2
+    raise ValueError("reserved option nibble 15")
+
+
+def build_message(
+    *,
+    msg_type: int = CON,
+    code: int = GET,
+    message_id: int = 0,
+    token: bytes = b"",
+    options: Optional[List[Tuple[int, bytes]]] = None,
+    payload: bytes = b"",
+) -> bytes:
+    """Serialise a CoAP message.
+
+    Args:
+        options: ``(number, value)`` pairs; they are sorted by option number
+            as the delta encoding requires.
+    """
+    if len(token) > 8:
+        raise ValueError("CoAP token longer than 8 bytes")
+    out = bytearray(
+        COAP_FIXED.pack(
+            {
+                "version": 1,
+                "type": msg_type,
+                "token_length": len(token),
+                "code": code,
+                "message_id": message_id,
+            }
+        )
+    )
+    out += token
+    previous = 0
+    for number, value in sorted(options or [], key=lambda pair: pair[0]):
+        delta_nibble, delta_ext = _encode_option_part(number - previous)
+        length_nibble, length_ext = _encode_option_part(len(value))
+        out.append((delta_nibble << 4) | length_nibble)
+        out += delta_ext + length_ext + value
+        previous = number
+    if payload:
+        out.append(0xFF)
+        out += payload
+    return bytes(out)
+
+
+@dataclasses.dataclass(frozen=True)
+class CoapMessage:
+    """Decoded CoAP message."""
+
+    version: int
+    msg_type: int
+    code: int
+    message_id: int
+    token: bytes
+    options: Tuple[Tuple[int, bytes], ...]
+    payload: bytes
+
+    def option_values(self, number: int) -> List[bytes]:
+        return [value for num, value in self.options if num == number]
+
+    def uri_path(self) -> str:
+        parts = self.option_values(OPTION_URI_PATH)
+        return "/" + "/".join(p.decode("utf-8", "replace") for p in parts)
+
+
+def parse_message(data: bytes) -> CoapMessage:
+    """Parse a CoAP message; raises ValueError on malformed framing."""
+    fixed = COAP_FIXED.unpack(data, 0)
+    if fixed["version"] != 1:
+        raise ValueError(f"unsupported CoAP version {fixed['version']}")
+    offset = COAP_FIXED.size_bytes
+    token = data[offset : offset + fixed["token_length"]]
+    if len(token) < fixed["token_length"]:
+        raise ValueError("truncated CoAP token")
+    offset += fixed["token_length"]
+    options: List[Tuple[int, bytes]] = []
+    number = 0
+    while offset < len(data):
+        if data[offset] == 0xFF:
+            offset += 1
+            break
+        first = data[offset]
+        offset += 1
+        delta, used = _decode_option_part(first >> 4, data, offset)
+        offset += used
+        length, used = _decode_option_part(first & 0x0F, data, offset)
+        offset += used
+        number += delta
+        value = data[offset : offset + length]
+        if len(value) < length:
+            raise ValueError("truncated CoAP option")
+        options.append((number, value))
+        offset += length
+    return CoapMessage(
+        version=fixed["version"],
+        msg_type=fixed["type"],
+        code=fixed["code"],
+        message_id=fixed["message_id"],
+        token=token,
+        options=tuple(options),
+        payload=data[offset:],
+    )

@@ -1,0 +1,150 @@
+"""Minimal DNS (RFC 1035) query/response serialisation.
+
+IoT devices resolve cloud endpoints; compromised ones also abuse DNS for
+amplification.  We implement the header, QNAME encoding, question section,
+and A-record answers — no compression, which real stub resolvers also skip
+when writing queries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.net.bytesutil import bytes_to_ipv4, int_to_bytes, ipv4_to_bytes
+from repro.net.headers import FieldSpec, HeaderSpec
+
+__all__ = [
+    "DNS_PORT",
+    "QTYPE_A",
+    "QTYPE_ANY",
+    "DNS_HEADER",
+    "encode_name",
+    "decode_name",
+    "build_query",
+    "build_response",
+    "parse_header",
+]
+
+DNS_PORT = 53
+QTYPE_A = 1
+QTYPE_TXT = 16
+QTYPE_ANY = 255
+CLASS_IN = 1
+
+DNS_HEADER = HeaderSpec(
+    "dns",
+    [
+        FieldSpec("id", 16),
+        FieldSpec("qr", 1),
+        FieldSpec("opcode", 4),
+        FieldSpec("aa", 1),
+        FieldSpec("tc", 1),
+        FieldSpec("rd", 1),
+        FieldSpec("ra", 1),
+        FieldSpec("z", 3),
+        FieldSpec("rcode", 4),
+        FieldSpec("qdcount", 16),
+        FieldSpec("ancount", 16),
+        FieldSpec("nscount", 16),
+        FieldSpec("arcount", 16),
+    ],
+)
+
+
+def encode_name(name: str) -> bytes:
+    """Encode ``www.example.com`` as length-prefixed labels + root byte."""
+    out = bytearray()
+    for label in name.rstrip(".").split("."):
+        encoded = label.encode("ascii")
+        if not 0 < len(encoded) < 64:
+            raise ValueError(f"invalid DNS label {label!r}")
+        out.append(len(encoded))
+        out += encoded
+    out.append(0)
+    return bytes(out)
+
+
+def decode_name(data: bytes, offset: int) -> Tuple[str, int]:
+    """Decode a (non-compressed) name; returns ``(name, next_offset)``."""
+    labels: List[str] = []
+    while True:
+        if offset >= len(data):
+            raise ValueError("truncated DNS name")
+        length = data[offset]
+        offset += 1
+        if length == 0:
+            return ".".join(labels), offset
+        if length >= 64:
+            raise ValueError("DNS name compression not supported")
+        labels.append(data[offset : offset + length].decode("ascii"))
+        offset += length
+
+
+def build_query(
+    transaction_id: int, name: str, *, qtype: int = QTYPE_A, rd: bool = True
+) -> bytes:
+    """DNS standard query with one question."""
+    header = DNS_HEADER.pack(
+        {"id": transaction_id, "rd": int(rd), "qdcount": 1}
+    )
+    return header + encode_name(name) + int_to_bytes(qtype, 2) + int_to_bytes(CLASS_IN, 2)
+
+
+def build_response(
+    transaction_id: int,
+    name: str,
+    addresses: List[str],
+    *,
+    qtype: int = QTYPE_A,
+    ttl: int = 300,
+) -> bytes:
+    """DNS response answering ``name`` with A records for ``addresses``."""
+    header = DNS_HEADER.pack(
+        {
+            "id": transaction_id,
+            "qr": 1,
+            "rd": 1,
+            "ra": 1,
+            "qdcount": 1,
+            "ancount": len(addresses),
+        }
+    )
+    question = encode_name(name) + int_to_bytes(qtype, 2) + int_to_bytes(CLASS_IN, 2)
+    answers = bytearray()
+    for address in addresses:
+        answers += encode_name(name)
+        answers += int_to_bytes(QTYPE_A, 2) + int_to_bytes(CLASS_IN, 2)
+        answers += int_to_bytes(ttl, 4)
+        answers += int_to_bytes(4, 2) + ipv4_to_bytes(address)
+    return header + question + bytes(answers)
+
+
+@dataclasses.dataclass(frozen=True)
+class DnsInfo:
+    """Decoded DNS header + first question."""
+
+    transaction_id: int
+    is_response: bool
+    qdcount: int
+    ancount: int
+    qname: str
+    qtype: int
+
+
+def parse_header(data: bytes) -> DnsInfo:
+    """Parse the DNS header and the first question (if present)."""
+    fields = DNS_HEADER.unpack(data, 0)
+    qname = ""
+    qtype = 0
+    if fields["qdcount"]:
+        qname, offset = decode_name(data, DNS_HEADER.size_bytes)
+        qtype = int.from_bytes(data[offset : offset + 2], "big")
+    return DnsInfo(
+        transaction_id=fields["id"],
+        is_response=bool(fields["qr"]),
+        qdcount=fields["qdcount"],
+        ancount=fields["ancount"],
+        qname=qname,
+        qtype=qtype,
+    )

@@ -1,0 +1,535 @@
+"""Ethernet / IPv4 / TCP / UDP / ICMP / ARP serialisation and parsing.
+
+These builders produce byte-exact classic wire formats (correct lengths and
+checksums) so that the synthetic traces look like real captures to any
+byte-level learner, and so the generated P4 parser offsets line up with real
+header layouts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.bytesutil import (
+    bytes_to_int,
+    int_to_bytes,
+    ipv4_to_bytes,
+    mac_to_bytes,
+    ones_complement_checksum,
+)
+from repro.net.headers import FieldSpec, HeaderSpec
+
+__all__ = [
+    "ETHERNET",
+    "IPV4",
+    "IPV6",
+    "TCP",
+    "UDP",
+    "ICMP",
+    "ARP",
+    "ETHERTYPE_IPV4",
+    "ETHERTYPE_ARP",
+    "ETHERTYPE_IPV6",
+    "ipv6_to_bytes",
+    "bytes_to_ipv6",
+    "build_ipv6",
+    "build_udp6_packet",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "TCP_FIN",
+    "TCP_SYN",
+    "TCP_RST",
+    "TCP_PSH",
+    "TCP_ACK",
+    "build_ethernet",
+    "build_ipv4",
+    "build_tcp",
+    "build_udp",
+    "build_icmp_echo",
+    "build_arp",
+    "build_tcp_packet",
+    "build_udp_packet",
+    "parse_ethernet_stack",
+    "ParsedFrame",
+]
+
+ETHERTYPE_IPV4 = 0x0800
+ETHERTYPE_ARP = 0x0806
+ETHERTYPE_IPV6 = 0x86DD
+
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+TCP_FIN = 0x01
+TCP_SYN = 0x02
+TCP_RST = 0x04
+TCP_PSH = 0x08
+TCP_ACK = 0x10
+
+ETHERNET = HeaderSpec(
+    "ethernet",
+    [
+        FieldSpec("dst", 48),
+        FieldSpec("src", 48),
+        FieldSpec("ethertype", 16),
+    ],
+)
+
+IPV4 = HeaderSpec(
+    "ipv4",
+    [
+        FieldSpec("version", 4),
+        FieldSpec("ihl", 4),
+        FieldSpec("dscp", 6),
+        FieldSpec("ecn", 2),
+        FieldSpec("total_len", 16),
+        FieldSpec("identification", 16),
+        FieldSpec("flags", 3),
+        FieldSpec("frag_offset", 13),
+        FieldSpec("ttl", 8),
+        FieldSpec("protocol", 8),
+        FieldSpec("checksum", 16),
+        FieldSpec("src_addr", 32),
+        FieldSpec("dst_addr", 32),
+    ],
+)
+
+TCP = HeaderSpec(
+    "tcp",
+    [
+        FieldSpec("src_port", 16),
+        FieldSpec("dst_port", 16),
+        FieldSpec("seq", 32),
+        FieldSpec("ack", 32),
+        FieldSpec("data_offset", 4),
+        FieldSpec("reserved", 4),
+        FieldSpec("flags", 8),
+        FieldSpec("window", 16),
+        FieldSpec("checksum", 16),
+        FieldSpec("urgent", 16),
+    ],
+)
+
+UDP = HeaderSpec(
+    "udp",
+    [
+        FieldSpec("src_port", 16),
+        FieldSpec("dst_port", 16),
+        FieldSpec("length", 16),
+        FieldSpec("checksum", 16),
+    ],
+)
+
+ICMP = HeaderSpec(
+    "icmp",
+    [
+        FieldSpec("type", 8),
+        FieldSpec("code", 8),
+        FieldSpec("checksum", 16),
+        FieldSpec("identifier", 16),
+        FieldSpec("sequence", 16),
+    ],
+)
+
+IPV6 = HeaderSpec(
+    "ipv6",
+    [
+        FieldSpec("version", 4),
+        FieldSpec("traffic_class", 8),
+        FieldSpec("flow_label", 20),
+        FieldSpec("payload_len", 16),
+        FieldSpec("next_header", 8),
+        FieldSpec("hop_limit", 8),
+        FieldSpec("src_addr", 128),
+        FieldSpec("dst_addr", 128),
+    ],
+)
+
+ARP = HeaderSpec(
+    "arp",
+    [
+        FieldSpec("htype", 16),
+        FieldSpec("ptype", 16),
+        FieldSpec("hlen", 8),
+        FieldSpec("plen", 8),
+        FieldSpec("oper", 16),
+        FieldSpec("sha", 48),
+        FieldSpec("spa", 32),
+        FieldSpec("tha", 48),
+        FieldSpec("tpa", 32),
+    ],
+)
+
+
+def build_ethernet(dst: str, src: str, ethertype: int, payload: bytes) -> bytes:
+    """Ethernet II frame (no FCS, as in typical pcap captures)."""
+    header = ETHERNET.pack(
+        {"dst": mac_to_bytes(dst), "src": mac_to_bytes(src), "ethertype": ethertype}
+    )
+    return header + payload
+
+
+def build_ipv4(
+    src: str,
+    dst: str,
+    protocol: int,
+    payload: bytes,
+    *,
+    ttl: int = 64,
+    identification: int = 0,
+    dscp: int = 0,
+    flags: int = 2,  # don't fragment, like most modern stacks
+) -> bytes:
+    """IPv4 header (no options) + payload, with a correct header checksum."""
+    total_len = 20 + len(payload)
+    fields = {
+        "version": 4,
+        "ihl": 5,
+        "dscp": dscp,
+        "ecn": 0,
+        "total_len": total_len,
+        "identification": identification,
+        "flags": flags,
+        "frag_offset": 0,
+        "ttl": ttl,
+        "protocol": protocol,
+        "checksum": 0,
+        "src_addr": ipv4_to_bytes(src),
+        "dst_addr": ipv4_to_bytes(dst),
+    }
+    header = IPV4.pack(fields)
+    fields["checksum"] = ones_complement_checksum(header)
+    return IPV4.pack(fields) + payload
+
+
+def _pseudo_header(src: str, dst: str, protocol: int, length: int) -> bytes:
+    return (
+        ipv4_to_bytes(src)
+        + ipv4_to_bytes(dst)
+        + b"\x00"
+        + int_to_bytes(protocol, 1)
+        + int_to_bytes(length, 2)
+    )
+
+
+def ipv6_to_bytes(address: str) -> bytes:
+    """Parse an IPv6 address (with ``::`` compression) into 16 bytes."""
+    if address.count("::") > 1:
+        raise ValueError(f"invalid IPv6 address {address!r}")
+    if "::" in address:
+        head, __, tail = address.partition("::")
+        head_groups = head.split(":") if head else []
+        tail_groups = tail.split(":") if tail else []
+        if any(not g for g in head_groups + tail_groups):
+            raise ValueError(f"invalid IPv6 address {address!r}")
+        missing = 8 - len(head_groups) - len(tail_groups)
+        if missing < 1:
+            raise ValueError(f"invalid IPv6 address {address!r}")
+        groups = head_groups + ["0"] * missing + tail_groups
+    else:
+        groups = address.split(":")
+        if any(not g for g in groups):
+            raise ValueError(f"invalid IPv6 address {address!r}")
+    if len(groups) != 8:
+        raise ValueError(f"invalid IPv6 address {address!r}")
+    out = bytearray()
+    for group in groups:
+        value = int(group, 16)
+        if not 0 <= value <= 0xFFFF:
+            raise ValueError(f"invalid IPv6 group {group!r}")
+        out += int_to_bytes(value, 2)
+    return bytes(out)
+
+
+def bytes_to_ipv6(data: bytes) -> str:
+    """Format 16 bytes as a full (uncompressed) IPv6 address."""
+    if len(data) != 16:
+        raise ValueError(f"IPv6 address must be 16 bytes, got {len(data)}")
+    return ":".join(
+        f"{int.from_bytes(data[i : i + 2], 'big'):x}" for i in range(0, 16, 2)
+    )
+
+
+def build_ipv6(
+    src: str,
+    dst: str,
+    next_header: int,
+    payload: bytes,
+    *,
+    hop_limit: int = 64,
+    traffic_class: int = 0,
+    flow_label: int = 0,
+) -> bytes:
+    """IPv6 fixed header + payload (no extension headers)."""
+    header = IPV6.pack(
+        {
+            "version": 6,
+            "traffic_class": traffic_class,
+            "flow_label": flow_label,
+            "payload_len": len(payload),
+            "next_header": next_header,
+            "hop_limit": hop_limit,
+            "src_addr": ipv6_to_bytes(src),
+            "dst_addr": ipv6_to_bytes(dst),
+        }
+    )
+    return header + payload
+
+
+def _pseudo_header_v6(src: str, dst: str, protocol: int, length: int) -> bytes:
+    return (
+        ipv6_to_bytes(src)
+        + ipv6_to_bytes(dst)
+        + int_to_bytes(length, 4)
+        + b"\x00\x00\x00"
+        + int_to_bytes(protocol, 1)
+    )
+
+
+def build_udp6_packet(
+    src_mac: str,
+    dst_mac: str,
+    src_ip: str,
+    dst_ip: str,
+    src_port: int,
+    dst_port: int,
+    *,
+    hop_limit: int = 64,
+    payload: bytes = b"",
+) -> bytes:
+    """Full Ethernet/IPv6/UDP frame with a correct v6 checksum."""
+    length = 8 + len(payload)
+    fields = {
+        "src_port": src_port,
+        "dst_port": dst_port,
+        "length": length,
+        "checksum": 0,
+    }
+    datagram = UDP.pack(fields) + payload
+    pseudo = _pseudo_header_v6(src_ip, dst_ip, PROTO_UDP, length)
+    checksum = ones_complement_checksum(pseudo + datagram)
+    fields["checksum"] = checksum or 0xFFFF
+    udp = UDP.pack(fields) + payload
+    ip6 = build_ipv6(src_ip, dst_ip, PROTO_UDP, udp, hop_limit=hop_limit)
+    return build_ethernet(dst_mac, src_mac, ETHERTYPE_IPV6, ip6)
+
+
+def build_tcp(
+    src_addr: str,
+    dst_addr: str,
+    src_port: int,
+    dst_port: int,
+    *,
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = TCP_ACK,
+    window: int = 0xFFFF,
+    payload: bytes = b"",
+) -> bytes:
+    """TCP segment with a correct checksum over the IPv4 pseudo-header."""
+    fields = {
+        "src_port": src_port,
+        "dst_port": dst_port,
+        "seq": seq,
+        "ack": ack,
+        "data_offset": 5,
+        "reserved": 0,
+        "flags": flags,
+        "window": window,
+        "checksum": 0,
+        "urgent": 0,
+    }
+    segment = TCP.pack(fields) + payload
+    pseudo = _pseudo_header(src_addr, dst_addr, PROTO_TCP, len(segment))
+    fields["checksum"] = ones_complement_checksum(pseudo + segment)
+    return TCP.pack(fields) + payload
+
+
+def build_udp(
+    src_addr: str,
+    dst_addr: str,
+    src_port: int,
+    dst_port: int,
+    payload: bytes = b"",
+) -> bytes:
+    """UDP datagram with a correct checksum over the IPv4 pseudo-header."""
+    length = 8 + len(payload)
+    fields = {
+        "src_port": src_port,
+        "dst_port": dst_port,
+        "length": length,
+        "checksum": 0,
+    }
+    datagram = UDP.pack(fields) + payload
+    pseudo = _pseudo_header(src_addr, dst_addr, PROTO_UDP, length)
+    checksum = ones_complement_checksum(pseudo + datagram)
+    fields["checksum"] = checksum or 0xFFFF  # 0 means "no checksum" in UDP
+    return UDP.pack(fields) + payload
+
+
+def build_icmp_echo(
+    identifier: int, sequence: int, payload: bytes = b"", *, reply: bool = False
+) -> bytes:
+    """ICMP echo request (type 8) or reply (type 0)."""
+    fields = {
+        "type": 0 if reply else 8,
+        "code": 0,
+        "checksum": 0,
+        "identifier": identifier,
+        "sequence": sequence,
+    }
+    message = ICMP.pack(fields) + payload
+    fields["checksum"] = ones_complement_checksum(message)
+    return ICMP.pack(fields) + payload
+
+
+def build_arp(
+    sender_mac: str,
+    sender_ip: str,
+    target_mac: str,
+    target_ip: str,
+    *,
+    request: bool = True,
+) -> bytes:
+    """ARP request/reply body (to be wrapped in Ethernet with ETHERTYPE_ARP)."""
+    return ARP.pack(
+        {
+            "htype": 1,
+            "ptype": ETHERTYPE_IPV4,
+            "hlen": 6,
+            "plen": 4,
+            "oper": 1 if request else 2,
+            "sha": mac_to_bytes(sender_mac),
+            "spa": ipv4_to_bytes(sender_ip),
+            "tha": mac_to_bytes(target_mac),
+            "tpa": ipv4_to_bytes(target_ip),
+        }
+    )
+
+
+def build_tcp_packet(
+    src_mac: str,
+    dst_mac: str,
+    src_ip: str,
+    dst_ip: str,
+    src_port: int,
+    dst_port: int,
+    *,
+    seq: int = 0,
+    ack: int = 0,
+    flags: int = TCP_ACK,
+    window: int = 0xFFFF,
+    ttl: int = 64,
+    identification: int = 0,
+    payload: bytes = b"",
+) -> bytes:
+    """Full Ethernet/IPv4/TCP frame."""
+    tcp = build_tcp(
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        seq=seq,
+        ack=ack,
+        flags=flags,
+        window=window,
+        payload=payload,
+    )
+    ip = build_ipv4(
+        src_ip, dst_ip, PROTO_TCP, tcp, ttl=ttl, identification=identification
+    )
+    return build_ethernet(dst_mac, src_mac, ETHERTYPE_IPV4, ip)
+
+
+def build_udp_packet(
+    src_mac: str,
+    dst_mac: str,
+    src_ip: str,
+    dst_ip: str,
+    src_port: int,
+    dst_port: int,
+    *,
+    ttl: int = 64,
+    identification: int = 0,
+    payload: bytes = b"",
+) -> bytes:
+    """Full Ethernet/IPv4/UDP frame."""
+    udp = build_udp(src_ip, dst_ip, src_port, dst_port, payload)
+    ip = build_ipv4(
+        src_ip, dst_ip, PROTO_UDP, udp, ttl=ttl, identification=identification
+    )
+    return build_ethernet(dst_mac, src_mac, ETHERTYPE_IPV4, ip)
+
+
+@dataclasses.dataclass
+class ParsedFrame:
+    """Decoded view of an Ethernet frame (best-effort, for tests/reports)."""
+
+    ethernet: Dict[str, int]
+    ipv4: Optional[Dict[str, int]] = None
+    ipv6: Optional[Dict[str, int]] = None
+    tcp: Optional[Dict[str, int]] = None
+    udp: Optional[Dict[str, int]] = None
+    icmp: Optional[Dict[str, int]] = None
+    arp: Optional[Dict[str, int]] = None
+    payload: bytes = b""
+
+    def layers(self) -> List[str]:
+        names = ["ethernet"]
+        for name in ("arp", "ipv4", "ipv6", "tcp", "udp", "icmp"):
+            if getattr(self, name) is not None:
+                names.append(name)
+        return names
+
+
+def parse_ethernet_stack(data: bytes) -> ParsedFrame:
+    """Parse Ethernet and whatever it carries (ARP or IPv4/TCP/UDP/ICMP).
+
+    Raises:
+        ValueError: on truncated headers.
+    """
+    eth = ETHERNET.unpack(data, 0)
+    frame = ParsedFrame(ethernet=eth)
+    offset = ETHERNET.size_bytes
+    if eth["ethertype"] == ETHERTYPE_ARP:
+        frame.arp = ARP.unpack(data, offset)
+        frame.payload = data[offset + ARP.size_bytes :]
+        return frame
+    if eth["ethertype"] == ETHERTYPE_IPV6:
+        ip6 = IPV6.unpack(data, offset)
+        frame.ipv6 = ip6
+        offset += IPV6.size_bytes
+        if ip6["next_header"] == PROTO_TCP:
+            frame.tcp = TCP.unpack(data, offset)
+            offset += frame.tcp["data_offset"] * 4
+        elif ip6["next_header"] == PROTO_UDP:
+            frame.udp = UDP.unpack(data, offset)
+            offset += UDP.size_bytes
+        frame.payload = data[offset:]
+        return frame
+    if eth["ethertype"] != ETHERTYPE_IPV4:
+        frame.payload = data[offset:]
+        return frame
+    ip = IPV4.unpack(data, offset)
+    frame.ipv4 = ip
+    offset += ip["ihl"] * 4
+    if ip["protocol"] == PROTO_TCP:
+        frame.tcp = TCP.unpack(data, offset)
+        offset += frame.tcp["data_offset"] * 4
+    elif ip["protocol"] == PROTO_UDP:
+        frame.udp = UDP.unpack(data, offset)
+        offset += UDP.size_bytes
+    elif ip["protocol"] == PROTO_ICMP:
+        frame.icmp = ICMP.unpack(data, offset)
+        offset += ICMP.size_bytes
+    frame.payload = data[offset:]
+    return frame
+
+
+def verify_ipv4_checksum(data: bytes, ip_offset: int = 14) -> bool:
+    """True when the IPv4 header checksum in ``data`` validates."""
+    ihl = (data[ip_offset] & 0x0F) * 4
+    return ones_complement_checksum(data[ip_offset : ip_offset + ihl]) == 0

@@ -1,0 +1,142 @@
+"""Modbus/TCP (industrial IoT) serialisation.
+
+MBAP header (transaction id, protocol id, length, unit id) plus the common
+PDUs: Read Holding Registers, Write Single Coil/Register, and the
+diagnostics function that industrial attacks abuse.  Extends the trace
+generators into the industrial-gateway setting (PLC pollers vs. write
+storms) — a fourth protocol family for the universality story.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Tuple
+
+from repro.net.bytesutil import int_to_bytes
+from repro.net.headers import FieldSpec, HeaderSpec
+
+__all__ = [
+    "MODBUS_PORT",
+    "MBAP",
+    "FC_READ_HOLDING",
+    "FC_WRITE_COIL",
+    "FC_WRITE_REGISTER",
+    "FC_DIAGNOSTICS",
+    "build_read_holding_request",
+    "build_read_holding_response",
+    "build_write_coil",
+    "build_write_register",
+    "build_diagnostics",
+    "parse_frame",
+    "ModbusFrame",
+]
+
+MODBUS_PORT = 502
+
+FC_READ_HOLDING = 0x03
+FC_WRITE_COIL = 0x05
+FC_WRITE_REGISTER = 0x06
+FC_DIAGNOSTICS = 0x08
+
+MBAP = HeaderSpec(
+    "mbap",
+    [
+        FieldSpec("transaction_id", 16),
+        FieldSpec("protocol_id", 16),
+        FieldSpec("length", 16),
+        FieldSpec("unit_id", 8),
+    ],
+)
+
+
+def _frame(transaction_id: int, unit_id: int, pdu: bytes) -> bytes:
+    header = MBAP.pack(
+        {
+            "transaction_id": transaction_id,
+            "protocol_id": 0,
+            "length": len(pdu) + 1,  # unit id + PDU
+            "unit_id": unit_id,
+        }
+    )
+    return header + pdu
+
+
+def build_read_holding_request(
+    transaction_id: int, unit_id: int, address: int, count: int
+) -> bytes:
+    """Read Holding Registers (FC 3) request."""
+    if not 1 <= count <= 125:
+        raise ValueError(f"register count {count} out of Modbus range 1..125")
+    pdu = bytes([FC_READ_HOLDING]) + int_to_bytes(address, 2) + int_to_bytes(count, 2)
+    return _frame(transaction_id, unit_id, pdu)
+
+
+def build_read_holding_response(
+    transaction_id: int, unit_id: int, values: List[int]
+) -> bytes:
+    """Read Holding Registers (FC 3) response carrying register values."""
+    body = b"".join(int_to_bytes(v & 0xFFFF, 2) for v in values)
+    pdu = bytes([FC_READ_HOLDING, len(body)]) + body
+    return _frame(transaction_id, unit_id, pdu)
+
+
+def build_write_coil(
+    transaction_id: int, unit_id: int, address: int, on: bool
+) -> bytes:
+    """Write Single Coil (FC 5); value is 0xFF00 for on, 0x0000 for off."""
+    pdu = (
+        bytes([FC_WRITE_COIL])
+        + int_to_bytes(address, 2)
+        + (b"\xff\x00" if on else b"\x00\x00")
+    )
+    return _frame(transaction_id, unit_id, pdu)
+
+
+def build_write_register(
+    transaction_id: int, unit_id: int, address: int, value: int
+) -> bytes:
+    """Write Single Register (FC 6)."""
+    pdu = bytes([FC_WRITE_REGISTER]) + int_to_bytes(address, 2) + int_to_bytes(value, 2)
+    return _frame(transaction_id, unit_id, pdu)
+
+
+def build_diagnostics(
+    transaction_id: int, unit_id: int, sub_function: int, data: int = 0
+) -> bytes:
+    """Diagnostics (FC 8) — sub-function 1 = restart, abused by attacks."""
+    pdu = (
+        bytes([FC_DIAGNOSTICS])
+        + int_to_bytes(sub_function, 2)
+        + int_to_bytes(data, 2)
+    )
+    return _frame(transaction_id, unit_id, pdu)
+
+
+@dataclasses.dataclass(frozen=True)
+class ModbusFrame:
+    """Decoded MBAP + PDU."""
+
+    transaction_id: int
+    unit_id: int
+    function_code: int
+    payload: bytes
+
+
+def parse_frame(data: bytes) -> ModbusFrame:
+    """Parse an MBAP frame; raises ValueError on bad framing."""
+    fields = MBAP.unpack(data, 0)
+    if fields["protocol_id"] != 0:
+        raise ValueError(f"not Modbus/TCP: protocol id {fields['protocol_id']}")
+    body = data[MBAP.size_bytes :]
+    if len(body) != fields["length"] - 1:
+        raise ValueError(
+            f"MBAP length {fields['length']} inconsistent with body {len(body) + 1}"
+        )
+    if not body:
+        raise ValueError("empty Modbus PDU")
+    return ModbusFrame(
+        transaction_id=fields["transaction_id"],
+        unit_id=fields["unit_id"],
+        function_code=body[0],
+        payload=body[1:],
+    )

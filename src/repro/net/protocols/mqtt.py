@@ -1,0 +1,184 @@
+"""MQTT 3.1.1 control-packet serialisation (the subset IoT devices use).
+
+Implements the fixed header (packet type, flags, variable-length remaining
+length) plus CONNECT, CONNACK, PUBLISH, SUBSCRIBE, PINGREQ and DISCONNECT
+bodies — enough to generate realistic broker traffic and the CONNECT-flood
+attacks the evaluation uses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.net.bytesutil import int_to_bytes
+
+__all__ = [
+    "CONNECT",
+    "CONNACK",
+    "PUBLISH",
+    "SUBSCRIBE",
+    "SUBACK",
+    "PINGREQ",
+    "PINGRESP",
+    "DISCONNECT",
+    "MQTT_PORT",
+    "encode_remaining_length",
+    "decode_remaining_length",
+    "build_connect",
+    "build_connack",
+    "build_publish",
+    "build_subscribe",
+    "build_pingreq",
+    "build_disconnect",
+    "parse_fixed_header",
+    "FixedHeader",
+]
+
+MQTT_PORT = 1883
+
+CONNECT = 1
+CONNACK = 2
+PUBLISH = 3
+PUBACK = 4
+SUBSCRIBE = 8
+SUBACK = 9
+PINGREQ = 12
+PINGRESP = 13
+DISCONNECT = 14
+
+
+def encode_remaining_length(length: int) -> bytes:
+    """MQTT variable-length integer (7 bits per byte, MSB = continuation)."""
+    if length < 0 or length > 268_435_455:
+        raise ValueError(f"remaining length {length} out of MQTT range")
+    out = bytearray()
+    while True:
+        digit = length % 128
+        length //= 128
+        if length:
+            out.append(digit | 0x80)
+        else:
+            out.append(digit)
+            return bytes(out)
+
+
+def decode_remaining_length(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Decode a variable-length integer; returns ``(value, bytes_consumed)``."""
+    value = 0
+    multiplier = 1
+    consumed = 0
+    while True:
+        if offset + consumed >= len(data):
+            raise ValueError("truncated MQTT remaining length")
+        byte = data[offset + consumed]
+        value += (byte & 0x7F) * multiplier
+        consumed += 1
+        if not byte & 0x80:
+            return value, consumed
+        multiplier *= 128
+        if consumed > 4:
+            raise ValueError("MQTT remaining length longer than 4 bytes")
+
+
+def _mqtt_string(text: str) -> bytes:
+    encoded = text.encode("utf-8")
+    return int_to_bytes(len(encoded), 2) + encoded
+
+
+def _fixed(packet_type: int, flags: int, body: bytes) -> bytes:
+    first = ((packet_type & 0x0F) << 4) | (flags & 0x0F)
+    return bytes([first]) + encode_remaining_length(len(body)) + body
+
+
+def build_connect(
+    client_id: str,
+    *,
+    keep_alive: int = 60,
+    clean_session: bool = True,
+    username: Optional[str] = None,
+    password: Optional[str] = None,
+) -> bytes:
+    """MQTT CONNECT packet."""
+    connect_flags = 0x02 if clean_session else 0x00
+    if username is not None:
+        connect_flags |= 0x80
+    if password is not None:
+        connect_flags |= 0x40
+    body = (
+        _mqtt_string("MQTT")
+        + bytes([4, connect_flags])  # protocol level 4 = MQTT 3.1.1
+        + int_to_bytes(keep_alive, 2)
+        + _mqtt_string(client_id)
+    )
+    if username is not None:
+        body += _mqtt_string(username)
+    if password is not None:
+        body += _mqtt_string(password)
+    return _fixed(CONNECT, 0, body)
+
+
+def build_connack(*, session_present: bool = False, return_code: int = 0) -> bytes:
+    """MQTT CONNACK packet."""
+    return _fixed(CONNACK, 0, bytes([1 if session_present else 0, return_code]))
+
+
+def build_publish(
+    topic: str,
+    payload: bytes,
+    *,
+    qos: int = 0,
+    retain: bool = False,
+    dup: bool = False,
+    packet_id: int = 1,
+) -> bytes:
+    """MQTT PUBLISH packet (packet id present only for QoS > 0)."""
+    if qos not in (0, 1, 2):
+        raise ValueError(f"invalid QoS {qos}")
+    flags = (0x08 if dup else 0) | (qos << 1) | (0x01 if retain else 0)
+    body = _mqtt_string(topic)
+    if qos > 0:
+        body += int_to_bytes(packet_id, 2)
+    body += payload
+    return _fixed(PUBLISH, flags, body)
+
+
+def build_subscribe(packet_id: int, topics: List[Tuple[str, int]]) -> bytes:
+    """MQTT SUBSCRIBE packet; ``topics`` is a list of (filter, qos)."""
+    body = int_to_bytes(packet_id, 2)
+    for topic, qos in topics:
+        body += _mqtt_string(topic) + bytes([qos])
+    return _fixed(SUBSCRIBE, 0x02, body)
+
+
+def build_pingreq() -> bytes:
+    """MQTT PINGREQ packet."""
+    return _fixed(PINGREQ, 0, b"")
+
+
+def build_disconnect() -> bytes:
+    """MQTT DISCONNECT packet."""
+    return _fixed(DISCONNECT, 0, b"")
+
+
+@dataclasses.dataclass(frozen=True)
+class FixedHeader:
+    """Decoded MQTT fixed header."""
+
+    packet_type: int
+    flags: int
+    remaining_length: int
+    header_size: int
+
+    @property
+    def total_size(self) -> int:
+        return self.header_size + self.remaining_length
+
+
+def parse_fixed_header(data: bytes, offset: int = 0) -> FixedHeader:
+    """Parse the MQTT fixed header at ``offset``."""
+    if offset >= len(data):
+        raise ValueError("empty MQTT packet")
+    first = data[offset]
+    remaining, consumed = decode_remaining_length(data, offset + 1)
+    return FixedHeader(first >> 4, first & 0x0F, remaining, 1 + consumed)

@@ -1,0 +1,191 @@
+"""Zigbee-like non-IP stack: IEEE 802.15.4 MAC + NWK + APS layers.
+
+Structurally faithful to Zigbee framing (frame-control bitfields, short
+16-bit addresses, radius/sequence counters, endpoint/cluster/profile
+addressing) while simplified where the real spec has variable layouts: we fix
+the addressing mode to 16-bit short addresses and PAN-ID compression on, so
+every frame has the same header offsets.  That matches how a P4 parser for a
+Zigbee gateway would be written (fixed slices), and it is the property the
+paper's *universality* experiment needs: a protocol the baselines' 5-tuple
+feature extractors cannot handle at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.net.bytesutil import crc16_ccitt, int_to_bytes
+from repro.net.headers import FieldSpec, HeaderSpec
+
+__all__ = [
+    "MAC_802154",
+    "ZIGBEE_NWK",
+    "ZIGBEE_APS",
+    "BROADCAST_ADDR",
+    "FRAME_TYPE_DATA",
+    "FRAME_TYPE_CMD",
+    "CLUSTER_ON_OFF",
+    "CLUSTER_TEMPERATURE",
+    "PROFILE_HOME_AUTOMATION",
+    "build_frame",
+    "parse_frame",
+    "ZigbeeFrame",
+]
+
+BROADCAST_ADDR = 0xFFFF
+
+FRAME_TYPE_DATA = 1
+FRAME_TYPE_CMD = 3
+
+CLUSTER_ON_OFF = 0x0006
+CLUSTER_TEMPERATURE = 0x0402
+CLUSTER_IAS_ZONE = 0x0500
+PROFILE_HOME_AUTOMATION = 0x0104
+
+# IEEE 802.15.4 MAC with short addressing and PAN-ID compression: the frame
+# control word is serialised little-endian on real radios, but we keep the
+# whole stack big-endian for uniformity with HeaderSpec — the learner and the
+# data plane only care that the layout is *fixed*, not about radio-endianness.
+MAC_802154 = HeaderSpec(
+    "mac802154",
+    [
+        FieldSpec("frame_type", 3),
+        FieldSpec("security_enabled", 1),
+        FieldSpec("frame_pending", 1),
+        FieldSpec("ack_request", 1),
+        FieldSpec("panid_compression", 1),
+        FieldSpec("reserved", 3),
+        FieldSpec("dst_mode", 2),
+        FieldSpec("frame_version", 2),
+        FieldSpec("src_mode", 2),
+        FieldSpec("sequence", 8),
+        FieldSpec("dst_pan", 16),
+        FieldSpec("dst_addr", 16),
+        FieldSpec("src_addr", 16),
+    ],
+)
+
+ZIGBEE_NWK = HeaderSpec(
+    "zigbee_nwk",
+    [
+        FieldSpec("frame_type", 2),
+        FieldSpec("protocol_version", 4),
+        FieldSpec("discover_route", 2),
+        FieldSpec("multicast", 1),
+        FieldSpec("security", 1),
+        FieldSpec("source_route", 1),
+        FieldSpec("dst_ieee", 1),
+        FieldSpec("src_ieee", 1),
+        FieldSpec("reserved", 3),
+        FieldSpec("dst_addr", 16),
+        FieldSpec("src_addr", 16),
+        FieldSpec("radius", 8),
+        FieldSpec("sequence", 8),
+    ],
+)
+
+ZIGBEE_APS = HeaderSpec(
+    "zigbee_aps",
+    [
+        FieldSpec("frame_type", 2),
+        FieldSpec("delivery_mode", 2),
+        FieldSpec("ack_format", 1),
+        FieldSpec("security", 1),
+        FieldSpec("ack_request", 1),
+        FieldSpec("extended", 1),
+        FieldSpec("dst_endpoint", 8),
+        FieldSpec("cluster_id", 16),
+        FieldSpec("profile_id", 16),
+        FieldSpec("src_endpoint", 8),
+        FieldSpec("counter", 8),
+    ],
+)
+
+
+def build_frame(
+    *,
+    src_addr: int,
+    dst_addr: int,
+    pan_id: int = 0x1A62,
+    mac_sequence: int = 0,
+    nwk_sequence: int = 0,
+    aps_counter: int = 0,
+    radius: int = 30,
+    src_endpoint: int = 1,
+    dst_endpoint: int = 1,
+    cluster_id: int = CLUSTER_ON_OFF,
+    profile_id: int = PROFILE_HOME_AUTOMATION,
+    payload: bytes = b"",
+    ack_request: bool = True,
+) -> bytes:
+    """Serialise a full MAC/NWK/APS data frame with a trailing CRC-16 FCS."""
+    mac = MAC_802154.pack(
+        {
+            "frame_type": FRAME_TYPE_DATA,
+            "panid_compression": 1,
+            "ack_request": int(ack_request),
+            "dst_mode": 2,
+            "src_mode": 2,
+            "frame_version": 1,
+            "sequence": mac_sequence & 0xFF,
+            "dst_pan": pan_id,
+            "dst_addr": dst_addr,
+            "src_addr": src_addr,
+        }
+    )
+    nwk = ZIGBEE_NWK.pack(
+        {
+            "frame_type": 0,  # data
+            "protocol_version": 2,
+            "discover_route": 1,
+            "dst_addr": dst_addr,
+            "src_addr": src_addr,
+            "radius": radius,
+            "sequence": nwk_sequence & 0xFF,
+        }
+    )
+    aps = ZIGBEE_APS.pack(
+        {
+            "frame_type": 0,  # data
+            "delivery_mode": 2 if dst_addr == BROADCAST_ADDR else 0,
+            "dst_endpoint": dst_endpoint,
+            "cluster_id": cluster_id,
+            "profile_id": profile_id,
+            "src_endpoint": src_endpoint,
+            "counter": aps_counter & 0xFF,
+        }
+    )
+    body = mac + nwk + aps + payload
+    return body + int_to_bytes(crc16_ccitt(body), 2)
+
+
+@dataclasses.dataclass(frozen=True)
+class ZigbeeFrame:
+    """Decoded MAC/NWK/APS frame."""
+
+    mac: Dict[str, int]
+    nwk: Dict[str, int]
+    aps: Dict[str, int]
+    payload: bytes
+    fcs_ok: bool
+
+
+def parse_frame(data: bytes) -> ZigbeeFrame:
+    """Parse a frame built by :func:`build_frame`; validates the FCS."""
+    if len(data) < MAC_802154.size_bytes + ZIGBEE_NWK.size_bytes + ZIGBEE_APS.size_bytes + 2:
+        raise ValueError("truncated Zigbee frame")
+    body, fcs = data[:-2], data[-2:]
+    mac = MAC_802154.unpack(body, 0)
+    offset = MAC_802154.size_bytes
+    nwk = ZIGBEE_NWK.unpack(body, offset)
+    offset += ZIGBEE_NWK.size_bytes
+    aps = ZIGBEE_APS.unpack(body, offset)
+    offset += ZIGBEE_APS.size_bytes
+    return ZigbeeFrame(
+        mac=mac,
+        nwk=nwk,
+        aps=aps,
+        payload=body[offset:],
+        fcs_ok=int.from_bytes(fcs, "big") == crc16_ccitt(body),
+    )

@@ -1,0 +1,159 @@
+"""Probabilistic data-plane primitives: Bloom filter and Count-Min sketch.
+
+Both structures are implementable directly in P4 registers (array reads,
+hash, add), which is why they are the standard building blocks for
+*stateful* in-switch defenses.  The implementations here are bit-exact
+models of that register layout: fixed-width counters with saturation, and
+a deterministic multiply-shift hash family seeded per row (a P4 program
+would use ``hash()`` with different CRC polynomials per row).
+
+Used by :mod:`repro.dataplane.stateful` for the rate-based defense stage
+and by the heavy-hitter baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = ["BloomFilter", "CountMinSketch", "multiply_shift_hash"]
+
+_MERSENNE_61 = (1 << 61) - 1
+
+
+def multiply_shift_hash(key: int, seed: int, buckets: int) -> int:
+    """Deterministic universal-style hash of an int key into ``buckets``.
+
+    2-independent multiply-mod-prime scheme; distinct seeds give
+    effectively independent rows, mirroring distinct CRC polynomials in a
+    P4 ``hash()`` extern.
+    """
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    a = (2 * seed + 1) * 0x9E3779B97F4A7C15 & _MERSENNE_61
+    b = (seed * seed + seed + 41) & _MERSENNE_61
+    return ((a * (key & _MERSENNE_61) + b) % _MERSENNE_61) % buckets
+
+
+def _key_to_int(key: object) -> int:
+    """Canonicalise a key (bytes / int / str / tuple of ints) to an int."""
+    if isinstance(key, int):
+        return key
+    if isinstance(key, (bytes, bytearray)):
+        return int.from_bytes(bytes(key), "big") if key else 0
+    if isinstance(key, str):
+        return _key_to_int(key.encode("utf-8"))
+    if isinstance(key, tuple):
+        return _key_to_int(bytes(b & 0xFF for b in key))
+    raise TypeError(f"unhashable sketch key type {type(key)!r}")
+
+
+class BloomFilter:
+    """Standard Bloom filter over ``bits`` cells with ``hashes`` rows.
+
+    Args:
+        bits: filter size (register array length in P4).
+        hashes: number of hash functions.
+    """
+
+    def __init__(self, bits: int = 4096, hashes: int = 3):
+        if bits <= 0 or hashes <= 0:
+            raise ValueError("bits and hashes must be positive")
+        self.bits = bits
+        self.hashes = hashes
+        self._cells = bytearray((bits + 7) // 8)
+        self.inserted = 0
+
+    def _positions(self, key: object) -> List[int]:
+        value = _key_to_int(key)
+        return [
+            multiply_shift_hash(value, seed, self.bits)
+            for seed in range(self.hashes)
+        ]
+
+    def add(self, key: object) -> None:
+        """Insert ``key``."""
+        for position in self._positions(key):
+            self._cells[position // 8] |= 1 << (position % 8)
+        self.inserted += 1
+
+    def __contains__(self, key: object) -> bool:
+        return all(
+            self._cells[position // 8] >> (position % 8) & 1
+            for position in self._positions(key)
+        )
+
+    def clear(self) -> None:
+        """Reset all cells (a register write-all in P4)."""
+        for i in range(len(self._cells)):
+            self._cells[i] = 0
+        self.inserted = 0
+
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (false-positive-rate proxy)."""
+        set_bits = sum(bin(b).count("1") for b in self._cells)
+        return set_bits / self.bits
+
+
+class CountMinSketch:
+    """Count-Min sketch with saturating fixed-width counters.
+
+    Args:
+        width: buckets per row (register array length).
+        depth: number of rows.
+        counter_bits: counter width — counts saturate at ``2**bits - 1``
+            exactly as a P4 register cell would.
+    """
+
+    def __init__(self, width: int = 1024, depth: int = 3, counter_bits: int = 32):
+        if width <= 0 or depth <= 0:
+            raise ValueError("width and depth must be positive")
+        if counter_bits <= 0:
+            raise ValueError("counter_bits must be positive")
+        self.width = width
+        self.depth = depth
+        self.max_count = (1 << counter_bits) - 1
+        self._rows: List[List[int]] = [[0] * width for _ in range(depth)]
+        self.total = 0
+
+    def _positions(self, key: object) -> List[int]:
+        value = _key_to_int(key)
+        return [
+            multiply_shift_hash(value, 7919 + seed, self.width)
+            for seed in range(self.depth)
+        ]
+
+    def add(self, key: object, count: int = 1) -> int:
+        """Increment ``key`` by ``count``; returns the new estimate."""
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        estimate = self.max_count
+        for row, position in zip(self._rows, self._positions(key)):
+            row[position] = min(row[position] + count, self.max_count)
+            estimate = min(estimate, row[position])
+        self.total += count
+        return estimate
+
+    def estimate(self, key: object) -> int:
+        """Point estimate (never under-counts, may over-count)."""
+        return min(
+            row[position]
+            for row, position in zip(self._rows, self._positions(key))
+        )
+
+    def clear(self) -> None:
+        for row in self._rows:
+            for i in range(len(row)):
+                row[i] = 0
+        self.total = 0
+
+    def heavy_keys(
+        self, candidates: Iterable[object], threshold: int
+    ) -> List[Tuple[object, int]]:
+        """Candidates whose estimate meets ``threshold`` (descending)."""
+        hits = [
+            (key, self.estimate(key))
+            for key in candidates
+            if self.estimate(key) >= threshold
+        ]
+        hits.sort(key=lambda item: -item[1])
+        return hits

@@ -1,0 +1,44 @@
+"""A from-scratch NumPy deep-learning library.
+
+Just enough of a neural-network stack for the paper's regime — MLPs over
+packet-header bytes — implemented without any external ML framework:
+layers with explicit forward/backward passes, losses, SGD/Adam optimisers,
+and a :class:`~repro.nn.model.Sequential` container with a training loop.
+
+The one non-standard piece is :class:`~repro.nn.layers.InputGate`, the
+learnable sparse feature-gate that powers the paper's Stage-1 field
+selection (see :mod:`repro.core.stage1`).
+"""
+
+from repro.nn.layers import (
+    BatchNorm,
+    Dense,
+    Dropout,
+    InputGate,
+    Layer,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.nn.losses import BinaryCrossEntropy, Loss, MeanSquaredError, SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.optim import SGD, Adam, Optimizer
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "BatchNorm",
+    "InputGate",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "BinaryCrossEntropy",
+    "MeanSquaredError",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Sequential",
+]

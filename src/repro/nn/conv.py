@@ -1,0 +1,202 @@
+"""1-D convolution layers for byte sequences.
+
+Packet bytes are a 1-D signal; related work (and the "deep" in the paper's
+two-stage deep learning) often uses small 1-D CNNs over the raw bytes.
+These layers keep the :class:`~repro.nn.layers.Layer` contract — flat
+``(batch, features)`` tensors — by carrying their own geometry: a
+:class:`Conv1D` declares ``(in_channels, length)`` and flattens its output
+``(out_channels, out_length)`` back to 2-D, so they compose inside
+:class:`~repro.nn.model.Sequential` unchanged.
+
+Implementation is im2col: convolution becomes one matrix multiply per
+batch, and the backward pass reuses the same column mapping.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.init import he_normal
+from repro.nn.layers import Layer, Parameter
+
+__all__ = ["Conv1D", "MaxPool1D", "GlobalMaxPool1D"]
+
+
+def _im2col_indices(length: int, kernel: int, stride: int) -> np.ndarray:
+    """(out_length, kernel) gather indices along the signal axis."""
+    out_length = (length - kernel) // stride + 1
+    starts = np.arange(out_length) * stride
+    return starts[:, None] + np.arange(kernel)[None, :]
+
+
+class Conv1D(Layer):
+    """1-D convolution over a flattened (channels × length) input.
+
+    Args:
+        length: input signal length.
+        in_channels / out_channels: channel counts.
+        kernel: receptive-field width.
+        stride: step between applications.
+        rng: weight-init source.
+    """
+
+    def __init__(
+        self,
+        length: int,
+        in_channels: int,
+        out_channels: int,
+        kernel: int,
+        *,
+        stride: int = 1,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if kernel < 1 or kernel > length:
+            raise ValueError(f"kernel {kernel} invalid for length {length}")
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        rng = rng or np.random.default_rng()
+        self.length = length
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel = kernel
+        self.stride = stride
+        self.out_length = (length - kernel) // stride + 1
+        fan_in = in_channels * kernel
+        self.weight = Parameter(
+            "weight",
+            he_normal(rng, fan_in, out_channels).reshape(
+                in_channels, kernel, out_channels
+            ),
+        )
+        self.bias = Parameter("bias", np.zeros(out_channels))
+        self._indices = _im2col_indices(length, kernel, stride)
+        self._columns: Optional[np.ndarray] = None
+        self._batch = 0
+
+    @property
+    def in_features(self) -> int:
+        return self.in_channels * self.length
+
+    @property
+    def out_features(self) -> int:
+        return self.out_channels * self.out_length
+
+    def params(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        batch = x.shape[0]
+        if x.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected {self.in_features} features, got {x.shape[1]}"
+            )
+        signal = x.reshape(batch, self.in_channels, self.length)
+        # columns: (batch, out_length, in_channels, kernel)
+        columns = signal[:, :, self._indices].transpose(0, 2, 1, 3)
+        self._columns = columns
+        self._batch = batch
+        flat_cols = columns.reshape(batch * self.out_length, -1)
+        flat_weight = self.weight.value.reshape(-1, self.out_channels)
+        out = flat_cols @ flat_weight + self.bias.value
+        # (batch, out_length, out_channels) → (batch, out_channels, out_length)
+        out = out.reshape(batch, self.out_length, self.out_channels)
+        return out.transpose(0, 2, 1).reshape(batch, self.out_features)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._columns is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._batch
+        grad = (
+            grad_out.reshape(batch, self.out_channels, self.out_length)
+            .transpose(0, 2, 1)
+            .reshape(batch * self.out_length, self.out_channels)
+        )
+        flat_cols = self._columns.reshape(batch * self.out_length, -1)
+        self.weight.grad += (flat_cols.T @ grad).reshape(self.weight.value.shape)
+        self.bias.grad += grad.sum(axis=0)
+        flat_weight = self.weight.value.reshape(-1, self.out_channels)
+        grad_cols = (grad @ flat_weight.T).reshape(
+            batch, self.out_length, self.in_channels, self.kernel
+        )
+        grad_signal = np.zeros((batch, self.in_channels, self.length))
+        # scatter-add each column back to its signal positions
+        for position in range(self.out_length):
+            idx = self._indices[position]
+            grad_signal[:, :, idx] += grad_cols[:, position]
+        return grad_signal.reshape(batch, self.in_features)
+
+
+class MaxPool1D(Layer):
+    """Non-overlapping max pooling over each channel.
+
+    Args:
+        length: input signal length per channel.
+        channels: channel count.
+        pool: window size (must divide ``length``).
+    """
+
+    def __init__(self, length: int, channels: int, pool: int):
+        if pool < 1 or length % pool:
+            raise ValueError(f"pool {pool} must divide length {length}")
+        self.length = length
+        self.channels = channels
+        self.pool = pool
+        self.out_length = length // pool
+        self._argmax: Optional[np.ndarray] = None
+
+    @property
+    def in_features(self) -> int:
+        return self.channels * self.length
+
+    @property
+    def out_features(self) -> int:
+        return self.channels * self.out_length
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        batch = x.shape[0]
+        windows = x.reshape(batch, self.channels, self.out_length, self.pool)
+        self._argmax = windows.argmax(axis=3)
+        return windows.max(axis=3).reshape(batch, self.out_features)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None:
+            raise RuntimeError("backward called before forward")
+        batch = grad_out.shape[0]
+        grad = grad_out.reshape(batch, self.channels, self.out_length)
+        out = np.zeros((batch, self.channels, self.out_length, self.pool))
+        b_idx, c_idx, w_idx = np.meshgrid(
+            np.arange(batch),
+            np.arange(self.channels),
+            np.arange(self.out_length),
+            indexing="ij",
+        )
+        out[b_idx, c_idx, w_idx, self._argmax] = grad
+        return out.reshape(batch, self.in_features)
+
+
+class GlobalMaxPool1D(Layer):
+    """Max over the whole signal per channel (length-invariant head)."""
+
+    def __init__(self, length: int, channels: int):
+        self.length = length
+        self.channels = channels
+        self._argmax: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        batch = x.shape[0]
+        signal = x.reshape(batch, self.channels, self.length)
+        self._argmax = signal.argmax(axis=2)
+        return signal.max(axis=2)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._argmax is None:
+            raise RuntimeError("backward called before forward")
+        batch = grad_out.shape[0]
+        out = np.zeros((batch, self.channels, self.length))
+        b_idx, c_idx = np.meshgrid(
+            np.arange(batch), np.arange(self.channels), indexing="ij"
+        )
+        out[b_idx, c_idx, self._argmax] = grad_out
+        return out.reshape(batch, self.channels * self.length)

@@ -1,0 +1,292 @@
+"""Neural-network layers with explicit forward/backward passes.
+
+Conventions:
+
+* inputs are ``(batch, features)`` float64 arrays,
+* ``forward`` caches whatever ``backward`` needs,
+* ``backward`` receives dL/d(output) and returns dL/d(input), accumulating
+  dL/d(param) into each :class:`Parameter`'s ``grad``,
+* ``regularization()`` returns a scalar added to the loss (and its gradient
+  is applied inside ``backward``) — used by :class:`InputGate`'s L1 sparsity
+  penalty.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.init import glorot_uniform, he_normal
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "BatchNorm",
+    "InputGate",
+]
+
+
+@dataclasses.dataclass
+class Parameter:
+    """A trainable tensor and its accumulated gradient."""
+
+    name: str
+    value: np.ndarray
+    grad: np.ndarray = dataclasses.field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.grad is None:
+            self.grad = np.zeros_like(self.value)
+
+    def zero_grad(self) -> None:
+        self.grad.fill(0.0)
+
+
+class Layer:
+    """Base layer; stateless layers only override forward/backward."""
+
+    def params(self) -> List[Parameter]:
+        return []
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def regularization(self) -> float:
+        return 0.0
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+        init: str = "he",
+        weight_decay: float = 0.0,
+    ):
+        rng = rng or np.random.default_rng()
+        if init == "he":
+            weights = he_normal(rng, in_features, out_features)
+        elif init == "glorot":
+            weights = glorot_uniform(rng, in_features, out_features)
+        else:
+            raise ValueError(f"unknown init {init!r}")
+        self.weight = Parameter("weight", weights)
+        self.bias = Parameter("bias", np.zeros(out_features))
+        self.weight_decay = weight_decay
+        self._x: Optional[np.ndarray] = None
+
+    @property
+    def in_features(self) -> int:
+        return self.weight.value.shape[0]
+
+    @property
+    def out_features(self) -> int:
+        return self.weight.value.shape[1]
+
+    def params(self) -> List[Parameter]:
+        return [self.weight, self.bias]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._x.T @ grad_out
+        if self.weight_decay:
+            self.weight.grad += self.weight_decay * self.weight.value
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def regularization(self) -> float:
+        if not self.weight_decay:
+            return 0.0
+        return 0.5 * self.weight_decay * float(np.sum(self.weight.value**2))
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def __init__(self) -> None:
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._y = 1.0 / (1.0 + np.exp(-np.clip(x, -60, 60)))
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._y * (1.0 - self._y)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def __init__(self) -> None:
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._y**2)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, *, rng: Optional[np.random.Generator] = None):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.rng = rng or np.random.default_rng()
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+
+class BatchNorm(Layer):
+    """Batch normalisation with running statistics for inference."""
+
+    def __init__(self, features: int, *, momentum: float = 0.9, eps: float = 1e-5):
+        self.gamma = Parameter("gamma", np.ones(features))
+        self.beta = Parameter("beta", np.zeros(features))
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(features)
+        self.running_var = np.ones(features)
+        self._cache = None
+
+    def params(self) -> List[Parameter]:
+        return [self.gamma, self.beta]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean) / std
+        self._cache = (x_hat, std)
+        return self.gamma.value * x_hat + self.beta.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, std = self._cache
+        batch = grad_out.shape[0]
+        self.gamma.grad += (grad_out * x_hat).sum(axis=0)
+        self.beta.grad += grad_out.sum(axis=0)
+        grad_xhat = grad_out * self.gamma.value
+        # Standard batch-norm backward (training-mode statistics).
+        return (
+            grad_xhat
+            - grad_xhat.mean(axis=0)
+            - x_hat * (grad_xhat * x_hat).mean(axis=0)
+        ) / std * (batch / batch)  # keep shape explicit
+
+
+class InputGate(Layer):
+    """Learnable per-feature gate ``y = x * sigmoid(theta)`` with L1 sparsity.
+
+    This is the Stage-1 workhorse: ``sigmoid(theta)`` is a soft mask over
+    input byte positions; the L1 penalty ``l1 * sum(sigmoid(theta))`` pushes
+    gates of uninformative positions toward zero, so after training the gate
+    magnitudes rank the byte positions by how much the classifier needs them.
+
+    Args:
+        features: input dimensionality (number of byte positions).
+        l1: sparsity penalty weight.
+        init_logit: initial value of every theta (positive → gates start
+            mostly open so the classifier can learn before pruning begins).
+    """
+
+    def __init__(self, features: int, *, l1: float = 1e-3, init_logit: float = 2.0):
+        self.theta = Parameter("theta", np.full(features, float(init_logit)))
+        self.l1 = l1
+        self._x: Optional[np.ndarray] = None
+        self._gate: Optional[np.ndarray] = None
+
+    def params(self) -> List[Parameter]:
+        return [self.theta]
+
+    def gates(self) -> np.ndarray:
+        """Current gate values ``sigmoid(theta)`` in [0, 1]."""
+        return 1.0 / (1.0 + np.exp(-self.theta.value))
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        self._gate = self.gates()
+        return x * self._gate
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None or self._gate is None:
+            raise RuntimeError("backward called before forward")
+        gate_grad = self._gate * (1.0 - self._gate)
+        # Data term: dL/dtheta = sum_batch dL/dy * x * g'(theta)
+        self.theta.grad += (grad_out * self._x).sum(axis=0) * gate_grad
+        # L1 term: d/dtheta l1*sum(sigmoid(theta)) = l1 * g'(theta)
+        if self.l1:
+            self.theta.grad += self.l1 * gate_grad
+        return grad_out * self._gate
+
+    def regularization(self) -> float:
+        if not self.l1:
+            return 0.0
+        return self.l1 * float(np.sum(self.gates()))

@@ -1,0 +1,99 @@
+"""Loss functions.
+
+Each loss exposes ``forward(predictions, targets) -> scalar`` and
+``backward() -> dL/d(predictions)``; the softmax cross-entropy fuses the
+softmax into the loss for the usual numerically stable gradient.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "BinaryCrossEntropy", "MeanSquaredError"]
+
+_EPS = 1e-12
+
+
+class Loss:
+    """Base loss."""
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        return self.forward(predictions, targets)
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax, numerically stable."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Softmax + cross-entropy over integer class targets.
+
+    ``predictions`` are raw logits ``(batch, classes)``; ``targets`` are int
+    class indices ``(batch,)``.
+    """
+
+    def __init__(self) -> None:
+        self._probs: Optional[np.ndarray] = None
+        self._targets: Optional[np.ndarray] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        self._probs = softmax(predictions)
+        self._targets = targets.astype(int)
+        batch = predictions.shape[0]
+        picked = self._probs[np.arange(batch), self._targets]
+        return float(-np.log(picked + _EPS).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._probs is None or self._targets is None:
+            raise RuntimeError("backward called before forward")
+        batch = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(batch), self._targets] -= 1.0
+        return grad / batch
+
+
+class BinaryCrossEntropy(Loss):
+    """BCE over probabilities in (0, 1); targets in {0, 1}, shape (batch,) or (batch, 1)."""
+
+    def __init__(self) -> None:
+        self._p: Optional[np.ndarray] = None
+        self._t: Optional[np.ndarray] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        p = np.clip(predictions.reshape(predictions.shape[0], -1), _EPS, 1 - _EPS)
+        t = targets.reshape(p.shape).astype(float)
+        self._p, self._t = p, t
+        return float(-(t * np.log(p) + (1 - t) * np.log(1 - p)).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._p is None or self._t is None:
+            raise RuntimeError("backward called before forward")
+        count = self._p.size
+        return (self._p - self._t) / (self._p * (1 - self._p)) / count
+
+
+class MeanSquaredError(Loss):
+    """MSE, used by the autoencoder-style ablations."""
+
+    def __init__(self) -> None:
+        self._diff: Optional[np.ndarray] = None
+
+    def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
+        self._diff = predictions - targets
+        return float((self._diff**2).mean())
+
+    def backward(self) -> np.ndarray:
+        if self._diff is None:
+            raise RuntimeError("backward called before forward")
+        return 2.0 * self._diff / self._diff.size

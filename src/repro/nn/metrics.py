@@ -1,0 +1,26 @@
+"""Training-time metric helpers (classification metrics live in repro.eval)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "one_hot"]
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of exact matches between int label arrays."""
+    if predictions.shape != targets.shape:
+        raise ValueError(f"shape mismatch {predictions.shape} vs {targets.shape}")
+    if predictions.size == 0:
+        return 0.0
+    return float((predictions == targets).mean())
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """Integer labels → one-hot matrix."""
+    labels = labels.astype(int)
+    if labels.min(initial=0) < 0 or (labels.size and labels.max() >= num_classes):
+        raise ValueError("label out of range for one_hot")
+    out = np.zeros((labels.shape[0], num_classes))
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

@@ -1,0 +1,184 @@
+"""Sequential model container and training loop."""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.nn.layers import Layer, Parameter
+from repro.nn.losses import Loss, SoftmaxCrossEntropy, softmax
+from repro.nn.optim import Adam, Optimizer
+
+__all__ = ["Sequential", "TrainHistory", "iterate_minibatches"]
+
+
+@dataclasses.dataclass
+class TrainHistory:
+    """Per-epoch training record."""
+
+    train_loss: List[float] = dataclasses.field(default_factory=list)
+    val_loss: List[float] = dataclasses.field(default_factory=list)
+    val_accuracy: List[float] = dataclasses.field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+
+def iterate_minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: Optional[np.random.Generator] = None,
+):
+    """Yield shuffled ``(x_batch, y_batch)`` minibatches."""
+    if len(x) != len(y):
+        raise ValueError(f"x/y length mismatch: {len(x)} vs {len(y)}")
+    order = np.arange(len(x))
+    if rng is not None:
+        rng.shuffle(order)
+    for start in range(0, len(x), batch_size):
+        idx = order[start : start + batch_size]
+        yield x[idx], y[idx]
+
+
+class Sequential:
+    """A stack of layers trained end-to-end with backprop.
+
+    Example::
+
+        model = Sequential([Dense(64, 32, rng=rng), ReLU(), Dense(32, 2, rng=rng)])
+        model.fit(x_train, y_train, epochs=20)
+        labels = model.predict(x_test)
+    """
+
+    def __init__(self, layers: Sequence[Layer]):
+        self.layers: List[Layer] = list(layers)
+
+    def params(self) -> List[Parameter]:
+        return [p for layer in self.layers for p in layer.params()]
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def regularization(self) -> float:
+        return sum(layer.regularization() for layer in self.layers)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 30,
+        batch_size: int = 64,
+        loss: Optional[Loss] = None,
+        optimizer: Optional[Optimizer] = None,
+        validation: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        patience: int = 0,
+        rng: Optional[np.random.Generator] = None,
+        verbose: bool = False,
+    ) -> TrainHistory:
+        """Train with minibatch backprop.
+
+        Args:
+            loss: defaults to :class:`SoftmaxCrossEntropy` (y = int labels).
+            optimizer: defaults to Adam(lr=1e-3) over all parameters.
+            validation: optional ``(x_val, y_val)`` evaluated each epoch.
+            patience: if > 0 and validation is given, stop after this many
+                epochs without validation-loss improvement.
+            rng: shuffling source; pass a seeded generator for determinism.
+        """
+        loss = loss or SoftmaxCrossEntropy()
+        optimizer = optimizer or Adam(self.params())
+        rng = rng or np.random.default_rng()
+        history = TrainHistory()
+        best_val = np.inf
+        bad_epochs = 0
+        for epoch in range(epochs):
+            epoch_loss = 0.0
+            batches = 0
+            for xb, yb in iterate_minibatches(x, y, batch_size, rng):
+                optimizer.zero_grad()
+                logits = self.forward(xb, training=True)
+                batch_loss = loss.forward(logits, yb) + self.regularization()
+                self.backward(loss.backward())
+                optimizer.step()
+                epoch_loss += batch_loss
+                batches += 1
+            history.train_loss.append(epoch_loss / max(batches, 1))
+            if validation is not None:
+                val_loss, val_acc = self.evaluate(validation[0], validation[1], loss)
+                history.val_loss.append(val_loss)
+                history.val_accuracy.append(val_acc)
+                if verbose:
+                    print(
+                        f"epoch {epoch + 1}/{epochs} "
+                        f"train={history.train_loss[-1]:.4f} "
+                        f"val={val_loss:.4f} acc={val_acc:.4f}"
+                    )
+                if patience:
+                    if val_loss < best_val - 1e-6:
+                        best_val = val_loss
+                        bad_epochs = 0
+                    else:
+                        bad_epochs += 1
+                        if bad_epochs >= patience:
+                            break
+            elif verbose:
+                print(f"epoch {epoch + 1}/{epochs} train={history.train_loss[-1]:.4f}")
+        return history
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, loss: Optional[Loss] = None
+    ) -> Tuple[float, float]:
+        """Return ``(loss, accuracy)`` on ``(x, y)`` without training."""
+        loss = loss or SoftmaxCrossEntropy()
+        logits = self.forward(x, training=False)
+        value = loss.forward(logits, y)
+        accuracy = float((logits.argmax(axis=1) == y).mean())
+        return value, accuracy
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Class probabilities (softmax of logits)."""
+        return softmax(self.forward(x, training=False))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Hard class predictions."""
+        return self.forward(x, training=False).argmax(axis=1)
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Save all parameters to an ``.npz`` file (architecture not stored)."""
+        arrays: Dict[str, np.ndarray] = {}
+        for index, param in enumerate(self.params()):
+            arrays[f"p{index}_{param.name}"] = param.value
+        np.savez(path, **arrays)
+
+    def load(self, path: Union[str, Path]) -> None:
+        """Load parameters saved by :meth:`save` into an identical architecture."""
+        data = np.load(path)
+        params = self.params()
+        if len(data.files) != len(params):
+            raise ValueError(
+                f"parameter count mismatch: file has {len(data.files)}, "
+                f"model has {len(params)}"
+            )
+        for index, param in enumerate(params):
+            stored = data[f"p{index}_{param.name}"]
+            if stored.shape != param.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {param.name}: "
+                    f"{stored.shape} vs {param.value.shape}"
+                )
+            param.value = stored.copy()

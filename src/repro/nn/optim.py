@@ -1,0 +1,82 @@
+"""Gradient-descent optimisers."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimiser over a fixed parameter list."""
+
+    def __init__(self, params: List[Parameter], lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = list(params)
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with optional classical momentum."""
+
+    def __init__(self, params: List[Parameter], lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for index, param in enumerate(self.params):
+            if self.momentum:
+                velocity = self._velocity.setdefault(
+                    index, np.zeros_like(param.value)
+                )
+                velocity *= self.momentum
+                velocity -= self.lr * param.grad
+                param.value += velocity
+            else:
+                param.value -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: List[Parameter],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(params, lr)
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m: Dict[int, np.ndarray] = {}
+        self._v: Dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        for index, param in enumerate(self.params):
+            m = self._m.setdefault(index, np.zeros_like(param.value))
+            v = self._v.setdefault(index, np.zeros_like(param.value))
+            m *= self.beta1
+            m += (1 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1 - self.beta2) * param.grad**2
+            m_hat = m / (1 - self.beta1**self._t)
+            v_hat = v / (1 - self.beta2**self._t)
+            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,82 @@
+"""Learning-rate schedules and gradient clipping.
+
+Schedules wrap an optimiser and adjust its ``lr`` per epoch; clipping
+bounds the global gradient norm before a step — the standard stabilisers
+for the occasionally spiky losses that byte-valued inputs produce.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import Optimizer
+
+__all__ = ["StepDecay", "CosineDecay", "clip_gradients"]
+
+
+class StepDecay:
+    """Multiply the learning rate by ``factor`` every ``every`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, *, factor: float = 0.5, every: int = 10):
+        if not 0.0 < factor <= 1.0:
+            raise ValueError("factor must be in (0, 1]")
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.every = every
+        self.base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step_epoch(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self._epoch += 1
+        self.optimizer.lr = self.base_lr * self.factor ** (self._epoch // self.every)
+        return self.optimizer.lr
+
+
+class CosineDecay:
+    """Cosine annealing from the base rate to ``min_lr`` over ``total`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, *, total: int, min_lr: float = 0.0):
+        if total < 1:
+            raise ValueError("total must be >= 1")
+        if min_lr < 0:
+            raise ValueError("min_lr must be >= 0")
+        self.optimizer = optimizer
+        self.total = total
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self._epoch = 0
+
+    def step_epoch(self) -> float:
+        """Advance one epoch; returns the new learning rate."""
+        self._epoch = min(self._epoch + 1, self.total)
+        progress = self._epoch / self.total
+        self.optimizer.lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (
+            1.0 + math.cos(math.pi * progress)
+        )
+        return self.optimizer.lr
+
+
+def clip_gradients(params: List[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns:
+        The pre-clipping global norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for param in params:
+        total += float((param.grad**2).sum())
+    norm = math.sqrt(total)
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in params:
+            param.grad *= scale
+    return norm

@@ -1,0 +1,47 @@
+"""Shared fixtures: small cached datasets so the suite stays fast."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import TraceConfig, make_dataset
+
+
+@pytest.fixture(scope="session")
+def inet_dataset():
+    """Small Ethernet/IP dataset (cached for the whole session)."""
+    return make_dataset(
+        "inet", TraceConfig(stack="inet", duration=15.0, n_devices=2, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def zigbee_dataset():
+    return make_dataset(
+        "zigbee", TraceConfig(stack="zigbee", duration=15.0, n_devices=4, seed=12)
+    )
+
+
+@pytest.fixture(scope="session")
+def ble_dataset():
+    return make_dataset(
+        "ble", TraceConfig(stack="ble", duration=15.0, n_devices=4, seed=13)
+    )
+
+
+@pytest.fixture(scope="session")
+def trained_detector(inet_dataset):
+    """A fitted two-stage detector shared by pipeline-level tests."""
+    from repro.core import DetectorConfig, TwoStageDetector
+
+    detector = TwoStageDetector(
+        DetectorConfig(n_fields=6, selector_epochs=12, epochs=20, seed=3)
+    )
+    detector.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+    return detector
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(1234)

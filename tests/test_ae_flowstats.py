@@ -1,0 +1,140 @@
+"""Tests for the autoencoder and flow-statistics baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import AutoencoderDetector, FlowStatsDetector
+from repro.baselines.flowstats import FLOW_FEATURE_NAMES, flow_features
+from repro.net.flow import Flow, FlowKey, assemble_flows
+from repro.net.packet import Packet
+from repro.net.protocols import inet
+
+
+class TestAutoencoder:
+    def test_reconstructs_training_manifold(self, rng):
+        # benign = low-dimensional structure; anomalies = uniform noise
+        base = rng.normal(0.5, 0.05, size=(400, 16))
+        detector = AutoencoderDetector(16, epochs=30, seed=0).fit(base)
+        benign_scores = detector.scores(rng.normal(0.5, 0.05, size=(100, 16)))
+        anomaly_scores = detector.scores(rng.uniform(0, 1, size=(100, 16)))
+        assert anomaly_scores.mean() > 3 * benign_scores.mean()
+
+    def test_threshold_respects_percentile(self, rng):
+        base = rng.normal(0.5, 0.05, size=(300, 8))
+        detector = AutoencoderDetector(
+            8, epochs=20, threshold_percentile=90.0, seed=0
+        ).fit(base)
+        flags = detector.predict(base)
+        # ~10% of benign training data sits above the 90th percentile
+        assert 0.02 < flags.mean() < 0.2
+
+    def test_detects_attacks_without_labels(self, inet_dataset):
+        benign = inet_dataset.x_train[inet_dataset.y_train_binary == 0]
+        detector = AutoencoderDetector(64, epochs=30, seed=0).fit(benign)
+        predictions = detector.predict(inet_dataset.x_test)
+        truth = inet_dataset.y_test_binary
+        recall = predictions[truth == 1].mean()
+        fpr = predictions[truth == 0].mean()
+        assert recall > 0.5
+        assert fpr < 0.15
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            AutoencoderDetector(4).predict(np.zeros((1, 4)))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            AutoencoderDetector(4).fit(np.zeros((5, 4)))
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            AutoencoderDetector(4, threshold_percentile=0)
+
+
+def tcp_flow_packets(n, src="192.168.1.10", sport=5555, size=60, label="benign"):
+    return [
+        Packet(
+            inet.build_tcp_packet(
+                "02:00:00:00:00:01", "02:00:00:00:00:02",
+                src, "192.168.1.1", sport, 1883,
+                payload=b"x" * size,
+            ),
+            timestamp=0.1 * i,
+        ).with_label(label)
+        for i in range(n)
+    ]
+
+
+class TestFlowFeatures:
+    def test_feature_vector_shape(self):
+        flows = assemble_flows(tcp_flow_packets(5))
+        vector = flow_features(flows[0])
+        assert vector.shape == (len(FLOW_FEATURE_NAMES),)
+        assert (vector >= 0).all() and (vector <= 255).all()
+
+    def test_packet_count_feature(self):
+        flows = assemble_flows(tcp_flow_packets(7))
+        assert flow_features(flows[0])[0] == 7
+
+    def test_single_packet_flow_degenerate_features(self):
+        flows = assemble_flows(tcp_flow_packets(1))
+        vector = flow_features(flows[0])
+        assert vector[0] == 1
+        assert vector[3] == 0  # zero duration
+
+
+class TestFlowStatsDetector:
+    def test_learns_flow_separation(self, inet_dataset):
+        detector = FlowStatsDetector(decision_packets=5)
+        detector.fit_packets(inet_dataset.train_packets)
+        result = detector.predict_packets(inet_dataset.test_packets)
+        truth = inet_dataset.y_test_binary
+        accuracy = (result.predictions == truth).mean()
+        assert accuracy > 0.85
+
+    def test_state_explosion_on_spoofed_traffic(self, inet_dataset):
+        detector = FlowStatsDetector()
+        detector.fit_packets(inet_dataset.train_packets)
+        result = detector.predict_packets(inet_dataset.test_packets)
+        attack_packets = int(inet_dataset.y_test_binary.sum())
+        # spoofed floods force roughly one flow per packet
+        assert result.flow_count > attack_packets // 2
+
+    def test_decision_latency_on_long_flows(self, zigbee_dataset):
+        detector = FlowStatsDetector(
+            decision_packets=6, stack="zigbee", min_samples_leaf=1
+        )
+        detector.fit_packets(zigbee_dataset.train_packets)
+        result = detector.predict_packets(zigbee_dataset.test_packets)
+        # the storm is one long flow: its first packets pass unjudged
+        assert result.attack_latency_packets >= 3
+
+    def test_few_flows_unlearnable_with_leaf_floor(self, zigbee_dataset):
+        """The data-efficiency weakness: one storm = one training flow."""
+        detector = FlowStatsDetector(
+            decision_packets=6, stack="zigbee", min_samples_leaf=3
+        )
+        detector.fit_packets(zigbee_dataset.train_packets)
+        result = detector.predict_packets(zigbee_dataset.test_packets)
+        truth = zigbee_dataset.y_test_binary
+        assert result.predictions[truth == 1].mean() < 0.5
+
+    def test_early_packets_not_flagged(self):
+        attack = tcp_flow_packets(20, src="10.0.0.9", label="syn_flood")
+        benign = tcp_flow_packets(20, src="192.168.1.10", size=10)
+        detector = FlowStatsDetector(decision_packets=10)
+        detector.fit_packets(attack + benign)
+        result = detector.predict_packets(attack)
+        assert result.predictions[:5].sum() == 0  # before decision point
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            FlowStatsDetector().predict_packets([])
+
+    def test_single_class_training_rejected(self):
+        with pytest.raises(ValueError):
+            FlowStatsDetector().fit_packets(tcp_flow_packets(10))
+
+    def test_invalid_decision_packets(self):
+        with pytest.raises(ValueError):
+            FlowStatsDetector(decision_packets=0)

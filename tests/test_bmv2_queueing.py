@@ -1,0 +1,157 @@
+"""Tests for repro.dataplane.bmv2 and repro.dataplane.queueing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.rules import ACTION_DROP, MatchField, Rule, RuleSet
+from repro.dataplane.bmv2 import bmv2_runtime_entries, generate_bmv2_config
+from repro.dataplane.queueing import EgressQueue, simulate_queue
+from repro.net.packet import Packet
+
+
+def small_ruleset():
+    ruleset = RuleSet((2, 5), default_action="allow")
+    ruleset.add(Rule((MatchField(2, 10, 10),), ACTION_DROP, priority=3))
+    ruleset.add(Rule((MatchField(5, 0, 127),), "quarantine", priority=1))
+    return ruleset
+
+
+class TestBmv2Config:
+    def test_json_serialisable(self):
+        config = generate_bmv2_config((2, 5), ruleset=small_ruleset())
+        text = json.dumps(config)
+        assert json.loads(text) == config
+
+    def test_header_covers_window(self):
+        config = generate_bmv2_config((2, 5))
+        fields = config["header_types"][0]["fields"]
+        assert fields[0][0] == "b0" and fields[-1][0] == "b5"
+        assert all(width == 8 for __, width, __s in fields)
+
+    def test_table_key_matches_offsets(self):
+        config = generate_bmv2_config((2, 5))
+        keys = config["pipelines"][0]["tables"][0]["key"]
+        assert [k["target"] for k in keys] == [["window", "b2"], ["window", "b5"]]
+        assert all(k["match_type"] == "ternary" for k in keys)
+
+    def test_actions_present(self):
+        config = generate_bmv2_config((0,))
+        names = {a["name"] for a in config["actions"]}
+        assert names == {"drop_packet", "allow_packet", "quarantine_packet"}
+        drop = next(a for a in config["actions"] if a["name"] == "drop_packet")
+        assert drop["primitives"][0]["op"] == "mark_to_drop"
+
+    def test_entries_match_expansion(self):
+        ruleset = small_ruleset()
+        entries = bmv2_runtime_entries(ruleset)
+        assert len(entries) == len(ruleset.to_ternary())
+        first = entries[0]
+        assert first["table"] == "firewall"
+        assert len(first["match_key"]) == 2
+        assert first["action_name"].endswith("_packet")
+
+    def test_default_action_follows_ruleset(self):
+        drop_default = RuleSet((0,), default_action="drop")
+        config = generate_bmv2_config((0,), ruleset=drop_default)
+        default = config["pipelines"][0]["tables"][0]["default_entry"]
+        assert default["action_id"] == 0  # drop_packet
+
+    def test_parser_extracts_window(self):
+        config = generate_bmv2_config((3,))
+        ops = config["parsers"][0]["parse_states"][0]["parser_ops"]
+        assert ops[0]["op"] == "extract"
+        assert ops[0]["parameters"][0]["value"] == "window"
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            generate_bmv2_config(())
+        with pytest.raises(ValueError):
+            generate_bmv2_config((9,), window=4)
+
+
+def steady_packets(n, size=100, spacing=0.01, start=0.0, label="benign"):
+    return [
+        Packet(b"\x00" * size, timestamp=start + i * spacing).with_label(label)
+        for i in range(n)
+    ]
+
+
+class TestEgressQueue:
+    def test_underload_has_small_delay(self):
+        # 100B / 10ms = 10 kB/s offered; service 100 kB/s → near-empty queue.
+        result = simulate_queue(
+            steady_packets(100), rate_bytes_per_s=100_000
+        )
+        assert result.loss_rate() == 0.0
+        assert result.mean_delay() < 0.005
+        assert result.forwarded_index.size == 100
+
+    def test_overload_builds_delay(self):
+        # Offered 10 kB/s, service 5 kB/s → queue grows, delay climbs.
+        result = simulate_queue(
+            steady_packets(200), rate_bytes_per_s=5_000, buffer_bytes=10**9
+        )
+        assert result.delays[-1] > result.delays[0]
+        assert result.mean_delay() > 0.05
+
+    def test_finite_buffer_tail_drops(self):
+        result = simulate_queue(
+            steady_packets(200), rate_bytes_per_s=5_000, buffer_bytes=1_000
+        )
+        assert result.tail_dropped_index.size > 0
+        assert result.loss_rate() > 0.1
+
+    def test_ingress_filter_reduces_load(self):
+        benign = steady_packets(100, label="benign")
+        attack = steady_packets(100, start=0.005, label="udp_flood")
+        trace = sorted(benign + attack, key=lambda p: p.timestamp)
+        queue_kwargs = dict(rate_bytes_per_s=12_000, buffer_bytes=10**9)
+        unfiltered = simulate_queue(trace, **queue_kwargs)
+        filtered = simulate_queue(
+            trace, admit=lambda p: not p.label.is_attack, **queue_kwargs
+        )
+        assert filtered.ingress_dropped_index.size == 100
+        assert filtered.mean_delay() < unfiltered.mean_delay()
+
+    def test_unsorted_trace_rejected(self):
+        packets = [Packet(b"x", timestamp=1.0), Packet(b"x", timestamp=0.5)]
+        with pytest.raises(ValueError):
+            simulate_queue(packets, rate_bytes_per_s=1000)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            EgressQueue(0)
+        with pytest.raises(ValueError):
+            EgressQueue(100, buffer_bytes=0)
+
+    def test_empty_trace(self):
+        result = simulate_queue([], rate_bytes_per_s=1000)
+        assert result.mean_delay() == 0.0
+        assert result.p99_delay() == 0.0
+        assert result.loss_rate() == 0.0
+
+
+class TestSimpleSwitchCli:
+    def test_commands_shape(self):
+        from repro.dataplane.bmv2 import simple_switch_cli_commands
+
+        ruleset = small_ruleset()
+        lines = simple_switch_cli_commands(ruleset)
+        assert lines[0] == "table_set_default firewall allow_packet"
+        assert len(lines) == 1 + len(ruleset.to_ternary())
+        assert all("&&&" in line for line in lines[1:])
+        assert all("=>" in line for line in lines[1:])
+
+    def test_priority_inversion(self):
+        from repro.dataplane.bmv2 import simple_switch_cli_commands
+
+        ruleset = RuleSet((0,))
+        ruleset.add(Rule((MatchField(0, 1, 1),), ACTION_DROP, priority=1))
+        ruleset.add(Rule((MatchField(0, 2, 2),), ACTION_DROP, priority=9))
+        lines = simple_switch_cli_commands(ruleset)
+        # higher rule priority → lower bmv2 number (matched first)
+        high = next(l for l in lines if "0x02" in l)
+        low = next(l for l in lines if "0x01" in l)
+        assert int(high.split("=>")[1]) < int(low.split("=>")[1])

@@ -1,0 +1,210 @@
+"""Tests for the repro CLI."""
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.net.pcap import write_pcap
+
+
+@pytest.fixture(scope="module")
+def pcap_and_labels(tmp_path_factory):
+    """A small labelled capture written to disk (shared across CLI tests)."""
+    from repro.datasets import TraceConfig, make_dataset
+
+    dataset = make_dataset(
+        "cli", TraceConfig(stack="inet", duration=12.0, n_devices=2, seed=55)
+    )
+    packets = dataset.train_packets + dataset.test_packets
+    root = tmp_path_factory.mktemp("cli")
+    pcap_path = root / "capture.pcap"
+    write_pcap(pcap_path, packets)
+    labels_path = root / "labels.csv"
+    with open(labels_path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["index", "category"])
+        for index, packet in enumerate(packets):
+            writer.writerow([index, packet.label.category])
+    return str(pcap_path), str(labels_path), root
+
+
+class TestTrain:
+    def test_train_from_pcap(self, pcap_and_labels, capsys):
+        pcap, labels, root = pcap_and_labels
+        rules_path = root / "rules.json"
+        model_path = root / "model.npz"
+        code = main(
+            [
+                "train", "--pcap", pcap, "--labels", labels,
+                "--rules", str(rules_path), "--model", str(model_path),
+                "--fields", "5",
+            ]
+        )
+        assert code == 0
+        assert rules_path.exists() and model_path.exists()
+        data = json.loads(rules_path.read_text())
+        assert len(data["offsets"]) == 5
+        out = capsys.readouterr().out
+        assert "selected offsets" in out
+
+    def test_train_synthetic(self, tmp_path, capsys):
+        rules_path = tmp_path / "rules.json"
+        code = main(
+            ["train", "--synthetic", "zigbee", "--rules", str(rules_path)]
+        )
+        assert code == 0
+        assert rules_path.exists()
+
+    def test_train_requires_labels_with_pcap(self, pcap_and_labels, tmp_path):
+        pcap, __, ___ = pcap_and_labels
+        with pytest.raises(SystemExit):
+            main(["train", "--pcap", pcap, "--rules", str(tmp_path / "r.json")])
+
+    def test_train_requires_input(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["train", "--rules", str(tmp_path / "r.json")])
+
+
+class TestInspectAndCompile:
+    @pytest.fixture()
+    def rules_path(self, pcap_and_labels):
+        pcap, labels, root = pcap_and_labels
+        path = root / "rules2.json"
+        if not path.exists():
+            main(
+                ["train", "--pcap", pcap, "--labels", labels, "--rules", str(path)]
+            )
+        return path
+
+    def test_rules_inspection(self, rules_path, capsys):
+        assert main(["rules", str(rules_path)]) == 0
+        out = capsys.readouterr().out
+        assert "RuleSet over offsets" in out
+        assert "TCAM" in out
+
+    def test_p4_emission(self, rules_path, tmp_path, capsys):
+        out_path = tmp_path / "gateway.p4"
+        assert main(["p4", str(rules_path), "--out", str(out_path)]) == 0
+        program = out_path.read_text()
+        assert "V1Switch" in program
+        assert program.count("{") == program.count("}")
+
+    def test_p4_const_entries(self, rules_path, tmp_path):
+        out_path = tmp_path / "gateway.p4"
+        main(["p4", str(rules_path), "--out", str(out_path), "--const-entries"])
+        assert "const entries" in out_path.read_text()
+
+    def test_simulate(self, rules_path, pcap_and_labels, capsys):
+        pcap, __, ___ = pcap_and_labels
+        assert main(["simulate", str(rules_path), "--pcap", pcap]) == 0
+        out = capsys.readouterr().out
+        assert "dropped" in out and "hits" in out
+
+    def test_eval(self, rules_path, pcap_and_labels, capsys):
+        pcap, labels, __ = pcap_and_labels
+        assert main(["eval", str(rules_path), "--pcap", pcap, "--labels", labels]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out
+        # trained and evaluated on the same capture → should be accurate
+        accuracy = float(out.split("accuracy:")[1].split()[0])
+        assert accuracy > 0.9
+
+
+class TestLabelParsing:
+    def test_out_of_range_index_rejected(self, pcap_and_labels, tmp_path):
+        pcap, __, ___ = pcap_and_labels
+        bad = tmp_path / "bad.csv"
+        bad.write_text("index,category\n999999,syn_flood\n")
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "train", "--pcap", pcap, "--labels", str(bad),
+                    "--rules", str(tmp_path / "r.json"),
+                ]
+            )
+
+    def test_comments_and_header_skipped(self, pcap_and_labels, tmp_path):
+        pcap, __, root = pcap_and_labels
+        labels = tmp_path / "sparse.csv"
+        labels.write_text("# comment\nindex,category\n0,syn_flood\n")
+        rules_path = tmp_path / "r.json"
+        assert (
+            main(
+                [
+                    "train", "--pcap", pcap, "--labels", str(labels),
+                    "--rules", str(rules_path),
+                ]
+            )
+            == 0
+        )
+
+
+class TestExplainAndOptimize:
+    def test_explain_command(self, pcap_and_labels, tmp_path, capsys):
+        pcap, labels, __ = pcap_and_labels
+        rules_path = tmp_path / "rx.json"
+        main(["train", "--pcap", pcap, "--labels", labels, "--rules", str(rules_path)])
+        capsys.readouterr()
+        assert main(["explain", str(rules_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Deployed firewall rules" in out
+        assert "DROP when" in out or "QUARANTINE when" in out
+
+    def test_train_with_optimize_flag(self, pcap_and_labels, tmp_path, capsys):
+        pcap, labels, __ = pcap_and_labels
+        rules_path = tmp_path / "ro.json"
+        code = main(
+            [
+                "train", "--pcap", pcap, "--labels", labels,
+                "--rules", str(rules_path), "--optimize",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimised:" in out
+        assert rules_path.exists()
+
+
+class TestSynth:
+    def test_synth_writes_pcap_and_labels(self, tmp_path, capsys):
+        pcap = tmp_path / "t.pcap"
+        labels = tmp_path / "t.csv"
+        code = main(
+            [
+                "synth", "--stack", "inet", "--duration", "8",
+                "--devices", "1", "--seed", "3",
+                "--pcap", str(pcap), "--labels", str(labels),
+            ]
+        )
+        assert code == 0
+        assert pcap.exists() and labels.exists()
+        rows = labels.read_text().strip().split("\n")
+        from repro.net.pcap import read_pcap
+
+        assert len(rows) - 1 == len(read_pcap(pcap))
+
+    def test_synth_then_train_roundtrip(self, tmp_path, capsys):
+        """The full CLI workflow: synth → train → eval."""
+        pcap = tmp_path / "t.pcap"
+        labels = tmp_path / "t.csv"
+        rules = tmp_path / "t.json"
+        main(
+            [
+                "synth", "--duration", "10", "--devices", "1", "--seed", "4",
+                "--pcap", str(pcap), "--labels", str(labels),
+            ]
+        )
+        assert main(
+            ["train", "--pcap", str(pcap), "--labels", str(labels),
+             "--rules", str(rules)]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["eval", str(rules), "--pcap", str(pcap), "--labels", str(labels)]
+        ) == 0
+        out = capsys.readouterr().out
+        accuracy = float(out.split("accuracy:")[1].split()[0])
+        assert accuracy > 0.85

@@ -1,0 +1,109 @@
+"""Tests for repro.net.protocols.coap."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.protocols import coap
+
+
+class TestFixedHeader:
+    def test_version_and_type(self):
+        message = coap.build_message(msg_type=coap.NON, code=coap.GET, message_id=42)
+        parsed = coap.parse_message(message)
+        assert parsed.version == 1
+        assert parsed.msg_type == coap.NON
+        assert parsed.message_id == 42
+
+    def test_token(self):
+        message = coap.build_message(token=b"\x01\x02\x03")
+        assert coap.parse_message(message).token == b"\x01\x02\x03"
+
+    def test_token_too_long(self):
+        with pytest.raises(ValueError):
+            coap.build_message(token=b"\x00" * 9)
+
+    def test_wrong_version_rejected(self):
+        message = bytearray(coap.build_message())
+        message[0] = (2 << 6) | (message[0] & 0x3F)
+        with pytest.raises(ValueError):
+            coap.parse_message(bytes(message))
+
+
+class TestOptions:
+    def test_uri_path(self):
+        message = coap.build_message(
+            options=[
+                (coap.OPTION_URI_PATH, b"well-known"),
+                (coap.OPTION_URI_PATH, b"core"),
+            ]
+        )
+        parsed = coap.parse_message(message)
+        assert parsed.uri_path() == "/well-known/core"
+
+    def test_options_sorted_by_number(self):
+        message = coap.build_message(
+            options=[
+                (coap.OPTION_CONTENT_FORMAT, b"\x00"),
+                (coap.OPTION_URI_PATH, b"x"),
+            ]
+        )
+        parsed = coap.parse_message(message)
+        assert [num for num, __ in parsed.options] == [
+            coap.OPTION_URI_PATH,
+            coap.OPTION_CONTENT_FORMAT,
+        ]
+
+    def test_extended_delta(self):
+        # option number 23 (BLOCK2) needs delta 23 > 12 → extended nibble
+        message = coap.build_message(options=[(coap.OPTION_BLOCK2, b"\x06")])
+        parsed = coap.parse_message(message)
+        assert parsed.option_values(coap.OPTION_BLOCK2) == [b"\x06"]
+
+    def test_long_option_value(self):
+        value = b"v" * 300  # length > 268 → 2-byte extended length
+        message = coap.build_message(options=[(coap.OPTION_URI_PATH, value)])
+        parsed = coap.parse_message(message)
+        assert parsed.option_values(coap.OPTION_URI_PATH) == [value]
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=500),
+                st.binary(max_size=30),
+            ),
+            max_size=6,
+        )
+    )
+    def test_options_roundtrip_property(self, options):
+        message = coap.build_message(options=options)
+        parsed = coap.parse_message(message)
+        assert sorted(parsed.options) == sorted(
+            (num, bytes(val)) for num, val in options
+        )
+
+
+class TestPayload:
+    def test_payload_after_marker(self):
+        message = coap.build_message(payload=b"hello")
+        assert coap.parse_message(message).payload == b"hello"
+        assert 0xFF in message
+
+    def test_no_marker_when_empty(self):
+        message = coap.build_message(payload=b"")
+        assert coap.parse_message(message).payload == b""
+
+    def test_payload_with_options(self):
+        message = coap.build_message(
+            options=[(coap.OPTION_URI_PATH, b"state")], payload=b"on"
+        )
+        parsed = coap.parse_message(message)
+        assert parsed.uri_path() == "/state"
+        assert parsed.payload == b"on"
+
+    def test_truncated_option_raises(self):
+        message = bytearray(
+            coap.build_message(options=[(coap.OPTION_URI_PATH, b"abcdef")])
+        )
+        with pytest.raises(ValueError):
+            coap.parse_message(bytes(message[:-3]))

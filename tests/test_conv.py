@@ -1,0 +1,149 @@
+"""Tests for repro.nn.conv and the CNN baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.cnn import ByteCnn
+from repro.nn.conv import Conv1D, GlobalMaxPool1D, MaxPool1D
+
+
+def numeric_gradient(func, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func()
+        flat[i] = original - eps
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestConv1D:
+    def test_output_shape(self, rng):
+        conv = Conv1D(10, 1, 4, 3, rng=rng)
+        out = conv.forward(rng.normal(size=(5, 10)))
+        assert out.shape == (5, 4 * 8)  # out_length = 10-3+1
+
+    def test_stride(self, rng):
+        conv = Conv1D(10, 1, 2, 3, stride=2, rng=rng)
+        assert conv.out_length == 4
+        assert conv.forward(rng.normal(size=(2, 10))).shape == (2, 8)
+
+    def test_known_convolution(self):
+        conv = Conv1D(4, 1, 1, 2, rng=np.random.default_rng(0))
+        conv.weight.value[:] = np.array([[[1.0], [2.0]]])  # w = [1, 2]
+        conv.bias.value[:] = 0.5
+        out = conv.forward(np.array([[1.0, 2.0, 3.0, 4.0]]))
+        np.testing.assert_allclose(out, [[1 + 4 + 0.5, 2 + 6 + 0.5, 3 + 8 + 0.5]])
+
+    def test_multi_channel_shapes(self, rng):
+        conv = Conv1D(8, 3, 5, 3, rng=rng)
+        out = conv.forward(rng.normal(size=(4, 24)))
+        assert out.shape == (4, 5 * 6)
+
+    def test_input_gradient(self, rng):
+        conv = Conv1D(7, 2, 3, 3, rng=rng)
+        x = rng.normal(size=(3, 14))
+        out = conv.forward(x.copy())
+        analytic = conv.backward(np.ones_like(out))
+        numeric = numeric_gradient(lambda: float(conv.forward(x).sum()), x)
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_weight_gradient(self, rng):
+        conv = Conv1D(6, 1, 2, 3, rng=rng)
+        x = rng.normal(size=(4, 6))
+        conv.weight.zero_grad()
+        out = conv.forward(x)
+        conv.backward(np.ones_like(out))
+        analytic = conv.weight.grad.copy()
+        numeric = numeric_gradient(
+            lambda: float(conv.forward(x).sum()), conv.weight.value
+        )
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-7)
+
+    def test_bias_gradient_is_count(self, rng):
+        conv = Conv1D(5, 1, 2, 2, rng=rng)
+        x = rng.normal(size=(3, 5))
+        conv.bias.zero_grad()
+        out = conv.forward(x)
+        conv.backward(np.ones_like(out))
+        # each bias sees batch × out_length ones
+        np.testing.assert_allclose(conv.bias.grad, 3 * conv.out_length)
+
+    def test_invalid_params(self, rng):
+        with pytest.raises(ValueError):
+            Conv1D(4, 1, 1, 5, rng=rng)
+        with pytest.raises(ValueError):
+            Conv1D(4, 1, 1, 2, stride=0, rng=rng)
+
+    def test_wrong_width_rejected(self, rng):
+        conv = Conv1D(4, 1, 1, 2, rng=rng)
+        with pytest.raises(ValueError):
+            conv.forward(rng.normal(size=(1, 5)))
+
+
+class TestPooling:
+    def test_maxpool_values(self):
+        pool = MaxPool1D(6, 1, 2)
+        out = pool.forward(np.array([[1.0, 5.0, 2.0, 2.0, 9.0, 0.0]]))
+        np.testing.assert_allclose(out, [[5.0, 2.0, 9.0]])
+
+    def test_maxpool_gradient_routes_to_argmax(self):
+        pool = MaxPool1D(4, 1, 2)
+        x = np.array([[1.0, 5.0, 7.0, 2.0]])
+        pool.forward(x)
+        grad = pool.backward(np.array([[1.0, 2.0]]))
+        np.testing.assert_allclose(grad, [[0.0, 1.0, 2.0, 0.0]])
+
+    def test_maxpool_invalid(self):
+        with pytest.raises(ValueError):
+            MaxPool1D(5, 1, 2)
+
+    def test_global_pool(self):
+        pool = GlobalMaxPool1D(4, 2)
+        x = np.array([[1.0, 9.0, 2.0, 3.0, 8.0, 0.0, 1.0, 2.0]])
+        out = pool.forward(x)
+        np.testing.assert_allclose(out, [[9.0, 8.0]])
+
+    def test_global_pool_gradient(self, rng):
+        pool = GlobalMaxPool1D(5, 3)
+        x = rng.normal(size=(2, 15))
+        out = pool.forward(x.copy())
+        analytic = pool.backward(np.ones_like(out))
+        numeric = numeric_gradient(lambda: float(pool.forward(x).sum()), x)
+        np.testing.assert_allclose(analytic, numeric, atol=1e-6)
+
+
+class TestByteCnn:
+    def test_learns_local_motif(self, rng):
+        """A byte pattern at a *random position* — CNNs' home turf."""
+        n, length = 500, 24
+        x = rng.integers(0, 200, size=(n, length)).astype(float)
+        y = np.zeros(n, dtype=np.int64)
+        for i in range(0, n, 2):  # half the rows get the motif
+            position = int(rng.integers(0, length - 2))
+            x[i, position : position + 3] = [250, 10, 250]
+            y[i] = 1
+        x /= 255.0
+        cnn = ByteCnn(length, channels=8, kernel=3, epochs=40, seed=0)
+        cnn.fit(x[:400], y[:400])
+        accuracy = (cnn.predict(x[400:]) == y[400:]).mean()
+        assert accuracy > 0.9
+
+    def test_works_on_packet_dataset(self, inet_dataset):
+        cnn = ByteCnn(inet_dataset.extractor.n_bytes, epochs=15, seed=0)
+        cnn.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+        accuracy = (
+            cnn.predict(inet_dataset.x_test) == inet_dataset.y_test_binary
+        ).mean()
+        assert accuracy > 0.9
+
+    def test_proba_normalised(self, inet_dataset):
+        cnn = ByteCnn(inet_dataset.extractor.n_bytes, epochs=3, seed=0)
+        cnn.fit(inet_dataset.x_train[:100], inet_dataset.y_train_binary[:100])
+        probs = cnn.predict_proba(inet_dataset.x_test[:10])
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)

@@ -1,0 +1,291 @@
+"""Tests for repro.datasets (devices, attacks, generator, features)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import attacks, devices
+from repro.datasets.features import FeatureExtractor, LabelEncoder, train_test_split
+from repro.datasets.generator import TraceConfig, generate_trace, make_dataset
+from repro.net.packet import Packet
+from repro.net.protocols import inet, mqtt, zigbee
+
+
+class TestDeviceModels:
+    def test_mqtt_sensor_session_lifecycle(self, rng):
+        sensor = devices.MqttSensor(0, period=1.0)
+        packets = list(sensor.generate(rng, 0.0, 10.0))
+        assert len(packets) > 5
+        assert all(p.label.category == "benign" for p in packets)
+        # first packet of the TCP session is a SYN
+        first = inet.parse_ethernet_stack(packets[0].data)
+        assert first.tcp is not None and first.tcp["flags"] == inet.TCP_SYN
+
+    def test_mqtt_sensor_publishes_topic(self, rng):
+        sensor = devices.MqttSensor(3, period=0.5)
+        packets = list(sensor.generate(rng, 0.0, 10.0))
+        assert any(b"home/temp/3" in p.data for p in packets)
+
+    def test_coap_plug_request_response(self, rng):
+        plug = devices.CoapPlug(1, period=1.0)
+        packets = list(plug.generate(rng, 0.0, 5.0))
+        assert len(packets) >= 2
+        ports = set()
+        for packet in packets:
+            parsed = inet.parse_ethernet_stack(packet.data)
+            assert parsed.udp is not None
+            ports.add(parsed.udp["dst_port"])
+        assert 5683 in ports  # requests go to the CoAP port
+
+    def test_udp_camera_packet_sizes(self, rng):
+        camera = devices.UdpCamera(2, fps=10)
+        packets = list(camera.generate(rng, 0.0, 3.0))
+        assert len(packets) > 5
+        assert all(len(p.data) > 200 for p in packets)
+
+    def test_dns_client_queries_and_responses(self, rng):
+        client = devices.DnsClient(0, period=1.0)
+        packets = list(client.generate(rng, 0.0, 10.0))
+        assert len(packets) >= 4
+        assert len(packets) % 2 == 0  # query/response pairs
+
+    def test_zigbee_sensor_reports_to_coordinator(self, rng):
+        sensor = devices.ZigbeeSensor(0, period=0.5)
+        packets = list(sensor.generate(rng, 0.0, 5.0))
+        assert packets
+        parsed = zigbee.parse_frame(packets[0].data)
+        assert parsed.nwk["dst_addr"] == 0x0000
+        assert parsed.fcs_ok
+
+    def test_ble_wearable_notifications(self, rng):
+        wearable = devices.BleWearable(0, period=0.2)
+        packets = list(wearable.generate(rng, 0.0, 3.0))
+        assert len(packets) > 5
+
+    def test_timestamps_within_window(self, rng):
+        sensor = devices.MqttSensor(0, period=0.5)
+        packets = list(sensor.generate(rng, 5.0, 10.0))
+        assert all(5.0 <= p.timestamp <= 15.0 for p in packets)
+
+    def test_device_addressing_deterministic(self):
+        assert devices.device_mac(3) == devices.device_mac(3)
+        assert devices.device_ip(1) != devices.device_ip(2)
+
+
+class TestAttackModels:
+    def _packets(self, model, duration=5.0, seed=5):
+        rng = np.random.default_rng(seed)
+        return list(model.generate(rng, 0.0, duration))
+
+    def test_all_families_labelled(self):
+        families = attacks.INET_ATTACKS + attacks.ZIGBEE_ATTACKS + attacks.BLE_ATTACKS
+        for family in families:
+            packets = self._packets(family(0))
+            assert packets, family
+            assert all(p.label.is_attack for p in packets)
+            assert all(p.label.category == family.category for p in packets)
+
+    def test_syn_flood_flags_and_sources(self):
+        packets = self._packets(attacks.SynFlood(0))
+        sources = set()
+        for packet in packets:
+            parsed = inet.parse_ethernet_stack(packet.data)
+            assert parsed.tcp["flags"] == inet.TCP_SYN
+            sources.add(parsed.ipv4["src_addr"])
+        assert len(sources) > len(packets) // 2  # spoofed variety
+
+    def test_port_scan_sweeps_ports(self):
+        packets = self._packets(attacks.PortScan(0))
+        ports = [
+            inet.parse_ethernet_stack(p.data).tcp["dst_port"] for p in packets
+        ]
+        assert len(set(ports)) == len(ports)  # strictly sweeping
+
+    def test_mirai_targets_telnet(self):
+        packets = self._packets(attacks.MiraiTelnet(0))
+        for packet in packets:
+            parsed = inet.parse_ethernet_stack(packet.data)
+            assert parsed.tcp["dst_port"] in (23, 2323)
+            assert b":" in parsed.payload  # credential pair
+
+    def test_mirai_comes_from_lan_devices(self):
+        packets = self._packets(attacks.MiraiTelnet(0))
+        for packet in packets:
+            parsed = inet.parse_ethernet_stack(packet.data)
+            src = parsed.ipv4["src_addr"].to_bytes(4, "big")
+            assert src[:3] == bytes([192, 168, 1])
+
+    def test_mqtt_flood_is_valid_mqtt(self):
+        packets = self._packets(attacks.MqttConnectFlood(0))
+        for packet in packets:
+            parsed = inet.parse_ethernet_stack(packet.data)
+            header = mqtt.parse_fixed_header(parsed.payload)
+            assert header.packet_type == mqtt.CONNECT
+
+    def test_zigbee_storm_is_broadcast(self):
+        packets = self._packets(attacks.ZigbeeStorm(0))
+        for packet in packets:
+            parsed = zigbee.parse_frame(packet.data)
+            assert parsed.nwk["dst_addr"] == zigbee.BROADCAST_ADDR
+
+    def test_ble_spoof_hits_protected_handles(self):
+        from repro.net.protocols import ble
+
+        packets = self._packets(attacks.BleSpoof(0))
+        for packet in packets:
+            parsed = ble.parse_frame(packet.data)
+            assert parsed.att_opcode == ble.ATT_WRITE_REQ
+            assert parsed.att_handle in attacks.BleSpoof.PROTECTED_HANDLES
+
+    def test_rate_scales_volume(self):
+        slow = self._packets(attacks.UdpFlood(0, rate=5), duration=10)
+        fast = self._packets(attacks.UdpFlood(0, rate=50), duration=10)
+        assert len(fast) > 3 * len(slow)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            attacks.UdpFlood(0, rate=0)
+
+
+class TestGenerator:
+    def test_deterministic_from_seed(self):
+        config = TraceConfig(stack="inet", duration=5.0, n_devices=1, seed=42)
+        a = generate_trace(config)
+        b = generate_trace(config)
+        assert [p.data for p in a] == [p.data for p in b]
+        assert [p.timestamp for p in a] == [p.timestamp for p in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_trace(TraceConfig(duration=5.0, n_devices=1, seed=1))
+        b = generate_trace(TraceConfig(duration=5.0, n_devices=1, seed=2))
+        assert [p.data for p in a] != [p.data for p in b]
+
+    def test_time_sorted(self):
+        packets = generate_trace(TraceConfig(duration=5.0, n_devices=1, seed=3))
+        times = [p.timestamp for p in packets]
+        assert times == sorted(times)
+
+    def test_contains_benign_and_attacks(self):
+        packets = generate_trace(TraceConfig(duration=10.0, n_devices=2, seed=4))
+        categories = {p.label.category for p in packets}
+        assert "benign" in categories
+        assert len(categories) >= 4
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            TraceConfig(stack="nope")
+        with pytest.raises(ValueError):
+            TraceConfig(duration=0)
+        with pytest.raises(ValueError):
+            TraceConfig(n_devices=0)
+
+    def test_attack_family_subset(self):
+        config = TraceConfig(
+            duration=10.0, n_devices=1, seed=5,
+            attack_families=[attacks.SynFlood],
+        )
+        packets = generate_trace(config)
+        attack_cats = {p.label.category for p in packets if p.label.is_attack}
+        assert attack_cats == {"syn_flood"}
+
+    def test_make_dataset_shapes(self):
+        dataset = make_dataset(
+            "t", TraceConfig(duration=8.0, n_devices=1, seed=6), n_bytes=32
+        )
+        assert dataset.x_train.shape[1] == 32
+        assert len(dataset.x_train) == len(dataset.y_train)
+        assert len(dataset.x_test) == len(dataset.y_test)
+        assert dataset.x_train.min() >= 0.0 and dataset.x_train.max() <= 1.0
+
+    def test_dataset_binary_labels(self, inet_dataset):
+        assert set(np.unique(inet_dataset.y_train_binary)) <= {0, 1}
+        # class 0 in the multiclass encoding is benign
+        benign_mask = inet_dataset.y_train == 0
+        assert (inet_dataset.y_train_binary[benign_mask] == 0).all()
+
+    def test_summary_mentions_counts(self, inet_dataset):
+        text = inet_dataset.summary()
+        assert "train" in text and "benign=" in text
+
+
+class TestFeatureExtractor:
+    def test_shape_and_padding(self):
+        extractor = FeatureExtractor(n_bytes=8)
+        x = extractor.transform([Packet(b"\xff\x01"), Packet(b"")])
+        assert x.shape == (2, 8)
+        assert x[0, 0] == pytest.approx(1.0)
+        assert x[0, 2:].sum() == 0
+        assert x[1].sum() == 0
+
+    def test_unscaled_bytes(self):
+        extractor = FeatureExtractor(n_bytes=4)
+        raw = extractor.transform_bytes([Packet(b"\x10\x20")])
+        assert raw.dtype == np.uint8
+        assert raw[0, 0] == 0x10 and raw[0, 3] == 0
+
+    def test_scaling_consistency(self):
+        extractor = FeatureExtractor(n_bytes=4)
+        packet = Packet(b"\x80\x40\x20\x10")
+        scaled = extractor.transform([packet])
+        raw = extractor.transform_bytes([packet])
+        np.testing.assert_allclose(scaled, raw / 255.0)
+
+    def test_invalid_n_bytes(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(n_bytes=0)
+
+    def test_matches_packet_byte_at(self, inet_dataset):
+        packet = inet_dataset.test_packets[0]
+        raw = inet_dataset.extractor.transform_bytes([packet])[0]
+        offsets = list(range(inet_dataset.extractor.n_bytes))
+        assert tuple(raw.tolist()) == packet.bytes_at(tuple(offsets))
+
+
+class TestLabelEncoder:
+    def test_benign_is_class_zero(self):
+        encoder = LabelEncoder(["syn_flood"])
+        assert encoder.decode(0) == "benign"
+
+    def test_fit_registers_sorted(self):
+        packets = [
+            Packet(b"x").with_label("udp_flood"),
+            Packet(b"x").with_label("syn_flood"),
+            Packet(b"x"),
+        ]
+        encoder = LabelEncoder().fit(packets)
+        assert encoder.classes == ["benign", "syn_flood", "udp_flood"]
+
+    def test_encode_binary(self):
+        packets = [Packet(b"x"), Packet(b"x").with_label("udp_flood")]
+        encoder = LabelEncoder().fit(packets)
+        np.testing.assert_array_equal(encoder.encode_binary(packets), [0, 1])
+
+    def test_unknown_category_raises(self):
+        encoder = LabelEncoder()
+        with pytest.raises(KeyError):
+            encoder.encode([Packet(b"x").with_label("novel")])
+
+    def test_add_idempotent(self):
+        encoder = LabelEncoder()
+        first = encoder.add("a")
+        second = encoder.add("a")
+        assert first == second
+        assert encoder.num_classes == 2
+
+
+class TestSplit:
+    def test_fraction(self):
+        packets = [Packet(bytes([i])) for i in range(100)]
+        train, test = train_test_split(
+            packets, test_fraction=0.25, rng=np.random.default_rng(0)
+        )
+        assert len(train) == 75 and len(test) == 25
+
+    def test_disjoint_and_complete(self):
+        packets = [Packet(bytes([i])) for i in range(50)]
+        train, test = train_test_split(packets, rng=np.random.default_rng(0))
+        combined = sorted(p.data for p in train + test)
+        assert combined == sorted(p.data for p in packets)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_test_split([Packet(b"x")], test_fraction=1.0)

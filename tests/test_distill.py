@@ -1,0 +1,192 @@
+"""Tests for repro.core.distill (CART tree)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distill import DecisionTree, gini_impurity
+
+
+class TestGini:
+    def test_pure_is_zero(self):
+        assert gini_impurity(np.array([10.0, 0.0])) == 0.0
+
+    def test_uniform_binary_is_half(self):
+        assert gini_impurity(np.array([5.0, 5.0])) == pytest.approx(0.5)
+
+    def test_empty_is_zero(self):
+        assert gini_impurity(np.array([0.0, 0.0])) == 0.0
+
+
+def threshold_data(rng, n=300, threshold=100):
+    x = rng.integers(0, 256, size=(n, 3)).astype(np.int64)
+    y = (x[:, 1] > threshold).astype(np.int64)
+    return x, y
+
+
+class TestFitting:
+    def test_learns_single_threshold(self, rng):
+        x, y = threshold_data(rng)
+        tree = DecisionTree(max_depth=2).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.99
+        assert set(tree.feature_usage()) == {1}
+
+    def test_learns_conjunction(self, rng):
+        x = rng.integers(0, 256, size=(600, 4)).astype(np.int64)
+        y = ((x[:, 0] > 128) & (x[:, 2] < 64)).astype(np.int64)
+        tree = DecisionTree(max_depth=3).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.98
+
+    def test_depth_respected(self, rng):
+        x, y = threshold_data(rng)
+        tree = DecisionTree(max_depth=1).fit(x, y)
+        assert tree.depth() <= 1
+
+    def test_min_samples_leaf(self, rng):
+        x, y = threshold_data(rng, n=100)
+        tree = DecisionTree(max_depth=10, min_samples_leaf=40).fit(x, y)
+        for leaf in tree.leaves():
+            assert leaf.samples >= 40
+
+    def test_pure_node_stops(self):
+        x = np.array([[0], [1], [2], [3]] * 10)
+        y = np.zeros(40, dtype=np.int64)
+        tree = DecisionTree(max_depth=5).fit(x, y)
+        assert tree.node_count() == 1
+
+    def test_multiclass(self, rng):
+        x = rng.integers(0, 256, size=(600, 2)).astype(np.int64)
+        y = np.digitize(x[:, 0], [85, 170]).astype(np.int64)  # 3 classes
+        tree = DecisionTree(max_depth=3).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.98
+
+    def test_input_validation(self):
+        tree = DecisionTree()
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((0, 2)), np.zeros(0))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros(5), np.zeros(5))
+        with pytest.raises(ValueError):
+            tree.fit(np.full((5, 2), 300), np.zeros(5))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_bad_hyperparams(self):
+        with pytest.raises(ValueError):
+            DecisionTree(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTree(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            DecisionTree(snap_tolerance=0.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+
+class TestProba:
+    def test_probabilities_valid(self, rng):
+        x, y = threshold_data(rng)
+        tree = DecisionTree(max_depth=3).fit(x, y)
+        probs = tree.predict_proba(x)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+        assert (probs >= 0).all()
+
+    def test_argmax_matches_predict(self, rng):
+        x, y = threshold_data(rng)
+        tree = DecisionTree(max_depth=3).fit(x, y)
+        np.testing.assert_array_equal(
+            tree.predict_proba(x).argmax(axis=1), tree.predict(x)
+        )
+
+
+class TestLeaves:
+    def test_leaves_partition_feature_space(self, rng):
+        """Every input lands in exactly one leaf hyper-rectangle."""
+        x, y = threshold_data(rng)
+        tree = DecisionTree(max_depth=4).fit(x, y)
+        leaves = tree.leaves()
+        probes = rng.integers(0, 256, size=(200, 3))
+        for probe in probes:
+            hits = [
+                leaf
+                for leaf in leaves
+                if all(
+                    lo <= probe[f] <= hi
+                    for f, (lo, hi) in leaf.bounds_dict().items()
+                )
+            ]
+            assert len(hits) == 1
+
+    def test_leaf_prediction_matches_walk(self, rng):
+        x, y = threshold_data(rng)
+        tree = DecisionTree(max_depth=4).fit(x, y)
+        leaves = tree.leaves()
+        probes = rng.integers(0, 256, size=(100, 3))
+        predictions = tree.predict(probes)
+        for probe, predicted in zip(probes, predictions):
+            leaf = next(
+                l for l in leaves
+                if all(
+                    lo <= probe[f] <= hi
+                    for f, (lo, hi) in l.bounds_dict().items()
+                )
+            )
+            assert leaf.prediction == predicted
+
+    def test_leaf_samples_sum_to_total(self, rng):
+        x, y = threshold_data(rng, n=250)
+        tree = DecisionTree(max_depth=5).fit(x, y)
+        assert sum(leaf.samples for leaf in tree.leaves()) == 250
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_partition_property(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 256, size=(120, 2)).astype(np.int64)
+        y = rng.integers(0, 2, size=120).astype(np.int64)
+        tree = DecisionTree(max_depth=4, min_samples_leaf=2).fit(x, y)
+        probe = rng.integers(0, 256, size=2)
+        hits = [
+            leaf
+            for leaf in tree.leaves()
+            if all(
+                lo <= probe[f] <= hi for f, (lo, hi) in leaf.bounds_dict().items()
+            )
+        ]
+        assert len(hits) == 1
+
+
+class TestSnapping:
+    def test_snapped_tree_still_accurate(self, rng):
+        x, y = threshold_data(rng, n=500, threshold=97)
+        plain = DecisionTree(max_depth=3).fit(x, y)
+        snapped = DecisionTree(max_depth=3, snap_thresholds=True).fit(x, y)
+        plain_acc = (plain.predict(x) == y).mean()
+        snap_acc = (snapped.predict(x) == y).mean()
+        assert snap_acc >= plain_acc - 0.05
+
+    def test_snapping_prefers_cheap_thresholds(self, rng):
+        from repro.net.bytesutil import iter_prefix_ranges
+
+        # y flips at 100; thresholds 95..105 all have near-equal gain on
+        # dense data, and 95? Actually values around the boundary are
+        # sparse — inject a flat region so several cuts tie exactly.
+        x = np.concatenate([rng.integers(0, 90, 400), rng.integers(110, 256, 400)])
+        y = (x >= 110).astype(np.int64)
+        x = x.reshape(-1, 1).astype(np.int64)
+        snapped = DecisionTree(max_depth=1, snap_thresholds=True).fit(x, y)
+        plain = DecisionTree(max_depth=1).fit(x, y)
+
+        def cost(tree):
+            leaves = tree.leaves()
+            total = 0
+            for leaf in leaves:
+                for __, (lo, hi) in leaf.bounds:
+                    total += len(list(iter_prefix_ranges(lo, hi, 8)))
+            return total
+
+        assert cost(snapped) <= cost(plain)
+        # Snapping may give up a sliver of accuracy within its tolerance.
+        assert (snapped.predict(x) == y).mean() >= 0.95

@@ -1,0 +1,77 @@
+"""Tests for repro.net.protocols.dns."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.protocols import dns
+
+
+class TestNames:
+    def test_encode_known(self):
+        assert dns.encode_name("ab.c") == b"\x02ab\x01c\x00"
+
+    def test_trailing_dot_ignored(self):
+        assert dns.encode_name("example.com.") == dns.encode_name("example.com")
+
+    def test_label_too_long(self):
+        with pytest.raises(ValueError):
+            dns.encode_name("a" * 64 + ".com")
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(ValueError):
+            dns.encode_name("a..b")
+
+    def test_decode_roundtrip(self):
+        data = dns.encode_name("api.cloud.example")
+        name, offset = dns.decode_name(data, 0)
+        assert name == "api.cloud.example"
+        assert offset == len(data)
+
+    def test_decode_truncated(self):
+        with pytest.raises(ValueError):
+            dns.decode_name(b"\x05abc", 0)
+
+    label = st.text(
+        alphabet=st.sampled_from("abcdefghijklmnopqrstuvwxyz0123456789-"),
+        min_size=1,
+        max_size=20,
+    )
+
+    @given(st.lists(label, min_size=1, max_size=4))
+    def test_roundtrip_property(self, labels):
+        name = ".".join(labels)
+        decoded, __ = dns.decode_name(dns.encode_name(name), 0)
+        assert decoded == name
+
+
+class TestQueryResponse:
+    def test_query_parses(self):
+        query = dns.build_query(0xBEEF, "fw.vendor.example")
+        info = dns.parse_header(query)
+        assert info.transaction_id == 0xBEEF
+        assert not info.is_response
+        assert info.qname == "fw.vendor.example"
+        assert info.qtype == dns.QTYPE_A
+
+    def test_any_query(self):
+        query = dns.build_query(1, "x.example", qtype=dns.QTYPE_ANY)
+        assert dns.parse_header(query).qtype == dns.QTYPE_ANY
+
+    def test_response_answer_count(self):
+        response = dns.build_response(
+            7, "x.example", ["1.2.3.4", "5.6.7.8"]
+        )
+        info = dns.parse_header(response)
+        assert info.is_response
+        assert info.ancount == 2
+
+    def test_response_contains_addresses(self):
+        response = dns.build_response(7, "x.example", ["10.20.30.40"])
+        assert bytes([10, 20, 30, 40]) in response
+
+    def test_response_larger_than_query(self):
+        # The amplification property the attack generator exploits.
+        query = dns.build_query(7, "x.example", qtype=dns.QTYPE_ANY)
+        response = dns.build_response(7, "x.example", ["1.2.3.4"] * 10)
+        assert len(response) > 3 * len(query)

@@ -1,0 +1,183 @@
+"""Tests for repro.eval (metrics, report, harness)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.eval.metrics import (
+    auc,
+    binary_metrics,
+    confusion_matrix,
+    per_class_report,
+    roc_curve,
+)
+from repro.eval.report import format_series, format_table
+
+
+class TestConfusionMatrix:
+    def test_known_matrix(self):
+        matrix = confusion_matrix(
+            np.array([0, 0, 1, 1]), np.array([0, 1, 1, 1])
+        )
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+
+    def test_explicit_classes(self):
+        matrix = confusion_matrix(np.array([0]), np.array([0]), n_classes=3)
+        assert matrix.shape == (3, 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.array([0]), np.array([0, 1]))
+
+
+class TestBinaryMetrics:
+    def test_perfect(self):
+        metrics = binary_metrics(np.array([0, 1, 1]), np.array([0, 1, 1]))
+        assert metrics.accuracy == 1.0
+        assert metrics.precision == 1.0
+        assert metrics.recall == 1.0
+        assert metrics.f1 == 1.0
+        assert metrics.false_positive_rate == 0.0
+
+    def test_known_values(self):
+        # tp=2 fp=1 tn=3 fn=2
+        y_true = np.array([1, 1, 1, 1, 0, 0, 0, 0])
+        y_pred = np.array([1, 1, 0, 0, 1, 0, 0, 0])
+        metrics = binary_metrics(y_true, y_pred)
+        assert metrics.tp == 2 and metrics.fp == 1
+        assert metrics.precision == pytest.approx(2 / 3)
+        assert metrics.recall == pytest.approx(0.5)
+        assert metrics.false_positive_rate == pytest.approx(0.25)
+
+    def test_degenerate_no_positives(self):
+        metrics = binary_metrics(np.zeros(4, dtype=int), np.zeros(4, dtype=int))
+        assert metrics.recall == 0.0 and metrics.f1 == 0.0
+
+    def test_row_rounding(self):
+        row = binary_metrics(np.array([1, 0, 1]), np.array([1, 0, 0])).row()
+        assert set(row) == {"accuracy", "precision", "recall", "f1", "fpr"}
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, 1)), min_size=1))
+    def test_counts_partition_property(self, pairs):
+        y_true = np.array([a for a, __ in pairs])
+        y_pred = np.array([b for __, b in pairs])
+        metrics = binary_metrics(y_true, y_pred)
+        assert metrics.total == len(pairs)
+        assert 0.0 <= metrics.accuracy <= 1.0
+
+
+class TestRoc:
+    def test_perfect_classifier_auc_one(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        fpr, tpr, __ = roc_curve(y, scores)
+        assert auc(fpr, tpr) == pytest.approx(1.0)
+
+    def test_random_scores_auc_half(self, rng):
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        fpr, tpr, __ = roc_curve(y, scores)
+        assert auc(fpr, tpr) == pytest.approx(0.5, abs=0.05)
+
+    def test_inverted_classifier_auc_zero(self):
+        y = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        fpr, tpr, __ = roc_curve(y, scores)
+        assert auc(fpr, tpr) == pytest.approx(0.0)
+
+    def test_curve_monotone(self, rng):
+        y = rng.integers(0, 2, size=200)
+        scores = rng.random(200)
+        fpr, tpr, __ = roc_curve(y, scores)
+        assert (np.diff(fpr) >= 0).all()
+        assert (np.diff(tpr) >= 0).all()
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_curve(np.array([0, 1]), np.array([0.5]))
+
+
+class TestPerClassReport:
+    def test_rows_per_class(self):
+        y_true = np.array([0, 1, 2, 1])
+        y_pred = np.array([0, 1, 2, 2])
+        rows = per_class_report(y_true, y_pred, ["a", "b", "c"])
+        assert [r["class"] for r in rows] == ["a", "b", "c"]
+        assert rows[1]["support"] == 2
+
+
+class TestReportFormatting:
+    def test_table_alignment(self):
+        text = format_table(
+            [{"name": "x", "value": 1.23456}, {"name": "longer", "value": 2}],
+            title="T",
+        )
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len({len(line) for line in lines[1:]} ) <= 2  # aligned
+
+    def test_empty_table(self):
+        assert "(empty)" in format_table([], title="T")
+
+    def test_missing_cells_allowed(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}])
+        assert "b" in text
+
+    def test_series(self):
+        text = format_series(
+            [1, 2], {"acc": [0.5, 0.75]}, x_name="k", title="fig"
+        )
+        assert "fig" in text and "k" in text and "0.7500" in text
+
+
+class TestHarness:
+    def test_compare_methods_rows(self, inet_dataset):
+        from repro.core import DetectorConfig
+        from repro.eval.harness import compare_methods
+
+        results = compare_methods(
+            inet_dataset,
+            detector_config=DetectorConfig(
+                n_fields=6, selector_epochs=8, epochs=10
+            ),
+            include=["decision-tree"],
+        )
+        methods = [r.method for r in results]
+        assert "two-stage (model)" in methods
+        assert "two-stage (rules)" in methods
+        assert "decision-tree" in methods
+        for result in results:
+            assert 0.0 <= result.accuracy <= 1.0
+            assert set(result.row()) >= {"method", "accuracy", "f1"}
+
+
+class TestCrossValidation:
+    def test_fold_accuracies(self, inet_dataset):
+        from repro.core import DetectorConfig
+        from repro.eval.harness import cross_validate
+
+        accuracies = cross_validate(
+            inet_dataset.x_train,
+            inet_dataset.y_train_binary,
+            folds=3,
+            config=DetectorConfig(n_fields=5, selector_epochs=8, epochs=15, seed=1),
+        )
+        assert len(accuracies) == 3
+        assert all(0.7 < a <= 1.0 for a in accuracies)
+
+    def test_invalid_folds(self, inet_dataset):
+        from repro.eval.harness import cross_validate
+
+        with pytest.raises(ValueError):
+            cross_validate(inet_dataset.x_train, inet_dataset.y_train_binary, folds=1)
+
+    def test_more_folds_than_samples(self):
+        from repro.eval.harness import cross_validate
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            cross_validate(np.zeros((3, 64)), np.zeros(3), folds=5)

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are the public face of the library; these tests import each one
+and run its ``main()``, asserting it completes and prints the landmarks a
+reader is promised.  Kept last in the suite alphabetically-ish by being
+named test_examples (pytest runs files independently anyway); runtime is
+bounded by the examples' own dataset sizes.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = spec.name
+    try:
+        spec.loader.exec_module(module)  # type: ignore[union-attr]
+        module.main()
+    finally:
+        sys.modules.pop(name, None)
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart", capsys)
+        assert "Selected fields (Stage 1):" in out
+        assert "generated P4 program" in out
+        assert "gateway metrics" in out
+
+    def test_mqtt_gateway_firewall(self, capsys):
+        out = run_example("mqtt_gateway_firewall", capsys)
+        assert "firewall behaviour per traffic family" in out
+        assert "hits" in out
+        assert "attack bytes kept off the LAN" in out
+
+    def test_heterogeneous_protocols(self, capsys):
+        out = run_example("heterogeneous_protocols", capsys)
+        assert "same pipeline across heterogeneous stacks" in out
+        assert "zigbee" in out and "ble" in out
+
+    def test_mirai_scan_defense(self, capsys):
+        out = run_example("mirai_scan_defense", capsys)
+        assert "mirai recall before retraining" in out
+        assert "mirai recall after retraining" in out
+        assert ".pcap" in out
+
+    def test_online_gateway(self, capsys):
+        out = run_example("online_gateway", capsys)
+        assert "bootstrap: offsets" in out
+        assert "retrain history" in out
+
+    def test_industrial_modbus(self, capsys):
+        out = run_example("industrial_modbus", capsys)
+        assert "quarantined" in out
+        assert "gateway.p4" in out
+        assert "bmv2.json" in out
+
+    def test_remote_operations(self, capsys):
+        out = run_example("remote_operations", capsys)
+        assert "deployed" in out and "over the wire" in out
+        assert "stale controller correctly rejected" in out

@@ -1,0 +1,174 @@
+"""Tests for the L2/L3 attack families, chatter traffic, and detector persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.datasets import TraceConfig, make_dataset
+from repro.datasets.attacks import INET_ATTACKS_EXTENDED, ArpSpoof, IcmpFlood
+from repro.datasets.devices import GATEWAY_IP, NetworkChatter
+from repro.net.protocols import inet
+
+
+@pytest.fixture(scope="module")
+def extended_dataset():
+    return make_dataset(
+        "ext",
+        TraceConfig(
+            stack="inet",
+            duration=20.0,
+            n_devices=2,
+            attack_families=INET_ATTACKS_EXTENDED,
+            chatter=True,
+            seed=99,
+        ),
+    )
+
+
+class TestNetworkChatter:
+    def test_emits_arp_and_icmp(self, rng):
+        chatter = NetworkChatter(0, period=0.2)
+        packets = list(chatter.generate(rng, 0.0, 20.0))
+        ethertypes = set()
+        protocols = set()
+        for packet in packets:
+            parsed = inet.parse_ethernet_stack(packet.data)
+            ethertypes.add(parsed.ethernet["ethertype"])
+            if parsed.ipv4:
+                protocols.add(parsed.ipv4["protocol"])
+        assert inet.ETHERTYPE_ARP in ethertypes
+        assert inet.PROTO_ICMP in protocols
+
+    def test_all_benign(self, rng):
+        chatter = NetworkChatter(0, period=0.5)
+        assert all(
+            not p.label.is_attack for p in chatter.generate(rng, 0.0, 5.0)
+        )
+
+    def test_arp_exchanges_paired(self, rng):
+        chatter = NetworkChatter(0, period=0.2)
+        ops = []
+        for packet in chatter.generate(rng, 0.0, 20.0):
+            parsed = inet.parse_ethernet_stack(packet.data)
+            if parsed.arp:
+                ops.append(parsed.arp["oper"])
+        assert 1 in ops and 2 in ops  # requests and replies
+
+
+class TestIcmpFlood:
+    def test_oversized_echo_requests(self):
+        rng = np.random.default_rng(1)
+        packets = list(IcmpFlood(0).generate(rng, 0.0, 5.0))
+        assert packets
+        for packet in packets:
+            parsed = inet.parse_ethernet_stack(packet.data)
+            assert parsed.icmp is not None
+            assert parsed.icmp["type"] == 8
+            assert len(packet.data) > 400
+
+    def test_spoofed_sources(self):
+        rng = np.random.default_rng(2)
+        sources = set()
+        for packet in IcmpFlood(0).generate(rng, 0.0, 5.0):
+            parsed = inet.parse_ethernet_stack(packet.data)
+            sources.add(parsed.ipv4["src_addr"])
+        assert len(sources) > 10
+
+
+class TestArpSpoof:
+    def test_claims_gateway_ip(self):
+        rng = np.random.default_rng(3)
+        gateway_int = int.from_bytes(
+            bytes(int(b) for b in GATEWAY_IP.split(".")), "big"
+        )
+        packets = list(ArpSpoof(0).generate(rng, 0.0, 5.0))
+        assert packets
+        for packet in packets:
+            parsed = inet.parse_ethernet_stack(packet.data)
+            assert parsed.arp is not None
+            assert parsed.arp["oper"] == 2  # reply
+            assert parsed.arp["spa"] == gateway_int
+            # ... but from a non-gateway MAC: the poisoning tell
+            assert parsed.arp["sha"] != 0x020000000001
+
+
+class TestExtendedDetection:
+    def test_detector_handles_l2_l3_families(self, extended_dataset):
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=8, selector_epochs=15, epochs=40, seed=0)
+        )
+        detector.fit(extended_dataset.x_train, extended_dataset.y_train_binary)
+        accuracy = detector.rule_accuracy(
+            extended_dataset.x_test, extended_dataset.y_test_binary
+        )
+        assert accuracy > 0.93
+
+    def test_chatter_prevents_trivial_separation(self, extended_dataset):
+        """With chatter, ethertype/protocol bytes alone cannot separate."""
+        x = np.round(extended_dataset.x_train * 255).astype(int)
+        y = extended_dataset.y_train_binary
+        # byte 12-13 = ethertype, byte 23 = IP protocol
+        for offset in (12, 13, 23):
+            values_attack = set(x[y == 1, offset].tolist())
+            values_benign = set(x[y == 0, offset].tolist())
+            assert values_attack & values_benign, offset
+
+
+class TestDetectorPersistence:
+    def test_save_load_roundtrip(self, inet_dataset, tmp_path):
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=5, selector_epochs=8, epochs=15, seed=4)
+        )
+        detector.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+        detector.save(tmp_path / "model")
+        loaded = TwoStageDetector.load(tmp_path / "model")
+        assert loaded.offsets == detector.offsets
+        np.testing.assert_array_equal(
+            loaded.predict(inet_dataset.x_test),
+            detector.predict(inet_dataset.x_test),
+        )
+
+    def test_loaded_detector_generates_rules(self, inet_dataset, tmp_path):
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=5, selector_epochs=8, epochs=15, seed=4)
+        )
+        detector.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+        original_rules = detector.generate_rules()
+        detector.save(tmp_path / "model")
+        loaded = TwoStageDetector.load(tmp_path / "model")
+        # loaded detector has no training bytes: distil on fresh data
+        x_bytes = np.round(inet_dataset.x_train * 255).astype(np.uint8)
+        loaded.distill(x_bytes)
+        rules = loaded.generate_rules()
+        assert rules.offsets == original_rules.offsets
+        assert len(rules) >= 1
+
+    def test_loaded_field_report_works(self, inet_dataset, tmp_path):
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=4, selector_epochs=6, epochs=10, seed=4)
+        )
+        detector.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+        detector.save(tmp_path / "model")
+        loaded = TwoStageDetector.load(tmp_path / "model")
+        report = loaded.field_report()
+        assert len(report) == 4
+        assert all("score" in entry for entry in report)
+
+    def test_unfitted_save_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            TwoStageDetector().save(tmp_path / "model")
+
+    def test_bad_format_rejected(self, inet_dataset, tmp_path):
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=4, selector_epochs=5, epochs=8)
+        )
+        detector.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+        detector.save(tmp_path / "model")
+        manifest = (tmp_path / "model" / "detector.json")
+        import json
+
+        data = json.loads(manifest.read_text())
+        data["format"] = 99
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(ValueError):
+            TwoStageDetector.load(tmp_path / "model")

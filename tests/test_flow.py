@@ -1,0 +1,123 @@
+"""Tests for repro.net.flow."""
+
+import pytest
+
+from repro.net.flow import FlowKey, FlowTable, assemble_flows, key_for_packet
+from repro.net.packet import Packet
+from repro.net.protocols import inet, zigbee, ble
+
+
+def tcp_packet(src_ip, dst_ip, sport, dport, t=0.0, label="benign"):
+    frame = inet.build_tcp_packet(
+        "02:00:00:00:00:01", "02:00:00:00:00:02", src_ip, dst_ip, sport, dport
+    )
+    return Packet(frame, timestamp=t).with_label(label)
+
+
+class TestFlowKey:
+    def test_normalised_is_direction_independent(self):
+        a = FlowKey.normalised(6, "10.0.0.1", 1000, "10.0.0.2", 80)
+        b = FlowKey.normalised(6, "10.0.0.2", 80, "10.0.0.1", 1000)
+        assert a == b
+
+    def test_different_ports_differ(self):
+        a = FlowKey.normalised(6, "10.0.0.1", 1000, "10.0.0.2", 80)
+        b = FlowKey.normalised(6, "10.0.0.1", 1001, "10.0.0.2", 80)
+        assert a != b
+
+    def test_key_for_tcp_packet(self):
+        key = key_for_packet(tcp_packet("192.168.1.10", "192.168.1.1", 5555, 1883))
+        assert key is not None
+        assert key.protocol == inet.PROTO_TCP
+        assert {key.src_port, key.dst_port} == {5555, 1883}
+
+    def test_key_for_udp_packet(self):
+        frame = inet.build_udp_packet(
+            "02:00:00:00:00:01", "02:00:00:00:00:02",
+            "192.168.1.10", "192.168.1.1", 5000, 53,
+        )
+        key = key_for_packet(Packet(frame))
+        assert key is not None and key.protocol == inet.PROTO_UDP
+
+    def test_key_for_non_ip_returns_none(self):
+        frame = inet.build_ethernet(
+            "02:00:00:00:00:01", "02:00:00:00:00:02", 0x1234, b"x"
+        )
+        assert key_for_packet(Packet(frame)) is None
+
+    def test_key_for_zigbee_stack(self):
+        frame = zigbee.build_frame(src_addr=0x1001, dst_addr=0x0000)
+        key = key_for_packet(Packet(frame), stack="zigbee")
+        assert key is not None
+        assert {key.src, key.dst} == {str(0x1001), str(0x0000)}
+
+    def test_key_for_ble_stack(self):
+        pdu = ble.build_att_pdu(ble.ATT_NOTIFY, 1, b"")
+        frame = ble.build_frame(access_addr=0xAABBCCDD, att_pdu=pdu)
+        key = key_for_packet(Packet(frame), stack="ble")
+        assert key is not None and key.src == str(0xAABBCCDD)
+
+    def test_truncated_packet_returns_none(self):
+        assert key_for_packet(Packet(b"\x00" * 3)) is None
+
+
+class TestFlowAssembly:
+    def test_two_directions_one_flow(self):
+        packets = [
+            tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80, t=0.0),
+            tcp_packet("10.0.0.2", "10.0.0.1", 80, 1000, t=0.1),
+        ]
+        flows = assemble_flows(packets)
+        assert len(flows) == 1
+        assert flows[0].packet_count == 2
+
+    def test_idle_timeout_splits_flow(self):
+        packets = [
+            tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80, t=0.0),
+            tcp_packet("10.0.0.1", "10.0.0.2", 1000, 80, t=120.0),
+        ]
+        flows = assemble_flows(packets, idle_timeout=60.0)
+        assert len(flows) == 2
+
+    def test_flow_stats(self):
+        packets = [
+            tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, t=1.0),
+            tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, t=3.0),
+        ]
+        flow = assemble_flows(packets)[0]
+        assert flow.duration == pytest.approx(2.0)
+        assert flow.byte_count == sum(len(p.data) for p in packets)
+
+    def test_majority_label(self):
+        packets = [
+            tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, t=0, label="syn_flood"),
+            tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, t=1, label="syn_flood"),
+            tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, t=2, label="benign"),
+        ]
+        flow = assemble_flows(packets)[0]
+        assert flow.majority_label() == "syn_flood"
+        assert flow.is_attack
+
+    def test_unkeyed_packets_collected(self):
+        table = FlowTable()
+        table.add(Packet(b"\x00\x01"))
+        assert table.unkeyed.packet_count == 1
+        assert table.flows() == []
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ValueError):
+            FlowTable(idle_timeout=0)
+
+    def test_flows_sorted_by_first_seen(self):
+        packets = [
+            tcp_packet("10.0.0.3", "10.0.0.4", 7, 8, t=5.0),
+            tcp_packet("10.0.0.1", "10.0.0.2", 1, 2, t=0.0),
+        ]
+        flows = assemble_flows(packets)
+        assert flows[0].first_seen <= flows[1].first_seen
+
+    def test_generated_trace_flows(self, inet_dataset):
+        flows = assemble_flows(inet_dataset.test_packets)
+        assert len(flows) > 5
+        assert any(f.is_attack for f in flows)
+        assert any(not f.is_attack for f in flows)

@@ -1,0 +1,140 @@
+"""Fuzz tests: parsers must never crash with anything but ValueError.
+
+A gateway parses attacker-controlled bytes; an IndexError or struct.error
+escaping a parser is a denial-of-service bug.  Every parser in the repo is
+fuzzed with arbitrary byte strings and with *truncated valid* messages
+(the adversarial sweet spot), asserting the only failure mode is a clean
+:class:`ValueError` (or subclass).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.p4runtime import ProtocolError, decode_message
+from repro.net.protocols import ble, coap, dns, inet, modbus, mqtt, zigbee
+
+arbitrary = st.binary(min_size=0, max_size=200)
+
+
+def assert_clean(parser, data):
+    """Run a parser; only ValueError-family failures are acceptable."""
+    try:
+        parser(data)
+    except ValueError:
+        pass  # includes PcapError / ProtocolError subclasses
+
+
+class TestArbitraryBytes:
+    @given(arbitrary)
+    def test_ethernet_stack(self, data):
+        assert_clean(inet.parse_ethernet_stack, data)
+
+    @given(arbitrary)
+    def test_coap(self, data):
+        assert_clean(coap.parse_message, data)
+
+    @given(arbitrary)
+    def test_mqtt_fixed_header(self, data):
+        assert_clean(mqtt.parse_fixed_header, data)
+
+    @given(arbitrary)
+    def test_dns_header(self, data):
+        assert_clean(dns.parse_header, data)
+
+    @given(arbitrary)
+    def test_zigbee(self, data):
+        assert_clean(zigbee.parse_frame, data)
+
+    @given(arbitrary)
+    def test_ble(self, data):
+        assert_clean(ble.parse_frame, data)
+
+    @given(arbitrary)
+    def test_modbus(self, data):
+        assert_clean(modbus.parse_frame, data)
+
+    @given(arbitrary)
+    def test_p4runtime(self, data):
+        try:
+            decode_message(data)
+        except ProtocolError:
+            pass
+
+
+def valid_messages():
+    """One representative valid message per protocol."""
+    return {
+        "ethernet": inet.build_tcp_packet(
+            "02:00:00:00:00:01", "02:00:00:00:00:02",
+            "10.0.0.1", "10.0.0.2", 1000, 80, payload=b"data",
+        ),
+        "coap": coap.build_message(
+            options=[(coap.OPTION_URI_PATH, b"state")], payload=b"x",
+            token=b"\x01\x02",
+        ),
+        "mqtt": mqtt.build_connect("device-1", username="u", password="p"),
+        "dns": dns.build_query(7, "a.example"),
+        "zigbee": zigbee.build_frame(src_addr=1, dst_addr=2, payload=b"zz"),
+        "ble": ble.build_frame(
+            access_addr=5, att_pdu=ble.build_att_pdu(ble.ATT_NOTIFY, 1, b"v")
+        ),
+        "modbus": modbus.build_read_holding_response(1, 1, [1, 2, 3]),
+    }
+
+
+PARSERS = {
+    "ethernet": inet.parse_ethernet_stack,
+    "coap": coap.parse_message,
+    "mqtt": mqtt.parse_fixed_header,
+    "dns": dns.parse_header,
+    "zigbee": zigbee.parse_frame,
+    "ble": ble.parse_frame,
+    "modbus": modbus.parse_frame,
+}
+
+
+class TestTruncatedValidMessages:
+    @pytest.mark.parametrize("name", sorted(PARSERS))
+    def test_every_truncation_is_clean(self, name):
+        message = valid_messages()[name]
+        parser = PARSERS[name]
+        for cut in range(len(message)):
+            assert_clean(parser, message[:cut])
+
+    @pytest.mark.parametrize("name", sorted(PARSERS))
+    def test_single_byte_corruptions_are_clean(self, name):
+        message = bytearray(valid_messages()[name])
+        parser = PARSERS[name]
+        for position in range(len(message)):
+            corrupted = bytearray(message)
+            corrupted[position] ^= 0xFF
+            assert_clean(parser, bytes(corrupted))
+
+
+class TestPipelineRobustness:
+    """The detector path must accept any bytes, not just valid frames."""
+
+    @given(st.lists(arbitrary, min_size=1, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_feature_extraction_never_fails(self, blobs):
+        from repro.datasets import FeatureExtractor
+        from repro.net.packet import Packet
+
+        extractor = FeatureExtractor(n_bytes=32)
+        x = extractor.transform([Packet(b) for b in blobs])
+        assert x.shape == (len(blobs), 32)
+        assert (x >= 0).all() and (x <= 1).all()
+
+    @given(arbitrary)
+    @settings(max_examples=30, deadline=None)
+    def test_switch_never_fails(self, data):
+        from repro.dataplane import Switch, SwitchConfig, TernaryTable
+        from repro.net.packet import Packet
+
+        switch = Switch(SwitchConfig(key_offsets=(0, 5, 30)))
+        table = TernaryTable("fw", 3)
+        table.add((1, 2, 3), (255, 255, 255), "drop")
+        switch.add_table(table)
+        verdict = switch.process(Packet(data))
+        assert verdict.action in ("allow", "drop")

@@ -1,0 +1,129 @@
+"""Tests for repro.net.headers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.headers import FieldSpec, HeaderSpec, describe_offset
+
+
+def make_spec():
+    return HeaderSpec(
+        "demo",
+        [
+            FieldSpec("version", 4),
+            FieldSpec("flags", 4),
+            FieldSpec("length", 16),
+            FieldSpec("addr", 32),
+        ],
+    )
+
+
+class TestHeaderSpecConstruction:
+    def test_sizes(self):
+        spec = make_spec()
+        assert spec.size_bits == 56
+        assert spec.size_bytes == 7
+
+    def test_rejects_non_byte_multiple(self):
+        with pytest.raises(ValueError):
+            HeaderSpec("bad", [FieldSpec("x", 3)])
+
+    def test_rejects_duplicate_fields(self):
+        with pytest.raises(ValueError):
+            HeaderSpec("bad", [FieldSpec("x", 8), FieldSpec("x", 8)])
+
+    def test_rejects_zero_width_field(self):
+        with pytest.raises(ValueError):
+            FieldSpec("x", 0)
+
+    def test_field_lookup(self):
+        spec = make_spec()
+        assert spec.field("length").width_bits == 16
+        with pytest.raises(KeyError):
+            spec.field("missing")
+
+    def test_field_names_ordered(self):
+        assert make_spec().field_names() == ["version", "flags", "length", "addr"]
+
+
+class TestPackUnpack:
+    def test_roundtrip(self):
+        spec = make_spec()
+        values = {"version": 4, "flags": 0b1010, "length": 1500, "addr": 0xC0A80101}
+        assert spec.unpack(spec.pack(values)) == values
+
+    def test_missing_fields_default_zero(self):
+        spec = make_spec()
+        unpacked = spec.unpack(spec.pack({}))
+        assert all(v == 0 for v in unpacked.values())
+
+    def test_bytes_value_accepted(self):
+        spec = make_spec()
+        packed = spec.pack({"addr": b"\xc0\xa8\x01\x01"})
+        assert spec.unpack(packed)["addr"] == 0xC0A80101
+
+    def test_bytes_value_wrong_length(self):
+        with pytest.raises(ValueError):
+            make_spec().pack({"addr": b"\x01"})
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec().pack({"version": 16})
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec().pack({"version": -1})
+
+    def test_short_read_raises(self):
+        with pytest.raises(ValueError):
+            make_spec().unpack(b"\x00\x00")
+
+    def test_unpack_at_offset(self):
+        spec = make_spec()
+        data = b"\xff\xff" + spec.pack({"length": 42})
+        assert spec.unpack(data, offset=2)["length"] == 42
+
+    @given(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_roundtrip_property(self, version, flags, length, addr):
+        spec = make_spec()
+        values = {"version": version, "flags": flags, "length": length, "addr": addr}
+        assert spec.unpack(spec.pack(values)) == values
+
+
+class TestFieldSpans:
+    def test_spans_cover_header(self):
+        spec = make_spec()
+        spans = spec.field_spans()
+        assert spans[0].byte_start == 0
+        assert spans[-1].byte_end == spec.size_bytes
+
+    def test_spans_with_base_offset(self):
+        spans = make_spec().field_spans(base_offset=14)
+        assert spans[0].byte_start == 14
+
+    def test_bit_packed_fields_share_byte(self):
+        spans = make_spec().field_spans()
+        version, flags = spans[0], spans[1]
+        assert version.covers(0) and flags.covers(0)
+
+    def test_describe_offset_names_field(self):
+        spec = make_spec()
+        assert describe_offset([(spec, 0)], 1) == "demo.length"
+        assert describe_offset([(spec, 0)], 3) == "demo.addr"
+
+    def test_describe_offset_outside_returns_none(self):
+        spec = make_spec()
+        assert describe_offset([(spec, 0)], 100) is None
+
+    def test_describe_offset_stacked_headers(self):
+        first = HeaderSpec("a", [FieldSpec("x", 16)])
+        second = HeaderSpec("b", [FieldSpec("y", 16)])
+        layout = [(first, 0), (second, 2)]
+        assert describe_offset(layout, 0) == "a.x"
+        assert describe_offset(layout, 3) == "b.y"

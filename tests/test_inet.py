@@ -1,0 +1,169 @@
+"""Tests for repro.net.protocols.inet."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.bytesutil import ones_complement_checksum
+from repro.net.protocols import inet
+
+
+class TestEthernet:
+    def test_frame_layout(self):
+        frame = inet.build_ethernet(
+            "ff:ff:ff:ff:ff:ff", "02:00:00:00:00:01", 0x0800, b"payload"
+        )
+        assert frame[:6] == b"\xff" * 6
+        assert frame[12:14] == b"\x08\x00"
+        assert frame[14:] == b"payload"
+
+    def test_parse_roundtrip(self):
+        frame = inet.build_ethernet(
+            "02:00:00:00:00:02", "02:00:00:00:00:01", inet.ETHERTYPE_IPV4, b""
+        )
+        parsed = inet.ETHERNET.unpack(frame, 0)
+        assert parsed["ethertype"] == inet.ETHERTYPE_IPV4
+
+
+class TestIPv4:
+    def test_header_checksum_validates(self):
+        packet = inet.build_ipv4("10.0.0.1", "10.0.0.2", inet.PROTO_UDP, b"x" * 10)
+        assert ones_complement_checksum(packet[:20]) == 0
+
+    def test_total_length(self):
+        packet = inet.build_ipv4("10.0.0.1", "10.0.0.2", inet.PROTO_TCP, b"x" * 7)
+        fields = inet.IPV4.unpack(packet, 0)
+        assert fields["total_len"] == 27
+
+    def test_ttl_and_protocol(self):
+        packet = inet.build_ipv4(
+            "10.0.0.1", "10.0.0.2", inet.PROTO_ICMP, b"", ttl=31
+        )
+        fields = inet.IPV4.unpack(packet, 0)
+        assert fields["ttl"] == 31
+        assert fields["protocol"] == inet.PROTO_ICMP
+
+    def test_verify_helper(self):
+        frame = inet.build_udp_packet(
+            "02:00:00:00:00:01", "02:00:00:00:00:02",
+            "192.168.1.10", "192.168.1.1", 1234, 53,
+        )
+        assert inet.verify_ipv4_checksum(frame)
+        corrupted = bytearray(frame)
+        corrupted[16] ^= 0xFF
+        assert not inet.verify_ipv4_checksum(bytes(corrupted))
+
+
+class TestTcp:
+    def test_pseudo_header_checksum(self):
+        segment = inet.build_tcp(
+            "10.0.0.1", "10.0.0.2", 1000, 80, payload=b"hello"
+        )
+        pseudo = (
+            bytes([10, 0, 0, 1, 10, 0, 0, 2, 0, inet.PROTO_TCP])
+            + len(segment).to_bytes(2, "big")
+        )
+        assert ones_complement_checksum(pseudo + segment) == 0
+
+    def test_flags_encoded(self):
+        segment = inet.build_tcp(
+            "10.0.0.1", "10.0.0.2", 1, 2, flags=inet.TCP_SYN | inet.TCP_ACK
+        )
+        assert inet.TCP.unpack(segment, 0)["flags"] == 0x12
+
+    def test_full_packet_parses(self):
+        frame = inet.build_tcp_packet(
+            "02:00:00:00:00:01", "02:00:00:00:00:02",
+            "192.168.1.10", "192.168.1.1", 40000, 1883,
+            flags=inet.TCP_PSH | inet.TCP_ACK, payload=b"data",
+        )
+        parsed = inet.parse_ethernet_stack(frame)
+        assert parsed.layers() == ["ethernet", "ipv4", "tcp"]
+        assert parsed.tcp["dst_port"] == 1883
+        assert parsed.payload == b"data"
+
+    @given(
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=65535),
+        st.binary(max_size=64),
+    )
+    def test_ports_roundtrip_property(self, sport, dport, payload):
+        frame = inet.build_tcp_packet(
+            "02:00:00:00:00:01", "02:00:00:00:00:02",
+            "10.1.2.3", "10.4.5.6", sport, dport, payload=payload,
+        )
+        parsed = inet.parse_ethernet_stack(frame)
+        assert parsed.tcp["src_port"] == sport
+        assert parsed.tcp["dst_port"] == dport
+        assert parsed.payload == payload
+
+
+class TestUdp:
+    def test_length_field(self):
+        datagram = inet.build_udp("10.0.0.1", "10.0.0.2", 1, 2, b"12345")
+        assert inet.UDP.unpack(datagram, 0)["length"] == 13
+
+    def test_checksum_never_zero(self):
+        # UDP checksum 0 means "absent"; builder must emit 0xFFFF instead.
+        datagram = inet.build_udp("0.0.0.0", "0.0.0.0", 0, 0, b"")
+        assert inet.UDP.unpack(datagram, 0)["checksum"] != 0
+
+    def test_full_packet_parses(self):
+        frame = inet.build_udp_packet(
+            "02:00:00:00:00:01", "02:00:00:00:00:02",
+            "192.168.1.10", "192.168.1.1", 5000, 53, payload=b"q",
+        )
+        parsed = inet.parse_ethernet_stack(frame)
+        assert parsed.layers() == ["ethernet", "ipv4", "udp"]
+        assert parsed.payload == b"q"
+
+
+class TestIcmpArp:
+    def test_icmp_checksum(self):
+        message = inet.build_icmp_echo(7, 1, b"ping")
+        assert ones_complement_checksum(message) == 0
+
+    def test_icmp_reply_type(self):
+        message = inet.build_icmp_echo(7, 1, reply=True)
+        assert inet.ICMP.unpack(message, 0)["type"] == 0
+
+    def test_arp_request(self):
+        body = inet.build_arp(
+            "02:00:00:00:00:01", "192.168.1.10",
+            "00:00:00:00:00:00", "192.168.1.1",
+        )
+        fields = inet.ARP.unpack(body, 0)
+        assert fields["oper"] == 1
+        assert fields["hlen"] == 6 and fields["plen"] == 4
+
+    def test_arp_frame_parses(self):
+        body = inet.build_arp(
+            "02:00:00:00:00:01", "192.168.1.10",
+            "00:00:00:00:00:00", "192.168.1.1", request=False,
+        )
+        frame = inet.build_ethernet(
+            "ff:ff:ff:ff:ff:ff", "02:00:00:00:00:01", inet.ETHERTYPE_ARP, body
+        )
+        parsed = inet.parse_ethernet_stack(frame)
+        assert parsed.arp is not None and parsed.arp["oper"] == 2
+
+
+class TestParserErrors:
+    def test_truncated_ethernet(self):
+        with pytest.raises(ValueError):
+            inet.parse_ethernet_stack(b"\x00" * 5)
+
+    def test_truncated_ip(self):
+        frame = inet.build_ethernet(
+            "02:00:00:00:00:01", "02:00:00:00:00:02", inet.ETHERTYPE_IPV4, b"\x45"
+        )
+        with pytest.raises(ValueError):
+            inet.parse_ethernet_stack(frame)
+
+    def test_unknown_ethertype_is_payload(self):
+        frame = inet.build_ethernet(
+            "02:00:00:00:00:01", "02:00:00:00:00:02", 0x1234, b"opaque"
+        )
+        parsed = inet.parse_ethernet_stack(frame)
+        assert parsed.ipv4 is None
+        assert parsed.payload == b"opaque"

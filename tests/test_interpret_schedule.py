@@ -1,0 +1,201 @@
+"""Tests for repro.eval.interpret, time splits, and repro.nn.schedule."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import ACTION_DROP, MatchField, Rule, RuleSet
+from repro.datasets import TraceConfig, make_dataset
+from repro.datasets.features import train_test_split
+from repro.eval.interpret import (
+    explain_rule,
+    explain_ruleset,
+    field_table,
+    name_offset,
+    stack_spans,
+)
+from repro.net.packet import Packet
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD
+from repro.nn.schedule import CosineDecay, StepDecay, clip_gradients
+
+
+class TestNameOffset:
+    def test_ethernet_fields(self):
+        assert name_offset(0) == "ethernet.dst"
+        assert name_offset(12) == "ethernet.ethertype"
+
+    def test_ip_fields(self):
+        assert name_offset(23) == "ipv4.protocol"
+        assert name_offset(26) == "ipv4.src_addr"
+
+    def test_transport_ambiguity_annotated(self):
+        name = name_offset(36)
+        assert "tcp" in name and "udp" in name
+
+    def test_payload_fallback(self):
+        assert name_offset(60) == "payload+60"
+
+    def test_zigbee_stack(self):
+        assert name_offset(5, stack="zigbee") == "mac802154.dst_addr"
+
+    def test_ble_stack(self):
+        assert name_offset(2, stack="ble") == "ble_ll.access_addr"
+
+    def test_industrial_stack_names_mbap(self):
+        assert name_offset(54, stack="industrial").startswith("mbap.")
+
+    def test_unknown_stack(self):
+        with pytest.raises(KeyError):
+            stack_spans("lora")
+
+
+class TestExplain:
+    def make_ruleset(self):
+        ruleset = RuleSet((23, 36), default_action="allow")
+        ruleset.add(
+            Rule(
+                (MatchField(23, 6, 6), MatchField(36, 0, 100)),
+                ACTION_DROP,
+                priority=42,
+                confidence=0.97,
+            )
+        )
+        return ruleset
+
+    def test_explain_rule_mentions_fields(self):
+        rule = self.make_ruleset().rules[0]
+        text = explain_rule(rule)
+        assert "ipv4.protocol == 6" in text
+        assert "DROP" in text
+        assert "0.97" in text
+
+    def test_explain_catch_all(self):
+        text = explain_rule(Rule((), ACTION_DROP))
+        assert "any packet" in text
+
+    def test_explain_ruleset_markdown(self):
+        text = explain_ruleset(self.make_ruleset())
+        assert text.startswith("# Deployed firewall rules")
+        assert "TCAM" in text
+        assert "1." in text
+
+    def test_field_table_rows(self):
+        rows = field_table((23, 26), scores=[0.9, 0.8])
+        assert rows[0]["field"] == "ipv4.protocol"
+        assert rows[1]["score"] == 0.8
+
+    def test_field_table_without_scores(self):
+        rows = field_table((0,))
+        assert "score" not in rows[0]
+
+
+class TestTimeSplit:
+    def _packets(self, n=100):
+        return [Packet(bytes([i % 256]), timestamp=float(i)) for i in range(n)]
+
+    def test_time_split_is_chronological(self):
+        train, test = train_test_split(
+            self._packets(), test_fraction=0.3, method="time"
+        )
+        assert len(train) == 70 and len(test) == 30
+        assert max(p.timestamp for p in train) < min(p.timestamp for p in test)
+
+    def test_time_split_handles_unsorted_input(self):
+        packets = self._packets()[::-1]
+        train, test = train_test_split(packets, method="time")
+        assert max(p.timestamp for p in train) < min(p.timestamp for p in test)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(self._packets(), method="stratified")
+
+    def test_dataset_with_time_split(self):
+        dataset = make_dataset(
+            "t",
+            TraceConfig(duration=10.0, n_devices=1, seed=17),
+            split="time",
+        )
+        train_max = max(p.timestamp for p in dataset.train_packets)
+        test_min = min(p.timestamp for p in dataset.test_packets)
+        assert train_max < test_min
+
+    def test_temporal_generalization(self):
+        """Deployment-realistic protocol: train on the past only."""
+        from repro.core import DetectorConfig, TwoStageDetector
+
+        dataset = make_dataset(
+            "temporal",
+            TraceConfig(duration=25.0, n_devices=2, seed=18),
+            split="time",
+        )
+        # the future must still contain both classes to be measurable
+        assert 0 < dataset.y_test_binary.mean() < 1
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=6, selector_epochs=12, epochs=40, seed=0)
+        )
+        detector.fit(dataset.x_train, dataset.y_train_binary)
+        accuracy = detector.rule_accuracy(dataset.x_test, dataset.y_test_binary)
+        assert accuracy > 0.85
+
+
+def quad_param():
+    return Parameter("v", np.array([3.0, 4.0]))
+
+
+class TestSchedules:
+    def test_step_decay(self):
+        optimizer = SGD([quad_param()], lr=1.0)
+        schedule = StepDecay(optimizer, factor=0.5, every=2)
+        rates = [schedule.step_epoch() for __ in range(4)]
+        assert rates == [1.0, 0.5, 0.5, 0.25]
+
+    def test_cosine_decay_endpoints(self):
+        optimizer = SGD([quad_param()], lr=1.0)
+        schedule = CosineDecay(optimizer, total=10, min_lr=0.1)
+        rates = [schedule.step_epoch() for __ in range(10)]
+        assert rates[0] < 1.0
+        assert rates[-1] == pytest.approx(0.1, abs=1e-9)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_cosine_past_total_stays_at_min(self):
+        optimizer = SGD([quad_param()], lr=1.0)
+        schedule = CosineDecay(optimizer, total=3)
+        for __ in range(5):
+            last = schedule.step_epoch()
+        assert last == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_params(self):
+        optimizer = SGD([quad_param()], lr=1.0)
+        with pytest.raises(ValueError):
+            StepDecay(optimizer, factor=0)
+        with pytest.raises(ValueError):
+            StepDecay(optimizer, every=0)
+        with pytest.raises(ValueError):
+            CosineDecay(optimizer, total=0)
+
+
+class TestClipGradients:
+    def test_clips_large_gradients(self):
+        param = quad_param()
+        param.grad[:] = [3.0, 4.0]  # norm 5
+        norm = clip_gradients([param], max_norm=1.0)
+        assert norm == pytest.approx(5.0)
+        np.testing.assert_allclose(param.grad, [0.6, 0.8], rtol=1e-6)
+
+    def test_leaves_small_gradients(self):
+        param = quad_param()
+        param.grad[:] = [0.3, 0.4]
+        clip_gradients([param], max_norm=1.0)
+        np.testing.assert_allclose(param.grad, [0.3, 0.4])
+
+    def test_multiple_params_share_budget(self):
+        a, b = quad_param(), quad_param()
+        a.grad[:] = [3.0, 0.0]
+        b.grad[:] = [0.0, 4.0]
+        clip_gradients([a, b], max_norm=1.0)
+        total = np.sqrt((a.grad**2).sum() + (b.grad**2).sum())
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_invalid_norm(self):
+        with pytest.raises(ValueError):
+            clip_gradients([quad_param()], max_norm=0)

@@ -1,0 +1,107 @@
+"""Tests for repro.net.protocols.mqtt."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.protocols import mqtt
+
+
+class TestRemainingLength:
+    def test_single_byte(self):
+        assert mqtt.encode_remaining_length(0) == b"\x00"
+        assert mqtt.encode_remaining_length(127) == b"\x7f"
+
+    def test_multi_byte_spec_examples(self):
+        # From the MQTT 3.1.1 spec, §2.2.3.
+        assert mqtt.encode_remaining_length(128) == b"\x80\x01"
+        assert mqtt.encode_remaining_length(16383) == b"\xff\x7f"
+        assert mqtt.encode_remaining_length(16384) == b"\x80\x80\x01"
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            mqtt.encode_remaining_length(268_435_456)
+        with pytest.raises(ValueError):
+            mqtt.encode_remaining_length(-1)
+
+    def test_decode_truncated(self):
+        with pytest.raises(ValueError):
+            mqtt.decode_remaining_length(b"\x80")
+
+    @given(st.integers(min_value=0, max_value=268_435_455))
+    def test_roundtrip_property(self, value):
+        encoded = mqtt.encode_remaining_length(value)
+        decoded, consumed = mqtt.decode_remaining_length(encoded)
+        assert decoded == value
+        assert consumed == len(encoded)
+
+
+class TestConnect:
+    def test_packet_type(self):
+        header = mqtt.parse_fixed_header(mqtt.build_connect("dev-1"))
+        assert header.packet_type == mqtt.CONNECT
+
+    def test_protocol_name_present(self):
+        packet = mqtt.build_connect("dev-1")
+        assert b"MQTT" in packet
+        assert b"dev-1" in packet
+
+    def test_credentials_flags(self):
+        packet = mqtt.build_connect("d", username="u", password="p")
+        # connect flags byte sits after "MQTT" + level byte
+        idx = packet.index(b"MQTT") + 5
+        flags = packet[idx]
+        assert flags & 0x80 and flags & 0x40
+
+    def test_keepalive_encoded(self):
+        packet = mqtt.build_connect("d", keep_alive=0x1234)
+        assert b"\x12\x34" in packet
+
+    def test_remaining_length_consistent(self):
+        packet = mqtt.build_connect("some-device-with-long-name")
+        header = mqtt.parse_fixed_header(packet)
+        assert header.total_size == len(packet)
+
+
+class TestPublish:
+    def test_qos0_has_no_packet_id(self):
+        p0 = mqtt.build_publish("t", b"x", qos=0)
+        p1 = mqtt.build_publish("t", b"x", qos=1)
+        assert len(p1) == len(p0) + 2
+
+    def test_flags(self):
+        packet = mqtt.build_publish("t", b"", qos=1, retain=True, dup=True)
+        header = mqtt.parse_fixed_header(packet)
+        assert header.flags == 0x08 | 0x02 | 0x01
+
+    def test_invalid_qos(self):
+        with pytest.raises(ValueError):
+            mqtt.build_publish("t", b"", qos=3)
+
+    def test_topic_and_payload_present(self):
+        packet = mqtt.build_publish("home/temp/1", b'{"t":21}')
+        assert b"home/temp/1" in packet and b'{"t":21}' in packet
+
+
+class TestOtherPackets:
+    def test_connack(self):
+        packet = mqtt.build_connack(return_code=5)
+        assert mqtt.parse_fixed_header(packet).packet_type == mqtt.CONNACK
+        assert packet[-1] == 5
+
+    def test_subscribe(self):
+        packet = mqtt.build_subscribe(9, [("a/b", 1), ("c/#", 0)])
+        header = mqtt.parse_fixed_header(packet)
+        assert header.packet_type == mqtt.SUBSCRIBE
+        assert header.flags == 0x02  # mandated reserved flags
+        assert header.total_size == len(packet)
+
+    def test_pingreq_is_two_bytes(self):
+        assert mqtt.build_pingreq() == b"\xc0\x00"
+
+    def test_disconnect(self):
+        assert mqtt.build_disconnect() == b"\xe0\x00"
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(ValueError):
+            mqtt.parse_fixed_header(b"")

@@ -1,0 +1,142 @@
+"""Tests for multi-class rule generation and the quarantine action."""
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.core.distill import DecisionTree
+from repro.core.rules import (
+    ACTION_DROP,
+    ACTION_QUARANTINE,
+    MatchField,
+    Rule,
+    RuleSet,
+    rules_from_leaves,
+)
+from repro.core.serialize import ruleset_from_dict, ruleset_to_dict
+from repro.dataplane import GatewayController, generate_p4_program
+from repro.net.packet import Packet
+
+
+@pytest.fixture(scope="module")
+def multiclass_detector(inet_dataset):
+    detector = TwoStageDetector(
+        DetectorConfig(n_fields=8, selector_epochs=12, epochs=40, seed=0)
+    )
+    detector.fit(inet_dataset.x_train, inet_dataset.y_train)  # multi-class
+    return detector
+
+
+def three_class_tree(rng):
+    x = rng.integers(0, 256, size=(600, 2)).astype(np.int64)
+    y = np.zeros(600, dtype=np.int64)
+    y[x[:, 0] > 170] = 1
+    y[(x[:, 0] <= 170) & (x[:, 1] > 170)] = 2
+    return DecisionTree(max_depth=4).fit(x, y), x, y
+
+
+class TestMulticlassRules:
+    def test_rules_carry_labels(self, rng):
+        tree, x, y = three_class_tree(rng)
+        ruleset = rules_from_leaves(tree.leaves(), (0, 1), mode="multiclass")
+        labels = {rule.label for rule in ruleset}
+        assert labels <= {1, 2} and len(labels) == 2
+
+    def test_predict_class_matches_tree(self, rng):
+        tree, x, y = three_class_tree(rng)
+        ruleset = rules_from_leaves(tree.leaves(), (0, 1), mode="multiclass")
+        np.testing.assert_array_equal(
+            ruleset.predict_class(x.astype(np.uint8)), tree.predict(x)
+        )
+
+    def test_action_map_applied(self, rng):
+        tree, *__ = three_class_tree(rng)
+        ruleset = rules_from_leaves(
+            tree.leaves(), (0, 1), mode="multiclass",
+            action_map={1: ACTION_DROP, 2: ACTION_QUARANTINE},
+        )
+        by_label = {}
+        for rule in ruleset:
+            by_label.setdefault(rule.label, set()).add(rule.action)
+        assert by_label[1] == {ACTION_DROP}
+        assert by_label[2] == {ACTION_QUARANTINE}
+
+    def test_allow_mapped_class_omitted(self, rng):
+        tree, *__ = three_class_tree(rng)
+        ruleset = rules_from_leaves(
+            tree.leaves(), (0, 1), mode="multiclass", action_map={2: "allow"}
+        )
+        assert all(rule.label != 2 for rule in ruleset)
+
+    def test_binary_predict_flags_any_non_allow(self, rng):
+        tree, x, y = three_class_tree(rng)
+        ruleset = rules_from_leaves(
+            tree.leaves(), (0, 1), mode="multiclass",
+            action_map={1: ACTION_DROP, 2: ACTION_QUARANTINE},
+        )
+        binary = ruleset.predict(x.astype(np.uint8))
+        np.testing.assert_array_equal(binary, (tree.predict(x) != 0).astype(int))
+
+    def test_serialization_roundtrips_labels(self, rng):
+        tree, *__ = three_class_tree(rng)
+        ruleset = rules_from_leaves(
+            tree.leaves(), (0, 1), mode="multiclass",
+            action_map={2: ACTION_QUARANTINE},
+        )
+        loaded = ruleset_from_dict(ruleset_to_dict(ruleset))
+        assert [r.label for r in loaded] == [r.label for r in ruleset]
+        assert [r.action for r in loaded] == [r.action for r in ruleset]
+
+
+class TestEndToEndMulticlass:
+    def test_pipeline_multiclass_accuracy(self, multiclass_detector, inet_dataset):
+        rules = multiclass_detector.generate_multiclass_rules()
+        x_bytes = np.round(inet_dataset.x_test * 255).astype(np.uint8)
+        predictions = rules.predict_class(x_bytes)
+        accuracy = (predictions == inet_dataset.y_test).mean()
+        assert accuracy > 0.85
+
+    def test_quarantine_counts_in_switch(self, multiclass_detector, inet_dataset):
+        mirai_class = inet_dataset.labels.add("mirai_telnet")
+        rules = multiclass_detector.generate_multiclass_rules(
+            action_map={mirai_class: ACTION_QUARANTINE}
+        )
+        controller = GatewayController.for_ruleset(rules)
+        controller.deploy(rules)
+        controller.switch.process_trace(inet_dataset.test_packets)
+        stats = controller.switch.stats
+        mirai_packets = sum(
+            1 for p in inet_dataset.test_packets
+            if p.label.category == "mirai_telnet"
+        )
+        assert stats.quarantined > 0.7 * mirai_packets
+        assert stats.dropped > 0
+        assert stats.received == stats.allowed + stats.dropped + stats.quarantined
+
+    def test_p4_program_includes_quarantine(self, multiclass_detector, inet_dataset):
+        mirai_class = inet_dataset.labels.add("mirai_telnet")
+        rules = multiclass_detector.generate_multiclass_rules(
+            action_map={mirai_class: ACTION_QUARANTINE}
+        )
+        program = generate_p4_program(rules.offsets, ruleset=rules)
+        assert "quarantine_packet" in program
+        assert "QUARANTINE_PORT" in program
+        assert program.count("{") == program.count("}")
+
+    def test_requires_multiclass_training(self, trained_detector):
+        # trained_detector was fitted on binary labels: multiclass rules
+        # then degenerate to a single attack class.
+        rules = trained_detector.generate_multiclass_rules()
+        assert {rule.label for rule in rules} == {1}
+
+
+class TestRuleValidation:
+    def test_quarantine_rule_valid(self):
+        Rule((MatchField(0, 1, 2),), ACTION_QUARANTINE)
+
+    def test_quarantine_default_valid(self):
+        RuleSet((0,), default_action=ACTION_QUARANTINE)
+
+    def test_unknown_action_still_rejected(self):
+        with pytest.raises(ValueError):
+            Rule((), "teleport")

@@ -1,0 +1,208 @@
+"""Tests for repro.nn.layers — including finite-difference gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import (
+    BatchNorm,
+    Dense,
+    Dropout,
+    InputGate,
+    Parameter,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+
+
+def numeric_gradient(func, array, eps=1e-6):
+    """Central-difference gradient of scalar ``func`` w.r.t. ``array``."""
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func()
+        flat[i] = original - eps
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_input_gradient(layer, x, rtol=1e-5, atol=1e-7):
+    """Compare backprop dL/dx against numeric gradient of L = sum(forward)."""
+    out = layer.forward(x.copy(), training=True)
+    analytic = layer.backward(np.ones_like(out))
+
+    def loss():
+        return float(layer.forward(x, training=False).sum())
+
+    # For stochastic/stateful layers, callers should not use this helper.
+    numeric = numeric_gradient(loss, x)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+def check_param_gradient(layer, x, param: Parameter, rtol=1e-4, atol=1e-6):
+    """Compare accumulated parameter grad against numeric gradient."""
+    param.zero_grad()
+    out = layer.forward(x, training=True)
+    layer.backward(np.ones_like(out))
+    analytic = param.grad.copy()
+
+    def loss():
+        return float(layer.forward(x, training=True).sum()) + layer.regularization()
+
+    numeric = numeric_gradient(loss, param.value)
+    np.testing.assert_allclose(analytic, numeric, rtol=rtol, atol=atol)
+
+
+class TestDense:
+    def test_output_shape(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        assert layer.forward(rng.normal(size=(5, 4))).shape == (5, 3)
+
+    def test_input_gradient(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        check_input_gradient(layer, rng.normal(size=(5, 4)))
+
+    def test_weight_gradient(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        check_param_gradient(layer, rng.normal(size=(5, 4)), layer.weight)
+
+    def test_bias_gradient(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        check_param_gradient(layer, rng.normal(size=(5, 4)), layer.bias)
+
+    def test_weight_decay_gradient(self, rng):
+        layer = Dense(3, 2, rng=rng, weight_decay=0.1)
+        check_param_gradient(layer, rng.normal(size=(4, 3)), layer.weight)
+
+    def test_backward_before_forward_raises(self, rng):
+        with pytest.raises(RuntimeError):
+            Dense(2, 2, rng=rng).backward(np.ones((1, 2)))
+
+    def test_unknown_init_rejected(self, rng):
+        with pytest.raises(ValueError):
+            Dense(2, 2, rng=rng, init="magic")
+
+    def test_glorot_init_bounds(self, rng):
+        layer = Dense(100, 100, rng=rng, init="glorot")
+        limit = np.sqrt(6.0 / 200)
+        assert np.abs(layer.weight.value).max() <= limit
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = ReLU().forward(np.array([[-1.0, 0.0, 2.0]]))
+        np.testing.assert_array_equal(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_gradient(self, rng):
+        x = rng.normal(size=(6, 5)) + 0.1  # keep away from the kink
+        check_input_gradient(ReLU(), x)
+
+    def test_sigmoid_range(self, rng):
+        out = Sigmoid().forward(rng.normal(size=(4, 4)) * 10)
+        assert (out > 0).all() and (out < 1).all()
+
+    def test_sigmoid_gradient(self, rng):
+        check_input_gradient(Sigmoid(), rng.normal(size=(4, 4)))
+
+    def test_sigmoid_extreme_inputs_stable(self):
+        out = Sigmoid().forward(np.array([[-1000.0, 1000.0]]))
+        assert np.isfinite(out).all()
+
+    def test_tanh_gradient(self, rng):
+        check_input_gradient(Tanh(), rng.normal(size=(4, 4)))
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(10, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_scales_at_training(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((2000, 10))
+        out = layer.forward(x, training=True)
+        # inverted dropout keeps the expectation
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+        assert (out == 0).any()
+
+    def test_backward_uses_same_mask(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = np.ones((50, 4))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        np.testing.assert_array_equal(grad, out)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestBatchNorm:
+    def test_normalises_batch(self, rng):
+        layer = BatchNorm(5)
+        x = rng.normal(loc=3.0, scale=2.0, size=(200, 5))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_used_at_inference(self, rng):
+        layer = BatchNorm(3, momentum=0.0)  # running stats = last batch
+        x = rng.normal(size=(100, 3))
+        layer.forward(x, training=True)
+        out = layer.forward(x, training=False)
+        assert np.isfinite(out).all()
+        assert abs(out.mean()) < 0.5
+
+    def test_gamma_beta_gradients(self, rng):
+        layer = BatchNorm(4)
+        x = rng.normal(size=(8, 4))
+        layer.forward(x, training=True)
+        layer.backward(np.ones((8, 4)))
+        # beta gradient of sum-loss is the batch size per feature
+        np.testing.assert_allclose(layer.beta.grad, 8.0)
+
+
+class TestInputGate:
+    def test_gates_start_mostly_open(self):
+        gate = InputGate(10, init_logit=2.0)
+        assert (gate.gates() > 0.85).all()
+
+    def test_forward_scales_input(self):
+        gate = InputGate(3, init_logit=0.0)  # gates = 0.5
+        out = gate.forward(np.array([[2.0, 4.0, 6.0]]))
+        np.testing.assert_allclose(out, [[1.0, 2.0, 3.0]])
+
+    def test_theta_gradient_with_l1(self, rng):
+        gate = InputGate(4, l1=0.01)
+        check_param_gradient(gate, rng.normal(size=(6, 4)), gate.theta)
+
+    def test_input_gradient(self, rng):
+        gate = InputGate(4, l1=0.0)
+        check_input_gradient(gate, rng.normal(size=(5, 4)))
+
+    def test_regularization_scales_with_l1(self):
+        strong = InputGate(8, l1=1.0)
+        weak = InputGate(8, l1=0.1)
+        assert strong.regularization() == pytest.approx(10 * weak.regularization())
+
+    def test_l1_closes_uninformative_gates(self, rng):
+        # Minimal end-to-end: y depends only on feature 0.
+        from repro.nn.layers import Dense
+        from repro.nn.losses import SoftmaxCrossEntropy
+        from repro.nn.model import Sequential
+        from repro.nn.optim import Adam
+
+        x = rng.normal(size=(400, 5))
+        y = (x[:, 0] > 0).astype(int)
+        gate = InputGate(5, l1=0.02)
+        model = Sequential([gate, Dense(5, 8, rng=rng), ReLU(), Dense(8, 2, rng=rng)])
+        model.fit(x, y, epochs=60, optimizer=Adam(model.params(), lr=0.01),
+                  rng=rng)
+        gates = gate.gates()
+        assert gates[0] > gates[1:].max() + 0.1

@@ -1,0 +1,178 @@
+"""Tests for repro.nn.losses and repro.nn.optim."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.losses import (
+    BinaryCrossEntropy,
+    MeanSquaredError,
+    SoftmaxCrossEntropy,
+    softmax,
+)
+from repro.nn.optim import SGD, Adam
+
+
+def numeric_gradient(func, array, eps=1e-6):
+    grad = np.zeros_like(array)
+    flat = array.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = func()
+        flat[i] = original - eps
+        minus = func()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probs = softmax(rng.normal(size=(7, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_stable_for_large_logits(self):
+        probs = softmax(np.array([[1000.0, 1000.0]]))
+        np.testing.assert_allclose(probs, [[0.5, 0.5]])
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100))
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[20.0, 0.0], [0.0, 20.0]])
+        assert loss.forward(logits, np.array([0, 1])) < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        loss = SoftmaxCrossEntropy()
+        value = loss.forward(np.zeros((4, 3)), np.zeros(4, dtype=int))
+        assert value == pytest.approx(np.log(3), abs=1e-6)
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(5, 3))
+        targets = rng.integers(0, 3, size=5)
+        loss = SoftmaxCrossEntropy()
+        loss.forward(logits, targets)
+        analytic = loss.backward()
+        numeric = numeric_gradient(
+            lambda: SoftmaxCrossEntropy().forward(logits, targets), logits
+        )
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-8)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()
+
+
+class TestBinaryCrossEntropy:
+    def test_perfect_prediction(self):
+        loss = BinaryCrossEntropy()
+        assert loss.forward(np.array([0.999, 0.001]), np.array([1, 0])) < 0.01
+
+    def test_gradient_matches_numeric(self, rng):
+        p = rng.uniform(0.05, 0.95, size=(6, 1))
+        t = rng.integers(0, 2, size=(6, 1)).astype(float)
+        loss = BinaryCrossEntropy()
+        loss.forward(p, t)
+        analytic = loss.backward()
+        numeric = numeric_gradient(
+            lambda: BinaryCrossEntropy().forward(p, t), p
+        )
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-4, atol=1e-7)
+
+
+class TestMeanSquaredError:
+    def test_zero_for_equal(self):
+        loss = MeanSquaredError()
+        x = np.ones((3, 2))
+        assert loss.forward(x, x) == 0.0
+
+    def test_gradient_matches_numeric(self, rng):
+        predictions = rng.normal(size=(4, 3))
+        targets = rng.normal(size=(4, 3))
+        loss = MeanSquaredError()
+        loss.forward(predictions, targets)
+        analytic = loss.backward()
+        numeric = numeric_gradient(
+            lambda: MeanSquaredError().forward(predictions, targets), predictions
+        )
+        np.testing.assert_allclose(analytic, numeric, rtol=1e-5, atol=1e-8)
+
+
+def quadratic_params():
+    """Single parameter with a known quadratic loss L = sum(v**2)."""
+    return Parameter("v", np.array([4.0, -2.0]))
+
+
+class TestSGD:
+    def test_plain_step(self):
+        param = quadratic_params()
+        optimizer = SGD([param], lr=0.1)
+        param.grad[:] = 2 * param.value  # dL/dv
+        optimizer.step()
+        np.testing.assert_allclose(param.value, [3.2, -1.6])
+
+    def test_momentum_accumulates_velocity(self):
+        # Under a constant gradient the second momentum step is larger:
+        # step1 = -lr*g, step2 = -(1 + m)*lr*g.
+        param = Parameter("v", np.array([0.0]))
+        optimizer = SGD([param], lr=0.1, momentum=0.9)
+        param.grad[:] = 1.0
+        optimizer.step()
+        first = param.value.copy()
+        optimizer.zero_grad()
+        param.grad[:] = 1.0
+        optimizer.step()
+        second_step = param.value - first
+        np.testing.assert_allclose(first, [-0.1])
+        np.testing.assert_allclose(second_step, [-0.19])
+
+    def test_zero_grad(self):
+        param = quadratic_params()
+        param.grad[:] = 5.0
+        SGD([param], lr=0.1).zero_grad()
+        assert (param.grad == 0).all()
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            SGD([quadratic_params()], lr=0)
+        with pytest.raises(ValueError):
+            SGD([quadratic_params()], lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        param = quadratic_params()
+        optimizer = Adam([param], lr=0.3)
+        for __ in range(200):
+            optimizer.zero_grad()
+            param.grad[:] = 2 * param.value
+            optimizer.step()
+        np.testing.assert_allclose(param.value, 0.0, atol=1e-3)
+
+    def test_first_step_size_near_lr(self):
+        # With bias correction, |first step| ≈ lr regardless of grad scale.
+        param = Parameter("v", np.array([1.0]))
+        optimizer = Adam([param], lr=0.1)
+        param.grad[:] = 1e-4
+        optimizer.step()
+        assert abs(param.value[0] - 0.9) < 1e-3
+
+    def test_handles_multiple_params(self, rng):
+        params = [
+            Parameter("a", rng.normal(size=(3,))),
+            Parameter("b", rng.normal(size=(2, 2))),
+        ]
+        optimizer = Adam(params, lr=0.2)
+        for __ in range(300):
+            optimizer.zero_grad()
+            for param in params:
+                param.grad[:] = 2 * param.value
+            optimizer.step()
+        for param in params:
+            np.testing.assert_allclose(param.value, 0.0, atol=1e-2)

@@ -1,0 +1,149 @@
+"""Tests for repro.nn.model and repro.nn.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dense, ReLU
+from repro.nn.losses import MeanSquaredError
+from repro.nn.metrics import accuracy, one_hot
+from repro.nn.model import Sequential, iterate_minibatches
+from repro.nn.optim import Adam
+
+
+def xor_data(rng, n=400):
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(int)
+    return x, y
+
+
+def make_model(rng, hidden=16):
+    return Sequential(
+        [Dense(2, hidden, rng=rng), ReLU(), Dense(hidden, 2, rng=rng)]
+    )
+
+
+class TestMinibatches:
+    def test_covers_all_rows(self, rng):
+        x = np.arange(10).reshape(10, 1).astype(float)
+        y = np.arange(10)
+        seen = []
+        for xb, yb in iterate_minibatches(x, y, 3, rng):
+            assert len(xb) == len(yb)
+            seen.extend(yb.tolist())
+        assert sorted(seen) == list(range(10))
+
+    def test_no_shuffle_without_rng(self):
+        x = np.arange(6).reshape(6, 1).astype(float)
+        y = np.arange(6)
+        batches = list(iterate_minibatches(x, y, 2))
+        assert batches[0][1].tolist() == [0, 1]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            list(iterate_minibatches(np.zeros((3, 1)), np.zeros(2), 2))
+
+
+class TestTraining:
+    def test_learns_xor(self, rng):
+        x, y = xor_data(rng)
+        model = make_model(rng)
+        history = model.fit(
+            x, y, epochs=80, optimizer=Adam(model.params(), lr=0.01), rng=rng
+        )
+        __, acc = model.evaluate(x, y)
+        assert acc > 0.95
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_validation_history(self, rng):
+        x, y = xor_data(rng)
+        model = make_model(rng)
+        history = model.fit(
+            x[:300], y[:300], epochs=10, validation=(x[300:], y[300:]), rng=rng
+        )
+        assert len(history.val_loss) == history.epochs
+        assert len(history.val_accuracy) == history.epochs
+
+    def test_early_stopping(self, rng):
+        x, y = xor_data(rng)
+        model = make_model(rng)
+        history = model.fit(
+            x[:300],
+            y[:300],
+            epochs=200,
+            validation=(x[300:], y[300:]),
+            patience=3,
+            optimizer=Adam(model.params(), lr=0.01),
+            rng=rng,
+        )
+        assert history.epochs < 200
+
+    def test_predict_shapes(self, rng):
+        x, y = xor_data(rng, n=50)
+        model = make_model(rng)
+        assert model.predict(x).shape == (50,)
+        probs = model.predict_proba(x)
+        assert probs.shape == (50, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_custom_loss(self, rng):
+        x = rng.normal(size=(100, 2))
+        targets = x @ np.array([[1.0, 0.0], [0.0, -1.0]])
+        model = Sequential([Dense(2, 2, rng=rng)])
+        model.fit(
+            x,
+            targets,
+            epochs=150,
+            loss=MeanSquaredError(),
+            optimizer=Adam(model.params(), lr=0.02),
+            rng=rng,
+        )
+        predictions = model.forward(x)
+        assert float(((predictions - targets) ** 2).mean()) < 0.01
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, rng, tmp_path):
+        x, y = xor_data(rng, n=100)
+        model = make_model(rng)
+        model.fit(x, y, epochs=10, rng=rng)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        clone = make_model(np.random.default_rng(999))
+        clone.load(path)
+        np.testing.assert_array_equal(model.predict(x), clone.predict(x))
+
+    def test_load_shape_mismatch(self, rng, tmp_path):
+        model = make_model(rng, hidden=16)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        other = make_model(rng, hidden=8)
+        with pytest.raises(ValueError):
+            other.load(path)
+
+    def test_load_count_mismatch(self, rng, tmp_path):
+        model = make_model(rng)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        shallow = Sequential([Dense(2, 2, rng=rng)])
+        with pytest.raises(ValueError):
+            shallow.load(path)
+
+
+class TestMetricsHelpers:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([1, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([3]), 3)

@@ -1,0 +1,194 @@
+"""Tests for repro.core.optimize and tree pruning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.core.distill import DecisionTree
+from repro.core.optimize import merge_adjacent, optimize_ruleset, remove_shadowed
+from repro.core.rules import ACTION_DROP, MatchField, Rule, RuleSet, rules_from_leaves
+
+
+def keyspace_equal(a: RuleSet, b: RuleSet, rng, samples=400) -> bool:
+    width = len(a.offsets)
+    for __ in range(samples):
+        key = tuple(int(v) for v in rng.integers(0, 256, size=width))
+        if a.action_for_key(key) != b.action_for_key(key):
+            return False
+    return True
+
+
+class TestMergeAdjacent:
+    def test_touching_ranges_merge(self, rng):
+        ruleset = RuleSet((0, 1))
+        ruleset.add(Rule((MatchField(0, 0, 99),), ACTION_DROP, priority=1))
+        ruleset.add(Rule((MatchField(0, 100, 200),), ACTION_DROP, priority=1))
+        merged, count = merge_adjacent(ruleset)
+        assert count == 1
+        assert len(merged) == 1
+        assert merged.rules[0].matches[0].lo == 0
+        assert merged.rules[0].matches[0].hi == 200
+
+    def test_disjoint_ranges_do_not_merge(self, rng):
+        ruleset = RuleSet((0,))
+        ruleset.add(Rule((MatchField(0, 0, 10),), ACTION_DROP))
+        ruleset.add(Rule((MatchField(0, 20, 30),), ACTION_DROP))
+        __, count = merge_adjacent(ruleset)
+        assert count == 0
+
+    def test_multi_dimension_difference_blocks_merge(self):
+        ruleset = RuleSet((0, 1))
+        ruleset.add(
+            Rule((MatchField(0, 0, 10), MatchField(1, 0, 10)), ACTION_DROP)
+        )
+        ruleset.add(
+            Rule((MatchField(0, 11, 20), MatchField(1, 11, 20)), ACTION_DROP)
+        )
+        __, count = merge_adjacent(ruleset)
+        assert count == 0
+
+    def test_different_actions_do_not_merge(self):
+        ruleset = RuleSet((0,), default_action="drop")
+        ruleset.add(Rule((MatchField(0, 0, 10),), "allow"))
+        ruleset.add(Rule((MatchField(0, 11, 20),), ACTION_DROP))
+        __, count = merge_adjacent(ruleset)
+        assert count == 0
+
+    def test_identical_rules_deduplicate(self):
+        ruleset = RuleSet((0,))
+        ruleset.add(Rule((MatchField(0, 5, 9),), ACTION_DROP, priority=2))
+        ruleset.add(Rule((MatchField(0, 5, 9),), ACTION_DROP, priority=1))
+        merged, count = merge_adjacent(ruleset)
+        assert count == 1 and len(merged) == 1
+
+    def test_merge_reduces_ternary_entries(self, rng):
+        # [0,127] + [128,255] → wildcard: entries drop sharply
+        ruleset = RuleSet((0,))
+        ruleset.add(Rule((MatchField(0, 0, 127),), ACTION_DROP))
+        ruleset.add(Rule((MatchField(0, 128, 255),), ACTION_DROP))
+        merged, __ = merge_adjacent(ruleset)
+        assert merged.resource_report()["ternary_entries"] == 1
+
+    def test_semantics_preserved(self, rng):
+        ruleset = RuleSet((0, 1))
+        ruleset.add(Rule((MatchField(0, 0, 99), MatchField(1, 50, 60)), ACTION_DROP))
+        ruleset.add(Rule((MatchField(0, 100, 255), MatchField(1, 50, 60)), ACTION_DROP))
+        merged, __ = merge_adjacent(ruleset)
+        assert keyspace_equal(ruleset, merged, rng)
+
+
+class TestRemoveShadowed:
+    def test_covered_rule_removed(self):
+        ruleset = RuleSet((0,))
+        ruleset.add(Rule((MatchField(0, 0, 200),), ACTION_DROP, priority=5))
+        ruleset.add(Rule((MatchField(0, 50, 100),), "allow", priority=1))
+        cleaned, shadowed = remove_shadowed(ruleset)
+        assert shadowed == 1
+        assert len(cleaned) == 1
+
+    def test_partial_overlap_kept(self):
+        ruleset = RuleSet((0,))
+        ruleset.add(Rule((MatchField(0, 0, 100),), ACTION_DROP, priority=5))
+        ruleset.add(Rule((MatchField(0, 50, 150),), "allow", priority=1))
+        __, shadowed = remove_shadowed(ruleset)
+        assert shadowed == 0
+
+    def test_wildcard_shadows_everything_below(self):
+        ruleset = RuleSet((0, 1))
+        ruleset.add(Rule((), ACTION_DROP, priority=9))
+        ruleset.add(Rule((MatchField(0, 1, 2),), "allow", priority=1))
+        ruleset.add(Rule((MatchField(1, 1, 2),), "allow", priority=0))
+        cleaned, shadowed = remove_shadowed(ruleset)
+        assert shadowed == 2 and len(cleaned) == 1
+
+    def test_semantics_preserved(self, rng):
+        ruleset = RuleSet((0,))
+        ruleset.add(Rule((MatchField(0, 0, 255),), ACTION_DROP, priority=5))
+        ruleset.add(Rule((MatchField(0, 10, 20),), "allow", priority=1))
+        cleaned, __ = remove_shadowed(ruleset)
+        assert keyspace_equal(ruleset, cleaned, rng)
+
+
+class TestOptimizePipeline:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_tree_ruleset_equivalence_property(self, seed):
+        """Optimisation never changes tree-derived rule semantics."""
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, 256, size=(300, 2)).astype(np.int64)
+        y = ((x[:, 0] > 100) | (x[:, 1] < 50)).astype(np.int64)
+        tree = DecisionTree(max_depth=4, min_samples_leaf=2).fit(x, y)
+        ruleset = rules_from_leaves(tree.leaves(), (0, 1))
+        optimized, report = optimize_ruleset(ruleset)
+        assert report.rules_after <= report.rules_before
+        assert keyspace_equal(ruleset, optimized, rng, samples=200)
+
+    def test_report_str(self):
+        ruleset = RuleSet((0,))
+        ruleset.add(Rule((MatchField(0, 0, 99),), ACTION_DROP))
+        ruleset.add(Rule((MatchField(0, 100, 255),), ACTION_DROP))
+        __, report = optimize_ruleset(ruleset)
+        assert "rules 2→1" in str(report)
+
+
+class TestTreePruning:
+    def _noisy_tree(self, rng, depth=8):
+        x = rng.integers(0, 256, size=(500, 3)).astype(np.int64)
+        y = (x[:, 0] > 128).astype(np.int64)
+        noise = rng.random(500) < 0.08
+        y[noise] ^= 1
+        tree = DecisionTree(max_depth=depth, min_samples_leaf=2).fit(x, y)
+        return tree, x, y
+
+    def test_pruning_shrinks_tree(self, rng):
+        tree, x, y = self._noisy_tree(rng)
+        x_val = rng.integers(0, 256, size=(300, 3)).astype(np.int64)
+        y_val = (x_val[:, 0] > 128).astype(np.int64)
+        before = tree.node_count()
+        pruned = tree.prune(x_val, y_val)
+        assert pruned > 0
+        assert tree.node_count() < before
+
+    def test_pruning_preserves_validation_accuracy(self, rng):
+        tree, x, y = self._noisy_tree(rng)
+        x_val = rng.integers(0, 256, size=(300, 3)).astype(np.int64)
+        y_val = (x_val[:, 0] > 128).astype(np.int64)
+        acc_before = (tree.predict(x_val) == y_val).mean()
+        tree.prune(x_val, y_val)
+        acc_after = (tree.predict(x_val) == y_val).mean()
+        assert acc_after >= acc_before  # reduced-error guarantee
+
+    def test_prune_validates_inputs(self, rng):
+        tree, *__ = self._noisy_tree(rng)
+        with pytest.raises(ValueError):
+            tree.prune(np.zeros((3, 3), dtype=int), np.zeros(2, dtype=int))
+
+    def test_pipeline_prune_fraction(self, inet_dataset):
+        plain = TwoStageDetector(
+            DetectorConfig(
+                n_fields=6, selector_epochs=8, epochs=15, seed=2,
+                distill_depth=10,
+            )
+        )
+        plain.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+        plain_rules = plain.generate_rules()
+
+        pruned = TwoStageDetector(
+            DetectorConfig(
+                n_fields=6, selector_epochs=8, epochs=15, seed=2,
+                distill_depth=10, prune_fraction=0.25,
+            )
+        )
+        pruned.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+        pruned_rules = pruned.generate_rules()
+        assert len(pruned_rules) <= len(plain_rules)
+        accuracy = pruned.rule_accuracy(
+            inet_dataset.x_test, inet_dataset.y_test_binary
+        )
+        assert accuracy > 0.9
+
+    def test_invalid_prune_fraction(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(prune_fraction=1.0)

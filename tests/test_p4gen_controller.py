@@ -1,0 +1,224 @@
+"""Tests for repro.dataplane.p4gen, controller and resources."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import ACTION_DROP, MatchField, Rule, RuleSet
+from repro.dataplane.controller import GatewayController
+from repro.dataplane.p4gen import generate_p4_program, p4_table_entries
+from repro.dataplane.resources import (
+    FIVE_TUPLE_BITS,
+    estimate_exact_table,
+    estimate_ruleset,
+)
+from repro.dataplane.tables import TableFullError
+from repro.net.packet import Packet
+
+
+def small_ruleset():
+    ruleset = RuleSet((14, 23, 36), default_action="allow")
+    ruleset.add(Rule((MatchField(23, 6, 6), MatchField(36, 0, 100)), ACTION_DROP, priority=2))
+    ruleset.add(Rule((MatchField(14, 69, 69),), ACTION_DROP, priority=1))
+    return ruleset
+
+
+class TestP4Generation:
+    def test_structure(self):
+        program = generate_p4_program((14, 23, 36))
+        assert program.count("{") == program.count("}")
+        for section in (
+            "parser GatewayParser",
+            "control GatewayIngress",
+            "table firewall",
+            "V1Switch",
+            "mark_to_drop",
+        ):
+            assert section in program
+
+    def test_key_fields_match_offsets(self):
+        program = generate_p4_program((3, 9))
+        assert "hdr.window.b3: ternary;" in program
+        assert "hdr.window.b9: ternary;" in program
+        assert "hdr.window.b4: ternary;" not in program
+
+    def test_window_covers_max_offset(self):
+        program = generate_p4_program((3, 9))
+        assert "bit<8> b9;" in program
+        assert "bit<8> b10;" not in program
+
+    def test_explicit_window(self):
+        program = generate_p4_program((3,), window=16)
+        assert "bit<8> b15;" in program
+
+    def test_window_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            generate_p4_program((9,), window=5)
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            generate_p4_program(())
+
+    def test_const_entries_emitted(self):
+        ruleset = small_ruleset()
+        program = generate_p4_program(ruleset.offsets, ruleset=ruleset)
+        assert "const entries" in program
+        assert program.count("drop_packet();") >= len(ruleset.to_ternary())
+
+    def test_entry_lines_match_expansion(self):
+        ruleset = small_ruleset()
+        lines = p4_table_entries(ruleset)
+        assert len(lines) == len(ruleset.to_ternary())
+        assert all("&&&" in line for line in lines)
+
+    def test_table_size_configurable(self):
+        program = generate_p4_program((0,), table_size=512)
+        assert "size = 512;" in program
+
+
+class TestController:
+    def test_deploy_and_process(self):
+        ruleset = small_ruleset()
+        controller = GatewayController.for_ruleset(ruleset)
+        report = controller.deploy(ruleset)
+        assert report.rules == 2
+        assert report.ternary_entries == len(ruleset.to_ternary())
+        # craft a packet matching rule 2: byte14==69
+        data = bytearray(40)
+        data[14] = 69
+        assert controller.switch.process(Packet(bytes(data))).dropped
+
+    def test_switch_agrees_with_ruleset_semantics(self, rng):
+        ruleset = small_ruleset()
+        controller = GatewayController.for_ruleset(ruleset)
+        controller.deploy(ruleset)
+        for __ in range(200):
+            data = bytes(rng.integers(0, 256, size=40, dtype=np.uint8))
+            packet = Packet(data)
+            expected = ruleset.action_for_packet(packet)
+            assert controller.switch.process(packet).action == expected
+
+    def test_redeploy_replaces_rules(self):
+        ruleset = small_ruleset()
+        controller = GatewayController.for_ruleset(ruleset)
+        controller.deploy(ruleset)
+        empty = RuleSet(ruleset.offsets, default_action="allow")
+        controller.deploy(empty)
+        data = bytearray(40)
+        data[14] = 69
+        assert not controller.switch.process(Packet(bytes(data))).dropped
+
+    def test_offset_mismatch_rejected(self):
+        controller = GatewayController.for_ruleset(small_ruleset())
+        other = RuleSet((0, 1), default_action="allow")
+        with pytest.raises(ValueError):
+            controller.deploy(other)
+
+    def test_capacity_overflow_rolls_back(self):
+        ruleset = small_ruleset()
+        controller = GatewayController.for_ruleset(ruleset, table_capacity=10)
+        controller.deploy(ruleset)  # fits (expansion is small)
+        big = RuleSet(ruleset.offsets, default_action="allow")
+        # a rule whose expansion exceeds 10 entries
+        big.add(Rule((MatchField(14, 1, 254), MatchField(23, 1, 254)), ACTION_DROP))
+        with pytest.raises(TableFullError):
+            controller.deploy(big)
+        # previous deployment restored
+        data = bytearray(40)
+        data[14] = 69
+        assert controller.switch.process(Packet(bytes(data))).dropped
+        assert controller.deployed is not None
+
+    def test_hit_counts(self):
+        ruleset = small_ruleset()
+        controller = GatewayController.for_ruleset(ruleset)
+        controller.deploy(ruleset)
+        data = bytearray(40)
+        data[14] = 69
+        controller.switch.process(Packet(bytes(data)))
+        assert sum(controller.hit_counts()) == 1
+
+    def test_rule_hit_counts_aggregate_entries(self):
+        ruleset = small_ruleset()
+        controller = GatewayController.for_ruleset(ruleset)
+        controller.deploy(ruleset)
+        # hit the 2nd rule (b[14]==69) twice, the 1st once
+        hit_second = bytearray(40)
+        hit_second[14] = 69
+        hit_first = bytearray(40)
+        hit_first[23] = 6
+        hit_first[36] = 50
+        for data in (hit_second, hit_second, hit_first):
+            controller.switch.process(Packet(bytes(data)))
+        per_rule = controller.rule_hit_counts()
+        assert len(per_rule) == len(ruleset.rules)
+        assert sum(per_rule) == 3
+        assert sorted(per_rule) == [1, 2]
+
+    def test_rule_hit_counts_empty_when_undeployed(self):
+        controller = GatewayController.for_ruleset(small_ruleset())
+        assert controller.rule_hit_counts() == []
+
+    def test_undeploy(self):
+        ruleset = small_ruleset()
+        controller = GatewayController.for_ruleset(ruleset)
+        controller.deploy(ruleset)
+        controller.undeploy()
+        assert controller.deployed is None
+        data = bytearray(40)
+        data[14] = 69
+        assert not controller.switch.process(Packet(bytes(data))).dropped
+
+    def test_report_str(self):
+        report = GatewayController.for_ruleset(small_ruleset()).deploy(small_ruleset())
+        assert "rules" in str(report) and "TCAM" in str(report)
+
+
+class TestResources:
+    def test_ruleset_estimate(self):
+        estimate = estimate_ruleset(small_ruleset())
+        report = small_ruleset().resource_report()
+        assert estimate.entries == report["ternary_entries"]
+        assert estimate.tcam_bits == report["tcam_bits"]
+        assert estimate.total_bits > estimate.tcam_bits  # + SRAM overhead
+
+    def test_exact_table_estimate(self):
+        estimate = estimate_exact_table(1000, FIVE_TUPLE_BITS, strategy="5-tuple")
+        assert estimate.tcam_bits == 0
+        assert estimate.sram_bits > 1000 * FIVE_TUPLE_BITS
+
+    def test_row_serialisation(self):
+        row = estimate_ruleset(small_ruleset()).row()
+        assert set(row) == {
+            "strategy", "entries", "key_bits", "tcam_bits", "sram_bits", "total_bits",
+        }
+
+
+class TestRateLimitEmission:
+    def test_rate_stage_emitted(self):
+        program = generate_p4_program(
+            (14, 23),
+            rate_limit={"source_offsets": [26, 27, 28, 29], "threshold": 100},
+        )
+        assert program.count("{") == program.count("}")
+        assert "register<bit<32>>(2048) rate_counts;" in program
+        assert "check_rate();" in program
+        assert "32w100" in program
+        # window must cover the rate-key offsets too
+        assert "bit<8> b29;" in program
+
+    def test_rate_stage_custom_width(self):
+        program = generate_p4_program(
+            (0,), rate_limit={"source_offsets": [0], "threshold": 5, "width": 64}
+        )
+        assert "register<bit<32>>(64) rate_counts;" in program
+
+    def test_no_rate_stage_by_default(self):
+        program = generate_p4_program((0,))
+        assert "rate_counts" not in program
+        assert "check_rate" not in program
+
+    def test_empty_source_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            generate_p4_program(
+                (0,), rate_limit={"source_offsets": [], "threshold": 5}
+            )

@@ -1,0 +1,221 @@
+"""Tests for the P4Runtime-style controller↔switch protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.rules import ACTION_DROP, MatchField, Rule, RuleSet
+from repro.dataplane.p4runtime import (
+    DELETE,
+    INSERT,
+    Channel,
+    ProtocolError,
+    ReadRequest,
+    ReadResponse,
+    RemoteController,
+    SwitchAgent,
+    Update,
+    WriteRequest,
+    WriteResponse,
+    decode_message,
+)
+from repro.net.packet import Packet
+
+
+def small_ruleset():
+    ruleset = RuleSet((0, 3), default_action="allow")
+    ruleset.add(Rule((MatchField(0, 7, 7),), ACTION_DROP, priority=2))
+    ruleset.add(Rule((MatchField(3, 100, 200),), ACTION_DROP, priority=1))
+    return ruleset
+
+
+class TestWireFormat:
+    def test_write_roundtrip(self):
+        request = WriteRequest(
+            (Update(INSERT, "firewall", value=(1, 2), mask=(255, 255),
+                    action="drop", priority=3),),
+            election_id=7,
+        )
+        decoded = decode_message(request.encode())
+        assert isinstance(decoded, WriteRequest)
+        assert decoded.election_id == 7
+        assert decoded.updates[0].value == (1, 2)
+
+    def test_delete_roundtrip(self):
+        request = WriteRequest((Update(DELETE, "firewall", entry_id=9),))
+        decoded = decode_message(request.encode())
+        assert decoded.updates[0].entry_id == 9
+
+    def test_read_roundtrip(self):
+        decoded = decode_message(ReadRequest("firewall").encode())
+        assert isinstance(decoded, ReadRequest)
+
+    def test_responses_roundtrip(self):
+        write = decode_message(WriteResponse(True, (1, 2)).encode())
+        assert write.ok and write.entry_ids == (1, 2)
+        read = decode_message(
+            ReadResponse(True, ({"entry_id": 1, "hits": 0},)).encode()
+        )
+        assert read.ok and read.entries[0]["entry_id"] == 1
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(b"\xff\x00not json")
+        with pytest.raises(ProtocolError):
+            decode_message(b'{"type": "teleport"}')
+
+    def test_bad_version_rejected(self):
+        raw = WriteRequest(()).encode().replace(b'"version": 1', b'"version": 9')
+        with pytest.raises(ProtocolError):
+            decode_message(raw)
+
+    def test_bad_update_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            Update.from_dict({"kind": "UPSERT", "table": "t"})
+
+
+class TestSwitchAgent:
+    def test_insert_and_match(self):
+        agent = SwitchAgent((0, 3))
+        request = WriteRequest(
+            (Update(INSERT, "firewall", value=(7, 0), mask=(255, 0),
+                    action="drop", priority=1),)
+        )
+        response = decode_message(agent.serve(request.encode()))
+        assert response.ok
+        assert agent.switch.process(Packet(b"\x07\x00\x00\x00")).dropped
+
+    def test_atomic_batch_rollback(self):
+        agent = SwitchAgent((0,), table_capacity=2)
+        updates = tuple(
+            Update(INSERT, "firewall", value=(i,), mask=(255,), action="drop")
+            for i in range(5)  # exceeds capacity at the 3rd insert
+        )
+        response = decode_message(agent.serve(WriteRequest(updates).encode()))
+        assert not response.ok
+        assert "TableFullError" in response.error
+        # nothing from the failed batch remains
+        assert len(agent.switch.table("firewall")) == 0
+
+    def test_delete_requires_entry_id(self):
+        agent = SwitchAgent((0,))
+        response = decode_message(
+            agent.serve(WriteRequest((Update(DELETE, "firewall"),)).encode())
+        )
+        assert not response.ok
+
+    def test_unknown_table_rejected(self):
+        agent = SwitchAgent((0,))
+        response = decode_message(
+            agent.serve(
+                WriteRequest(
+                    (Update(INSERT, "acl", value=(0,), mask=(0,), action="drop"),)
+                ).encode()
+            )
+        )
+        assert not response.ok and "unknown table" in response.error
+
+    def test_stale_election_id_rejected(self):
+        agent = SwitchAgent((0,))
+        ok = WriteRequest((), election_id=5)
+        assert decode_message(agent.serve(ok.encode())).ok
+        stale = WriteRequest((), election_id=3)
+        response = decode_message(agent.serve(stale.encode()))
+        assert not response.ok and "stale" in response.error
+
+    def test_read_returns_hits(self):
+        agent = SwitchAgent((0,))
+        insert = WriteRequest(
+            (Update(INSERT, "firewall", value=(1,), mask=(255,), action="drop"),)
+        )
+        agent.serve(insert.encode())
+        agent.switch.process(Packet(b"\x01"))
+        response = decode_message(agent.serve(ReadRequest("firewall").encode()))
+        assert response.ok
+        assert response.entries[0]["hits"] == 1
+
+    def test_malformed_payload_gets_error_response(self):
+        agent = SwitchAgent((0,))
+        response = decode_message(agent.serve(b"garbage"))
+        assert not response.ok
+
+
+class TestRemoteController:
+    def test_deploy_and_enforce(self, rng):
+        ruleset = small_ruleset()
+        agent = SwitchAgent(ruleset.offsets)
+        controller = RemoteController(agent)
+        count = controller.deploy(ruleset)
+        assert count == len(ruleset.to_ternary())
+        for __ in range(200):
+            packet = Packet(bytes(rng.integers(0, 256, size=8, dtype=np.uint8)))
+            assert (
+                agent.switch.process(packet).action
+                == ruleset.action_for_packet(packet)
+            )
+
+    def test_redeploy_replaces(self):
+        ruleset = small_ruleset()
+        agent = SwitchAgent(ruleset.offsets)
+        controller = RemoteController(agent)
+        controller.deploy(ruleset)
+        empty = RuleSet(ruleset.offsets, default_action="allow")
+        controller.deploy(empty)
+        assert len(agent.switch.table("firewall")) == 0
+
+    def test_offsets_mismatch_rejected(self):
+        agent = SwitchAgent((0, 1))
+        controller = RemoteController(agent)
+        with pytest.raises(ValueError):
+            controller.deploy(small_ruleset())
+
+    def test_read_entries(self):
+        ruleset = small_ruleset()
+        agent = SwitchAgent(ruleset.offsets)
+        controller = RemoteController(agent)
+        controller.deploy(ruleset)
+        entries = controller.read_entries()
+        assert len(entries) == len(ruleset.to_ternary())
+        assert all("hits" in entry for entry in entries)
+
+    def test_channel_accounting(self):
+        ruleset = small_ruleset()
+        agent = SwitchAgent(ruleset.offsets)
+        channel = Channel()
+        controller = RemoteController(agent, channel=channel)
+        controller.deploy(ruleset)
+        assert channel.requests_sent >= 1
+        assert channel.bytes_sent > 100
+
+    def test_corrupted_channel_raises_cleanly(self):
+        ruleset = small_ruleset()
+        agent = SwitchAgent(ruleset.offsets)
+        channel = Channel(corrupt=lambda b: b[: len(b) // 2])
+        controller = RemoteController(agent, channel=channel)
+        with pytest.raises(ProtocolError):
+            controller.deploy(ruleset)
+        # agent state unharmed by the garbage
+        assert len(agent.switch.table("firewall")) == 0
+
+    def test_capacity_failure_surfaces(self):
+        ruleset = small_ruleset()
+        agent = SwitchAgent(ruleset.offsets, table_capacity=3)
+        controller = RemoteController(agent)
+        with pytest.raises(ProtocolError):
+            controller.deploy(ruleset)  # expansion exceeds 3 entries
+        assert len(agent.switch.table("firewall")) == 0
+
+    def test_remote_matches_local_controller(self, trained_detector, inet_dataset):
+        """The wire path and the in-process path must enforce identically."""
+        from repro.dataplane import GatewayController
+
+        rules = trained_detector.generate_rules()
+        local = GatewayController.for_ruleset(rules)
+        local.deploy(rules)
+        agent = SwitchAgent(rules.offsets)
+        remote = RemoteController(agent)
+        remote.deploy(rules)
+        for packet in inet_dataset.test_packets[:200]:
+            assert (
+                local.switch.process(packet).action
+                == agent.switch.process(packet).action
+            )

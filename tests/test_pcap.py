@@ -1,0 +1,113 @@
+"""Tests for repro.net.pcap."""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.packet import Packet
+from repro.net.pcap import (
+    LINKTYPE_ETHERNET,
+    LINKTYPE_USER0,
+    PcapError,
+    iter_pcap,
+    read_pcap,
+    write_pcap,
+)
+
+
+class TestRoundtrip:
+    def test_basic_roundtrip(self, tmp_path):
+        path = tmp_path / "t.pcap"
+        packets = [
+            Packet(b"\x01\x02\x03", timestamp=1.5),
+            Packet(b"\x04" * 100, timestamp=2.25),
+        ]
+        assert write_pcap(path, packets) == 2
+        loaded = read_pcap(path)
+        assert [p.data for p in loaded] == [p.data for p in packets]
+        assert loaded[0].timestamp == pytest.approx(1.5, abs=1e-6)
+        assert loaded[1].timestamp == pytest.approx(2.25, abs=1e-6)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.pcap"
+        write_pcap(path, [])
+        assert read_pcap(path) == []
+
+    def test_snaplen_truncates(self, tmp_path):
+        path = tmp_path / "s.pcap"
+        write_pcap(path, [Packet(b"\xaa" * 100)], snaplen=10)
+        loaded = read_pcap(path)
+        assert len(loaded[0].data) == 10
+
+    def test_linktype_written(self, tmp_path):
+        path = tmp_path / "l.pcap"
+        write_pcap(path, [], linktype=LINKTYPE_USER0)
+        with open(path, "rb") as handle:
+            header = handle.read(24)
+        assert struct.unpack("<I", header[20:24])[0] == LINKTYPE_USER0
+
+    def test_timestamp_micro_rounding(self, tmp_path):
+        path = tmp_path / "r.pcap"
+        # 0.9999999 rounds to 1000000 µs — must carry into seconds.
+        write_pcap(path, [Packet(b"x", timestamp=0.9999999)])
+        loaded = read_pcap(path)
+        assert loaded[0].timestamp == pytest.approx(1.0, abs=1e-6)
+
+    @given(st.lists(st.binary(min_size=1, max_size=200), max_size=20))
+    def test_roundtrip_property(self, tmp_path_factory, payloads):
+        path = tmp_path_factory.mktemp("pcap") / "p.pcap"
+        packets = [Packet(d, timestamp=float(i)) for i, d in enumerate(payloads)]
+        write_pcap(path, packets)
+        assert [p.data for p in read_pcap(path)] == payloads
+
+
+class TestForeignFiles:
+    def test_big_endian_file(self, tmp_path):
+        path = tmp_path / "be.pcap"
+        with open(path, "wb") as handle:
+            handle.write(struct.pack(">IHHiIII", 0xA1B2C3D4, 2, 4, 0, 0, 65535, 1))
+            handle.write(struct.pack(">IIII", 10, 500000, 3, 3))
+            handle.write(b"abc")
+        loaded = read_pcap(path)
+        assert loaded[0].data == b"abc"
+        assert loaded[0].timestamp == pytest.approx(10.5, abs=1e-6)
+
+    def test_nanosecond_file(self, tmp_path):
+        path = tmp_path / "ns.pcap"
+        with open(path, "wb") as handle:
+            handle.write(struct.pack("<IHHiIII", 0xA1B23C4D, 2, 4, 0, 0, 65535, 1))
+            handle.write(struct.pack("<IIII", 1, 500_000_000, 1, 1))
+            handle.write(b"z")
+        loaded = read_pcap(path)
+        assert loaded[0].timestamp == pytest.approx(1.5, abs=1e-9)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.pcap"
+        path.write_bytes(b"\xde\xad\xbe\xef" + b"\x00" * 20)
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_truncated_record(self, tmp_path):
+        path = tmp_path / "trunc.pcap"
+        write_pcap(path, [Packet(b"abcdef")])
+        data = path.read_bytes()
+        path.write_bytes(data[:-3])
+        with pytest.raises(PcapError):
+            read_pcap(path)
+
+    def test_too_short_for_header(self, tmp_path):
+        path = tmp_path / "short.pcap"
+        path.write_bytes(b"\xd4")
+        with pytest.raises(PcapError):
+            list(iter_pcap(path))
+
+
+class TestWithGeneratedTraffic:
+    def test_trace_roundtrips(self, tmp_path, inet_dataset):
+        path = tmp_path / "trace.pcap"
+        packets = inet_dataset.test_packets[:50]
+        write_pcap(path, packets)
+        loaded = read_pcap(path)
+        assert [p.data for p in loaded] == [p.data for p in packets]

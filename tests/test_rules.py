@@ -1,0 +1,273 @@
+"""Tests for repro.core.rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distill import DecisionTree
+from repro.core.rules import (
+    ACTION_ALLOW,
+    ACTION_DROP,
+    MatchField,
+    Rule,
+    RuleSet,
+    rules_from_leaves,
+)
+from repro.net.packet import Packet
+
+
+class TestMatchField:
+    def test_matches_within_range(self):
+        field = MatchField(3, 10, 20)
+        assert field.matches(10) and field.matches(20) and field.matches(15)
+        assert not field.matches(9) and not field.matches(21)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError):
+            MatchField(0, 20, 10)
+        with pytest.raises(ValueError):
+            MatchField(0, 0, 256)
+        with pytest.raises(ValueError):
+            MatchField(-1, 0, 0)
+
+    def test_wildcard_and_exact(self):
+        assert MatchField(0, 0, 255).is_wildcard
+        assert MatchField(0, 7, 7).is_exact
+
+    def test_str_forms(self):
+        assert str(MatchField(2, 0, 255)) == "b[2]=*"
+        assert str(MatchField(2, 5, 5)) == "b[2]=5"
+        assert "in[" in str(MatchField(2, 5, 9))
+
+    def test_ternary_pairs_cover_range(self):
+        field = MatchField(0, 17, 211)
+        covered = set()
+        for value, mask in field.ternary_pairs():
+            covered.update(x for x in range(256) if (x & mask) == value)
+        assert covered == set(range(17, 212))
+
+
+class TestRule:
+    def test_matches_packet(self):
+        rule = Rule((MatchField(0, 10, 20),), ACTION_DROP)
+        assert rule.matches_packet(Packet(b"\x0f"))
+        assert not rule.matches_packet(Packet(b"\x30"))
+
+    def test_short_packet_reads_zero(self):
+        rule = Rule((MatchField(5, 0, 0),), ACTION_DROP)
+        assert rule.matches_packet(Packet(b"\x01"))
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            Rule((MatchField(0, 0, 1), MatchField(0, 2, 3)), ACTION_DROP)
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            Rule((), "reject")
+
+    def test_ternary_entry_count_multiplies(self):
+        rule = Rule(
+            (MatchField(0, 1, 6), MatchField(1, 1, 6)), ACTION_DROP
+        )
+        per_field = len(MatchField(0, 1, 6).ternary_pairs())
+        assert rule.ternary_entry_count() == per_field**2
+
+    def test_empty_match_is_catch_all(self):
+        rule = Rule((), ACTION_DROP)
+        assert rule.matches_packet(Packet(b"anything"))
+        assert rule.ternary_entry_count() == 1
+
+
+class TestRuleSet:
+    def make(self):
+        ruleset = RuleSet((0, 2), default_action=ACTION_ALLOW)
+        ruleset.add(Rule((MatchField(0, 100, 255),), ACTION_DROP, priority=5))
+        ruleset.add(
+            Rule(
+                (MatchField(0, 0, 99), MatchField(2, 50, 60)),
+                ACTION_DROP,
+                priority=1,
+            )
+        )
+        return ruleset
+
+    def test_first_match_by_priority(self):
+        ruleset = RuleSet((0,))
+        ruleset.add(Rule((MatchField(0, 0, 255),), ACTION_ALLOW, priority=10))
+        ruleset.add(Rule((MatchField(0, 0, 255),), ACTION_DROP, priority=1))
+        assert ruleset.action_for_packet(Packet(b"\x00")) == ACTION_ALLOW
+
+    def test_default_action(self):
+        ruleset = self.make()
+        assert ruleset.action_for_packet(Packet(b"\x00\x00\x00")) == ACTION_ALLOW
+
+    def test_drop_paths(self):
+        ruleset = self.make()
+        assert ruleset.action_for_packet(Packet(b"\xff\x00\x00")) == ACTION_DROP
+        assert ruleset.action_for_packet(Packet(b"\x00\x00\x37")) == ACTION_DROP
+
+    def test_offset_outside_selection_rejected(self):
+        ruleset = RuleSet((0, 2))
+        with pytest.raises(ValueError):
+            ruleset.add(Rule((MatchField(1, 0, 0),), ACTION_DROP))
+
+    def test_invalid_default(self):
+        with pytest.raises(ValueError):
+            RuleSet((0,), default_action="bounce")
+
+    def test_predict_matrix(self):
+        ruleset = self.make()
+        x = np.array([[255, 0, 0], [0, 0, 55], [0, 0, 0]], dtype=np.uint8)
+        np.testing.assert_array_equal(ruleset.predict(x), [1, 1, 0])
+
+    def test_describe_lists_rules(self):
+        text = self.make().describe()
+        assert "drop" in text and "offsets [0, 2]" in text
+
+    def test_resource_report_keys(self):
+        report = self.make().resource_report()
+        assert report["rules"] == 2
+        assert report["match_width_bits"] == 16
+        assert report["tcam_bits"] == 2 * 16 * report["ternary_entries"]
+
+
+class TestTernaryEquivalence:
+    """The expanded TCAM entries must implement the same function."""
+
+    byte_value = st.integers(min_value=0, max_value=255)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_random_ruleset_equivalence(self, seed):
+        rng = np.random.default_rng(seed)
+        offsets = (0, 1, 2)
+        ruleset = RuleSet(offsets, default_action=ACTION_ALLOW)
+        for priority in range(int(rng.integers(1, 4))):
+            matches = []
+            for offset in offsets:
+                if rng.random() < 0.6:
+                    lo, hi = sorted(rng.integers(0, 256, size=2).tolist())
+                    matches.append(MatchField(offset, int(lo), int(hi)))
+            ruleset.add(Rule(tuple(matches), ACTION_DROP, priority=priority))
+        entries = ruleset.to_ternary()
+        for __ in range(50):
+            key = tuple(int(v) for v in rng.integers(0, 256, size=3))
+            direct = ruleset.action_for_key(key)
+            # Highest-priority matching TCAM entry decides; ties are safe
+            # here because drop rules from tree leaves never overlap.
+            matching = [e for e in entries if e.matches_key(key)]
+            via_tcam = (
+                max(matching, key=lambda e: e.priority).action
+                if matching
+                else ruleset.default_action
+            )
+            assert direct == via_tcam
+
+    def test_entry_key_width_checked(self):
+        ruleset = RuleSet((0,))
+        ruleset.add(Rule((MatchField(0, 0, 0),), ACTION_DROP))
+        entry = ruleset.to_ternary()[0]
+        with pytest.raises(ValueError):
+            entry.matches_key((0, 0))
+
+
+class TestRulesFromLeaves:
+    def _tree(self, rng, depth=3):
+        x = rng.integers(0, 256, size=(400, 2)).astype(np.int64)
+        y = ((x[:, 0] > 128) | (x[:, 1] < 30)).astype(np.int64)
+        tree = DecisionTree(max_depth=depth).fit(x, y)
+        return tree, x, y
+
+    def test_rules_reproduce_tree(self, rng):
+        tree, x, y = self._tree(rng)
+        ruleset = rules_from_leaves(tree.leaves(), (0, 1))
+        np.testing.assert_array_equal(
+            ruleset.predict(x.astype(np.uint8)), tree.predict(x)
+        )
+
+    def test_drop_mode_defaults_allow(self, rng):
+        tree, *__ = self._tree(rng)
+        ruleset = rules_from_leaves(tree.leaves(), (0, 1), mode="drop")
+        assert ruleset.default_action == ACTION_ALLOW
+        assert all(rule.action == ACTION_DROP for rule in ruleset)
+
+    def test_smallest_mode_never_larger(self, rng):
+        tree, *__ = self._tree(rng)
+        drop = rules_from_leaves(tree.leaves(), (0, 1), mode="drop")
+        smallest = rules_from_leaves(tree.leaves(), (0, 1), mode="smallest")
+        assert len(smallest) <= len(drop)
+
+    def test_smallest_mode_equivalent(self, rng):
+        tree, x, __ = self._tree(rng)
+        drop = rules_from_leaves(tree.leaves(), (0, 1), mode="drop")
+        smallest = rules_from_leaves(tree.leaves(), (0, 1), mode="smallest")
+        x8 = x.astype(np.uint8)
+        np.testing.assert_array_equal(drop.predict(x8), smallest.predict(x8))
+
+    def test_min_confidence_filters(self, rng):
+        tree, *__ = self._tree(rng)
+        all_rules = rules_from_leaves(tree.leaves(), (0, 1))
+        confident = rules_from_leaves(tree.leaves(), (0, 1), min_confidence=0.99)
+        assert len(confident) <= len(all_rules)
+
+    def test_unknown_mode_rejected(self, rng):
+        tree, *__ = self._tree(rng)
+        with pytest.raises(ValueError):
+            rules_from_leaves(tree.leaves(), (0, 1), mode="magic")
+
+
+class TestVectorizedPredict:
+    """The vectorised first-match path must equal the scalar reference."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_predict_matches_scalar_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        offsets = (0, 1, 2)
+        default = ACTION_ALLOW if seed % 2 else ACTION_DROP
+        ruleset = RuleSet(offsets, default_action=default)
+        for priority in range(int(rng.integers(1, 5))):
+            matches = []
+            for offset in offsets:
+                if rng.random() < 0.6:
+                    lo, hi = sorted(rng.integers(0, 256, size=2).tolist())
+                    matches.append(MatchField(offset, int(lo), int(hi)))
+            action = ACTION_DROP if rng.random() < 0.7 else ACTION_ALLOW
+            ruleset.add(Rule(tuple(matches), action, priority=priority,
+                             label=int(rng.integers(1, 4))))
+        x = rng.integers(0, 256, size=(80, 3)).astype(np.uint8)
+        fast = ruleset.predict(x)
+        for row, key in enumerate(x.astype(int)):
+            expected = 0 if ruleset.action_for_key(tuple(key)) == ACTION_ALLOW else 1
+            assert fast[row] == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_predict_class_matches_scalar_reference(self, seed):
+        rng = np.random.default_rng(seed)
+        offsets = (0, 1)
+        ruleset = RuleSet(offsets, default_action=ACTION_ALLOW)
+        for priority in range(int(rng.integers(1, 4))):
+            lo, hi = sorted(rng.integers(0, 256, size=2).tolist())
+            ruleset.add(
+                Rule((MatchField(0, int(lo), int(hi)),), ACTION_DROP,
+                     priority=priority, label=priority + 1)
+            )
+        x = rng.integers(0, 256, size=(60, 2)).astype(np.uint8)
+        fast = ruleset.predict_class(x)
+        for row, key in enumerate(x.astype(int)):
+            values = dict(zip(offsets, key))
+            expected = 0
+            for rule in ruleset.rules:
+                if rule.matches_vector(values):
+                    expected = rule.label
+                    break
+            assert fast[row] == expected
+
+    def test_empty_ruleset_uses_default(self):
+        allow = RuleSet((0,), default_action=ACTION_ALLOW)
+        drop = RuleSet((0,), default_action=ACTION_DROP)
+        x = np.zeros((5, 1), dtype=np.uint8)
+        assert allow.predict(x).sum() == 0
+        assert drop.predict(x).sum() == 5

@@ -1,0 +1,167 @@
+"""Tests for repro.net.sketch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.sketch import BloomFilter, CountMinSketch, multiply_shift_hash
+
+
+class TestHash:
+    def test_deterministic(self):
+        assert multiply_shift_hash(42, 1, 100) == multiply_shift_hash(42, 1, 100)
+
+    def test_seeds_differ(self):
+        values = {multiply_shift_hash(42, seed, 1000) for seed in range(8)}
+        assert len(values) > 4
+
+    def test_in_range(self):
+        for key in (0, 1, 2**64, 123456789):
+            assert 0 <= multiply_shift_hash(key, 3, 17) < 17
+
+    def test_invalid_buckets(self):
+        with pytest.raises(ValueError):
+            multiply_shift_hash(1, 0, 0)
+
+    def test_spread_is_roughly_uniform(self):
+        buckets = np.zeros(16)
+        for key in range(4096):
+            buckets[multiply_shift_hash(key, 5, 16)] += 1
+        assert buckets.min() > 4096 / 16 * 0.5
+        assert buckets.max() < 4096 / 16 * 1.5
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter(bits=4096, hashes=3)
+        keys = [f"key-{i}".encode() for i in range(200)]
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+    def test_low_false_positive_rate_when_sparse(self):
+        bloom = BloomFilter(bits=8192, hashes=3)
+        for i in range(100):
+            bloom.add(f"member-{i}")
+        false_positives = sum(
+            1 for i in range(1000) if f"other-{i}" in bloom
+        )
+        assert false_positives < 30
+
+    def test_clear(self):
+        bloom = BloomFilter(bits=256, hashes=2)
+        bloom.add(b"x")
+        bloom.clear()
+        assert b"x" not in bloom
+        assert bloom.inserted == 0
+        assert bloom.fill_ratio() == 0.0
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(bits=256, hashes=2)
+        before = bloom.fill_ratio()
+        for i in range(50):
+            bloom.add(i)
+        assert bloom.fill_ratio() > before
+
+    def test_key_types(self):
+        bloom = BloomFilter()
+        for key in (b"bytes", "text", 17, (1, 2, 3)):
+            bloom.add(key)
+            assert key in bloom
+
+    def test_unhashable_key(self):
+        with pytest.raises(TypeError):
+            BloomFilter().add([1, 2])  # type: ignore[arg-type]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(bits=0)
+        with pytest.raises(ValueError):
+            BloomFilter(hashes=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.binary(min_size=1, max_size=8), max_size=40))
+    def test_membership_property(self, keys):
+        bloom = BloomFilter(bits=2048, hashes=3)
+        for key in keys:
+            bloom.add(key)
+        assert all(key in bloom for key in keys)
+
+
+class TestCountMinSketch:
+    def test_never_undercounts(self):
+        sketch = CountMinSketch(width=128, depth=3)
+        truth = {}
+        rng = np.random.default_rng(0)
+        for __ in range(500):
+            key = int(rng.integers(0, 50))
+            truth[key] = truth.get(key, 0) + 1
+            sketch.add(key)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count
+
+    def test_exact_when_sparse(self):
+        sketch = CountMinSketch(width=4096, depth=4)
+        for i in range(20):
+            for __ in range(i + 1):
+                sketch.add(f"k{i}")
+        for i in range(20):
+            assert sketch.estimate(f"k{i}") == i + 1
+
+    def test_counter_saturation(self):
+        sketch = CountMinSketch(width=8, depth=1, counter_bits=4)
+        for __ in range(100):
+            sketch.add(b"x")
+        assert sketch.estimate(b"x") == 15  # saturated, not wrapped
+
+    def test_add_returns_estimate(self):
+        sketch = CountMinSketch(width=64, depth=3)
+        assert sketch.add(b"a") == 1
+        assert sketch.add(b"a") == 2
+
+    def test_clear(self):
+        sketch = CountMinSketch(width=64, depth=2)
+        sketch.add(b"a", 5)
+        sketch.clear()
+        assert sketch.estimate(b"a") == 0
+        assert sketch.total == 0
+
+    def test_bulk_add(self):
+        sketch = CountMinSketch()
+        sketch.add(b"k", 100)
+        assert sketch.estimate(b"k") == 100
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            CountMinSketch().add(b"k", -1)
+
+    def test_heavy_keys(self):
+        sketch = CountMinSketch(width=1024, depth=3)
+        sketch.add("elephant", 100)
+        sketch.add("mouse", 2)
+        heavy = sketch.heavy_keys(["elephant", "mouse"], threshold=50)
+        assert heavy == [("elephant", 100)]
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(depth=0)
+        with pytest.raises(ValueError):
+            CountMinSketch(counter_bits=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=30),
+            st.integers(min_value=1, max_value=20),
+            max_size=15,
+        )
+    )
+    def test_overestimate_property(self, truth):
+        sketch = CountMinSketch(width=256, depth=3)
+        for key, count in truth.items():
+            sketch.add(key, count)
+        for key, count in truth.items():
+            assert sketch.estimate(key) >= count

@@ -1,0 +1,114 @@
+"""Tests for repro.core.stage1 (field selectors)."""
+
+import numpy as np
+import pytest
+
+from repro.core.stage1 import (
+    GateSelector,
+    MutualInformationSelector,
+    SaliencySelector,
+    make_selector,
+)
+
+
+def informative_data(rng, n=600, d=12, informative=(2, 7)):
+    """Labels depend only on the byte values at ``informative`` positions."""
+    x_bytes = rng.integers(0, 256, size=(n, d))
+    y = ((x_bytes[:, informative[0]] > 128) & (x_bytes[:, informative[1]] > 100)).astype(
+        np.int64
+    )
+    return x_bytes / 255.0, y
+
+
+class TestGateSelector:
+    def test_finds_informative_positions(self, rng):
+        x, y = informative_data(rng)
+        selector = GateSelector(12, epochs=40, l1=0.01, seed=0).fit(x, y)
+        assert set(selector.select(2)) == {2, 7}
+
+    def test_scores_shape(self, rng):
+        x, y = informative_data(rng)
+        selector = GateSelector(12, epochs=5, seed=0).fit(x, y)
+        assert selector.scores().shape == (12,)
+        assert ((selector.scores() >= 0) & (selector.scores() <= 1)).all()
+
+    def test_select_sorted_ascending(self, rng):
+        x, y = informative_data(rng)
+        selector = GateSelector(12, epochs=5, seed=0).fit(x, y)
+        offsets = selector.select(5)
+        assert list(offsets) == sorted(offsets)
+
+    def test_select_requires_positive_k(self, rng):
+        x, y = informative_data(rng)
+        selector = GateSelector(12, epochs=3, seed=0).fit(x, y)
+        with pytest.raises(ValueError):
+            selector.select(0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            GateSelector(4).scores()
+
+    def test_stronger_l1_closes_more_gates(self, rng):
+        x, y = informative_data(rng)
+        weak = GateSelector(12, epochs=30, l1=1e-4, seed=0).fit(x, y)
+        strong = GateSelector(12, epochs=30, l1=5e-2, seed=0).fit(x, y)
+        assert strong.scores().sum() < weak.scores().sum()
+
+
+class TestMutualInformation:
+    def test_finds_informative_positions(self, rng):
+        x, y = informative_data(rng)
+        selector = MutualInformationSelector().fit(x, y)
+        assert set(selector.select(2)) == {2, 7}
+
+    def test_accepts_raw_bytes(self, rng):
+        x, y = informative_data(rng)
+        scaled = MutualInformationSelector().fit(x, y).scores()
+        raw = MutualInformationSelector().fit(np.round(x * 255), y).scores()
+        np.testing.assert_allclose(scaled, raw, atol=1e-9)
+
+    def test_constant_feature_zero_mi(self, rng):
+        x = np.zeros((100, 3))
+        x[:, 1] = rng.random(100)
+        y = (x[:, 1] > 0.5).astype(np.int64)
+        scores = MutualInformationSelector().fit(x, y).scores()
+        assert scores[0] == pytest.approx(0.0, abs=1e-12)
+        assert scores[1] > 0.1
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            MutualInformationSelector(bins=0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            MutualInformationSelector().scores()
+
+
+class TestSaliency:
+    def test_finds_informative_positions(self, rng):
+        x, y = informative_data(rng)
+        selector = SaliencySelector(12, epochs=30, seed=0).fit(x, y)
+        top4 = set(selector.select(4))
+        assert {2, 7} <= top4
+
+    def test_scores_nonnegative(self, rng):
+        x, y = informative_data(rng)
+        selector = SaliencySelector(12, epochs=5, seed=0).fit(x, y)
+        assert (selector.scores() >= 0).all()
+
+
+class TestFactory:
+    def test_kinds(self):
+        assert isinstance(make_selector("gate", 8), GateSelector)
+        assert isinstance(make_selector("mi", 8), MutualInformationSelector)
+        assert isinstance(make_selector("saliency", 8), SaliencySelector)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_selector("pca", 8)
+
+    def test_ranking_ties_stable(self, rng):
+        x, y = informative_data(rng)
+        selector = MutualInformationSelector().fit(x, y)
+        ranking = selector.ranking()
+        assert len(set(ranking.tolist())) == 12

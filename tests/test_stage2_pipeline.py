@@ -1,0 +1,165 @@
+"""Tests for repro.core.stage2 and repro.core.pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import DetectorConfig, TwoStageDetector
+from repro.core.stage2 import CompactClassifier
+from repro.net.protocols import inet
+
+
+def selected_feature_data(rng, n=500, d=16):
+    x_bytes = rng.integers(0, 256, size=(n, d))
+    y = (x_bytes[:, 3] > 150).astype(np.int64)
+    return x_bytes, x_bytes / 255.0, y
+
+
+class TestCompactClassifier:
+    def test_trains_on_selected_columns(self, rng):
+        x_bytes, x, y = selected_feature_data(rng)
+        clf = CompactClassifier((3, 5), epochs=30, seed=0)
+        clf.fit(x, y)
+        assert clf.accuracy(x, y) > 0.97
+
+    def test_accepts_preprojected_input(self, rng):
+        x_bytes, x, y = selected_feature_data(rng)
+        clf = CompactClassifier((3, 5), epochs=10, seed=0)
+        clf.fit(x[:, [3, 5]], y)
+        assert clf.predict(x[:, [3, 5]]).shape == (len(x),)
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            CompactClassifier(())
+
+    def test_distilled_tree_fidelity(self, rng):
+        x_bytes, x, y = selected_feature_data(rng)
+        clf = CompactClassifier((3, 5), epochs=30, seed=0)
+        clf.fit(x, y)
+        tree = clf.distill(x_bytes, max_depth=4)
+        assert clf.fidelity(tree, x_bytes) > 0.97
+
+    def test_distill_trains_on_teacher_labels(self, rng):
+        """The tree is fitted to the DNN's outputs, not ground truth."""
+        x_bytes, x, y = selected_feature_data(rng)
+        clf = CompactClassifier((3, 5), epochs=30, seed=0)
+        clf.fit(x, y)
+        tree = clf.distill(x_bytes, max_depth=6)
+        teacher = clf.predict(x)
+        student = tree.predict(x_bytes[:, [3, 5]])
+        assert (student == teacher).mean() > 0.95
+
+
+class TestDetectorConfig:
+    def test_invalid_field_budget(self):
+        with pytest.raises(ValueError):
+            DetectorConfig(n_bytes=8, n_fields=9)
+        with pytest.raises(ValueError):
+            DetectorConfig(n_fields=0)
+
+
+class TestTwoStageDetector:
+    def test_fit_sets_offsets(self, trained_detector):
+        assert trained_detector.offsets is not None
+        assert len(trained_detector.offsets) == 6
+
+    def test_unfitted_raises(self):
+        detector = TwoStageDetector()
+        with pytest.raises(RuntimeError):
+            detector.predict(np.zeros((1, 64)))
+        with pytest.raises(RuntimeError):
+            detector.field_report()
+
+    def test_wrong_width_rejected(self):
+        detector = TwoStageDetector(DetectorConfig(n_bytes=64))
+        with pytest.raises(ValueError):
+            detector.fit(np.zeros((10, 32)), np.zeros(10))
+
+    def test_model_accuracy_high(self, trained_detector, inet_dataset):
+        acc = trained_detector.model_accuracy(
+            inet_dataset.x_test, inet_dataset.y_test_binary
+        )
+        assert acc > 0.9
+
+    def test_rules_close_to_model(self, trained_detector, inet_dataset):
+        model_acc = trained_detector.model_accuracy(
+            inet_dataset.x_test, inet_dataset.y_test_binary
+        )
+        rule_acc = trained_detector.rule_accuracy(
+            inet_dataset.x_test, inet_dataset.y_test_binary
+        )
+        assert rule_acc > model_acc - 0.05
+
+    def test_rules_use_selected_offsets_only(self, trained_detector):
+        rules = trained_detector.generate_rules()
+        allowed = set(trained_detector.offsets)
+        for rule in rules:
+            assert {m.offset for m in rule.matches} <= allowed
+
+    def test_deeper_distillation_more_rules(self, trained_detector):
+        shallow = trained_detector.generate_rules(max_depth=2)
+        deep = trained_detector.generate_rules(max_depth=8)
+        assert len(deep) >= len(shallow)
+
+    def test_field_report_names_fields(self, trained_detector):
+        spans = [
+            (inet.ETHERNET, 0),
+            (inet.IPV4, 14),
+            (inet.TCP, 34),
+        ]
+        report = trained_detector.field_report(spans)
+        assert len(report) == 6
+        for entry in report:
+            assert "offset" in entry and "score" in entry and "field" in entry
+
+    def test_predict_proba_shape(self, trained_detector, inet_dataset):
+        probs = trained_detector.predict_proba(inet_dataset.x_test[:10])
+        assert probs.shape == (10, 2)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_refit_invalidates_tree(self, inet_dataset):
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=4, selector_epochs=5, epochs=8)
+        )
+        detector.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+        detector.generate_rules()
+        assert detector.tree is not None
+        detector.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+        assert detector.tree is None
+
+    def test_mi_selector_variant(self, inet_dataset):
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=6, selector="mi", epochs=10)
+        )
+        detector.fit(inet_dataset.x_train, inet_dataset.y_train_binary)
+        acc = detector.model_accuracy(inet_dataset.x_test, inet_dataset.y_test_binary)
+        assert acc > 0.8
+
+    def test_multiclass_labels_accepted(self, inet_dataset):
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=6, selector_epochs=8, epochs=12)
+        )
+        detector.fit(inet_dataset.x_train, inet_dataset.y_train)
+        rules = detector.generate_rules()
+        # rules collapse to binary: drop anything non-benign
+        x_bytes = np.round(inet_dataset.x_test * 255).astype(np.uint8)
+        predictions = rules.predict(x_bytes)
+        acc = (predictions == inet_dataset.y_test_binary).mean()
+        assert acc > 0.85
+
+    def test_universality_zigbee(self, zigbee_dataset):
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=4, selector_epochs=10, epochs=40)
+        )
+        detector.fit(zigbee_dataset.x_train, zigbee_dataset.y_train_binary)
+        acc = detector.rule_accuracy(
+            zigbee_dataset.x_test, zigbee_dataset.y_test_binary
+        )
+        assert acc > 0.9
+
+    def test_universality_ble(self, ble_dataset):
+        detector = TwoStageDetector(
+            DetectorConfig(n_fields=4, selector_epochs=10, epochs=40)
+        )
+        detector.fit(ble_dataset.x_train, ble_dataset.y_train_binary)
+        acc = detector.rule_accuracy(ble_dataset.x_test, ble_dataset.y_test_binary)
+        assert acc > 0.9

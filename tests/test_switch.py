@@ -1,0 +1,137 @@
+"""Tests for repro.dataplane.switch."""
+
+import pytest
+
+from repro.dataplane.switch import Register, Switch, SwitchConfig
+from repro.dataplane.tables import ExactTable, TernaryTable
+from repro.net.packet import Packet
+
+
+def make_switch(offsets=(0, 2)):
+    return Switch(SwitchConfig(key_offsets=tuple(offsets)))
+
+
+class TestConfig:
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchConfig(key_offsets=())
+
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchConfig(key_offsets=(1, 1))
+
+
+class TestParser:
+    def test_key_extraction(self):
+        switch = make_switch((0, 2))
+        assert switch.parse_key(Packet(b"\x0a\x0b\x0c")) == (0x0A, 0x0C)
+
+    def test_short_packet_zero_fill(self):
+        switch = make_switch((0, 10))
+        assert switch.parse_key(Packet(b"\xff")) == (0xFF, 0)
+
+
+class TestPipeline:
+    def test_default_allow_with_no_tables(self):
+        switch = make_switch()
+        verdict = switch.process(Packet(b"\x01\x02\x03"))
+        assert verdict.action == "allow" and verdict.table is None
+
+    def test_table_decides(self):
+        switch = make_switch((0,))
+        table = TernaryTable("fw", 1)
+        table.add((7,), (255,), "drop")
+        switch.add_table(table)
+        assert switch.process(Packet(b"\x07")).dropped
+        assert not switch.process(Packet(b"\x08")).dropped
+
+    def test_verdict_carries_provenance(self):
+        switch = make_switch((0,))
+        table = TernaryTable("fw", 1)
+        entry_id = table.add((7,), (255,), "drop")
+        switch.add_table(table)
+        verdict = switch.process(Packet(b"\x07"))
+        assert verdict.table == "fw" and verdict.entry_id == entry_id
+
+    def test_multiple_tables_first_terminal_wins(self):
+        switch = make_switch((0,))
+        first = TernaryTable("acl", 1, default_action="continue")
+        first.add((1,), (255,), "drop")
+        second = TernaryTable("fw", 1)
+        second.add((0,), (0,), "drop")  # would drop everything
+        switch.add_table(first)
+        switch.add_table(second)
+        # byte 1 → dropped by acl; byte 2 → falls through to fw
+        assert switch.process(Packet(b"\x01")).table == "acl"
+        assert switch.process(Packet(b"\x02")).table == "fw"
+
+    def test_pipeline_depth_enforced(self):
+        switch = Switch(SwitchConfig(key_offsets=(0,), pipeline_depth=1))
+        switch.add_table(TernaryTable("a", 1))
+        with pytest.raises(RuntimeError):
+            switch.add_table(TernaryTable("b", 1))
+
+    def test_key_width_mismatch_rejected(self):
+        switch = make_switch((0, 1))
+        with pytest.raises(ValueError):
+            switch.add_table(TernaryTable("t", 3))
+
+    def test_table_lookup_by_name(self):
+        switch = make_switch((0,))
+        table = ExactTable("fw", 1)
+        switch.add_table(table)
+        assert switch.table("fw") is table
+        with pytest.raises(KeyError):
+            switch.table("nope")
+
+
+class TestStats:
+    def test_counts(self):
+        switch = make_switch((0,))
+        table = TernaryTable("fw", 1)
+        table.add((1,), (255,), "drop")
+        switch.add_table(table)
+        switch.process(Packet(b"\x01\x02"))
+        switch.process(Packet(b"\x00\x00\x00"))
+        assert switch.stats.received == 2
+        assert switch.stats.dropped == 1
+        assert switch.stats.allowed == 1
+        assert switch.stats.bytes_received == 5
+        assert switch.stats.bytes_dropped == 2
+        assert switch.stats.drop_rate == pytest.approx(0.5)
+
+    def test_reset(self):
+        switch = make_switch((0,))
+        switch.process(Packet(b"\x00"))
+        switch.reset_stats()
+        assert switch.stats.received == 0
+
+    def test_process_trace_order(self):
+        switch = make_switch((0,))
+        table = TernaryTable("fw", 1)
+        table.add((1,), (255,), "drop")
+        switch.add_table(table)
+        verdicts = switch.process_trace([Packet(b"\x01"), Packet(b"\x00")])
+        assert [v.dropped for v in verdicts] == [True, False]
+
+
+class TestRegister:
+    def test_read_write(self):
+        switch = make_switch()
+        register = switch.register("counts", 4)
+        register.write(2, 41)
+        assert register.increment(2) == 42
+        assert register.read(2) == 42
+
+    def test_same_name_same_register(self):
+        switch = make_switch()
+        assert switch.register("r", 2) is switch.register("r")
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            Register("r", 0)
+
+    def test_out_of_bounds(self):
+        register = Register("r", 2)
+        with pytest.raises(IndexError):
+            register.read(5)

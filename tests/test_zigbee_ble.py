@@ -1,0 +1,106 @@
+"""Tests for the non-IP stacks (Zigbee-like and BLE-like)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net.protocols import ble, zigbee
+
+
+class TestZigbeeFrame:
+    def test_roundtrip(self):
+        frame = zigbee.build_frame(
+            src_addr=0x1003,
+            dst_addr=0x0000,
+            cluster_id=zigbee.CLUSTER_TEMPERATURE,
+            payload=b"\x18\x01\x0a",
+        )
+        parsed = zigbee.parse_frame(frame)
+        assert parsed.mac["src_addr"] == 0x1003
+        assert parsed.nwk["dst_addr"] == 0x0000
+        assert parsed.aps["cluster_id"] == zigbee.CLUSTER_TEMPERATURE
+        assert parsed.payload == b"\x18\x01\x0a"
+        assert parsed.fcs_ok
+
+    def test_fcs_detects_corruption(self):
+        frame = bytearray(zigbee.build_frame(src_addr=1, dst_addr=2))
+        frame[10] ^= 0xFF
+        assert not zigbee.parse_frame(bytes(frame)).fcs_ok
+
+    def test_broadcast_uses_broadcast_delivery(self):
+        frame = zigbee.build_frame(
+            src_addr=0x2000, dst_addr=zigbee.BROADCAST_ADDR
+        )
+        parsed = zigbee.parse_frame(frame)
+        assert parsed.aps["delivery_mode"] == 2
+
+    def test_unicast_delivery_mode(self):
+        frame = zigbee.build_frame(src_addr=0x2000, dst_addr=0x0001)
+        assert zigbee.parse_frame(frame).aps["delivery_mode"] == 0
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ValueError):
+            zigbee.parse_frame(b"\x00" * 8)
+
+    def test_radius_and_counters(self):
+        frame = zigbee.build_frame(
+            src_addr=1, dst_addr=2, radius=7,
+            mac_sequence=9, nwk_sequence=8, aps_counter=7,
+        )
+        parsed = zigbee.parse_frame(frame)
+        assert parsed.nwk["radius"] == 7
+        assert parsed.mac["sequence"] == 9
+        assert parsed.nwk["sequence"] == 8
+        assert parsed.aps["counter"] == 7
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.binary(max_size=40),
+    )
+    def test_roundtrip_property(self, src, dst, payload):
+        frame = zigbee.build_frame(src_addr=src, dst_addr=dst, payload=payload)
+        parsed = zigbee.parse_frame(frame)
+        assert parsed.mac["src_addr"] == src
+        assert parsed.payload == payload
+        assert parsed.fcs_ok
+
+
+class TestBleFrame:
+    def test_roundtrip(self):
+        pdu = ble.build_att_pdu(ble.ATT_NOTIFY, 0x0012, b"\x00\x48")
+        frame = ble.build_frame(access_addr=0x8E89BE05, att_pdu=pdu)
+        parsed = ble.parse_frame(frame)
+        assert parsed.ll["access_addr"] == 0x8E89BE05
+        assert parsed.att_opcode == ble.ATT_NOTIFY
+        assert parsed.att_handle == 0x0012
+        assert parsed.att_value == b"\x00\x48"
+
+    def test_l2cap_length(self):
+        pdu = ble.build_att_pdu(ble.ATT_READ_REQ, 0x0020)
+        frame = ble.build_frame(access_addr=1, att_pdu=pdu)
+        assert ble.parse_frame(frame).l2cap["length"] == len(pdu)
+
+    def test_sequence_bits(self):
+        pdu = ble.build_att_pdu(ble.ATT_READ_REQ, 1)
+        frame = ble.build_frame(access_addr=1, att_pdu=pdu, sn=1, nesn=1)
+        parsed = ble.parse_frame(frame)
+        assert parsed.ll["sn"] == 1 and parsed.ll["nesn"] == 1
+
+    def test_truncated_att_rejected(self):
+        pdu = ble.build_att_pdu(ble.ATT_READ_REQ, 1)
+        frame = ble.build_frame(access_addr=1, att_pdu=pdu)
+        with pytest.raises(ValueError):
+            ble.parse_frame(frame[:-2])
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=0xFFFF),
+        st.binary(max_size=30),
+    )
+    def test_roundtrip_property(self, access, handle, value):
+        pdu = ble.build_att_pdu(ble.ATT_WRITE_REQ, handle, value)
+        parsed = ble.parse_frame(ble.build_frame(access_addr=access, att_pdu=pdu))
+        assert parsed.ll["access_addr"] == access
+        assert parsed.att_handle == handle
+        assert parsed.att_value == value
