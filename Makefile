@@ -1,10 +1,20 @@
 # Developer convenience targets.
 PYTHON ?= python
 
-.PHONY: test bench examples lint all
+.PHONY: test test-fast test-full bench examples lint all
 
 test:
 	$(PYTHON) -m pytest tests/
+
+# Tier-1: the quick signal — skips the heavier differential/property
+# suites (marked `slow`); slow-test timings surface via --durations.
+test-fast:
+	$(PYTHON) -m pytest tests/ -m "not slow" --durations=10
+
+# Tier-1 plus the full hypothesis + differential harness (scalar vs batch
+# data path), with a bigger example budget via the `full` profile.
+test-full:
+	HYPOTHESIS_PROFILE=full $(PYTHON) -m pytest tests/ --durations=10
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -5,7 +5,10 @@ the simulated switch at increasing ternary-table occupancy, plus the tiny
 deployed table of the learned rules for contrast.  Absolute numbers are
 simulator times (hardware would be line-rate); the *shape* — per-packet
 cost grows with entries in a software ternary search while the learned
-table stays small — is what the experiment demonstrates.  Timed section:
+table stays small — is what the experiment demonstrates.  The series is
+measured on both data paths: the scalar reference loop and the
+numpy-vectorised batch pipeline (``process_trace(batch_size=...)``),
+whose speedup at gateway batch sizes is asserted.  Timed section: batch
 replay through the learned deployment (pytest-benchmark stats).
 """
 
@@ -13,7 +16,8 @@ import time
 
 import numpy as np
 
-from repro.dataplane import GatewayController, Switch, SwitchConfig, TernaryTable
+from repro.dataplane import Switch, SwitchConfig, TernaryTable
+from repro.eval.harness import GATEWAY_BATCH_SIZE, replay_gateway
 from repro.eval.report import format_series
 
 
@@ -31,30 +35,48 @@ def test_e10_match_cost_series(benchmark, suite, detectors):
     dataset = suite["inet"]
     rules = detectors["inet"].generate_rules()
     packets = dataset.test_packets[:400]
+    # One full batch for the vectorised path (the acceptance batch size).
+    batch_packets = (packets * ((GATEWAY_BATCH_SIZE // len(packets)) + 1))[
+        :GATEWAY_BATCH_SIZE
+    ]
     rng = np.random.default_rng(0)
 
     sizes = [10, 100, 1000]
-    micros = []
+    scalar_micros = []
+    batch_micros = []
+    speedups = []
     for size in sizes:
         switch = _filled_switch(rules.offsets, size, rng)
         start = time.perf_counter()
-        switch.process_trace(packets)
-        elapsed = time.perf_counter() - start
-        micros.append(round(1e6 * elapsed / len(packets), 2))
+        switch.process_trace(batch_packets)
+        scalar_elapsed = time.perf_counter() - start
+        switch.reset_stats()
+        start = time.perf_counter()
+        switch.process_trace(batch_packets, batch_size=GATEWAY_BATCH_SIZE)
+        batch_elapsed = time.perf_counter() - start
+        scalar_micros.append(round(1e6 * scalar_elapsed / len(batch_packets), 2))
+        batch_micros.append(round(1e6 * batch_elapsed / len(batch_packets), 2))
+        speedups.append(scalar_elapsed / batch_elapsed)
     print()
     print(
         format_series(
             sizes,
-            {"us_per_packet": micros},
+            {
+                "us_per_packet_scalar": scalar_micros,
+                "us_per_packet_batch": batch_micros,
+                "speedup": [round(s, 1) for s in speedups],
+            },
             x_name="table_entries",
             title="E10: software-switch match cost vs table size",
         )
     )
     # shape: linear-ish growth in a software TCAM model
-    assert micros[-1] > micros[0]
+    assert scalar_micros[-1] > scalar_micros[0]
+    # the vectorised path buys at least 5x packets/sec at full batches
+    assert max(speedups) >= 5.0, f"batch speedups {speedups} below 5x"
 
-    controller = GatewayController.for_ruleset(rules)
-    controller.deploy(rules)
+    verdicts, controller = replay_gateway(rules, batch_packets)
+    assert len(verdicts) == len(batch_packets)
     print(
         f"learned deployment: {len(controller.switch.table('firewall'))} "
         f"entries (vs {sizes[-1]} in the stress series)"
@@ -62,6 +84,8 @@ def test_e10_match_cost_series(benchmark, suite, detectors):
 
     def replay():
         controller.switch.reset_stats()
-        controller.switch.process_trace(packets)
+        controller.switch.process_trace(
+            batch_packets, batch_size=GATEWAY_BATCH_SIZE
+        )
 
     benchmark(replay)

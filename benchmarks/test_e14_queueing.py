@@ -12,7 +12,8 @@ section: queue simulation with the learned admit function.
 
 import numpy as np
 
-from repro.dataplane import GatewayController, simulate_queue
+from repro.dataplane import simulate_queue
+from repro.eval.harness import GATEWAY_BATCH_SIZE, replay_gateway
 from repro.eval.report import format_table
 
 #: Uplink service rate — sized so the attack windows overload it ~2x
@@ -43,25 +44,29 @@ def test_e14_lan_protection(benchmark, suite, detectors):
     replay = sorted(dataset.test_packets, key=lambda p: p.timestamp)
 
     rules = detectors["inet"].generate_rules()
-    controller = GatewayController.for_ruleset(rules)
-    controller.deploy(rules)
+    # Ingress filtering runs on the switch's vectorised batch path: decide
+    # the whole trace in one pass, then feed the per-packet verdicts to the
+    # queue simulation in arrival order.
+    verdicts, controller = replay_gateway(rules, replay)
+    admitted = [not v.dropped for v in verdicts]
 
-    def learned_admit(packet):
-        return not controller.switch.process(packet).dropped
+    def learned_admit_factory():
+        decisions = iter(admitted)
+        return lambda packet: next(decisions)
 
     scenarios = [
-        ("no firewall", None),
-        ("learned rules", learned_admit),
-        ("oracle filter", lambda p: not p.label.is_attack),
+        ("no firewall", lambda: None),
+        ("learned rules", learned_admit_factory),
+        ("oracle filter", lambda: (lambda p: not p.label.is_attack)),
     ]
     rows = []
     outcomes = {}
-    for name, admit in scenarios:
+    for name, admit_factory in scenarios:
         result = simulate_queue(
             replay,
             rate_bytes_per_s=RATE_BYTES_PER_S,
             buffer_bytes=BUFFER_BYTES,
-            admit=admit,
+            admit=admit_factory(),
         )
         mean, p99, loss, filtered = _benign_outcomes(result, replay)
         outcomes[name] = (mean, p99, loss)
@@ -87,12 +92,17 @@ def test_e14_lan_protection(benchmark, suite, detectors):
     assert rules_mean < 3 * oracle_mean + 1e-3
 
     def run():
+        # Timed end-to-end: batch ingress classification + queue simulation.
         controller.switch.reset_stats()
+        fresh = controller.switch.process_trace(
+            replay, batch_size=GATEWAY_BATCH_SIZE
+        )
+        decisions = iter(fresh)
         return simulate_queue(
             replay,
             rate_bytes_per_s=RATE_BYTES_PER_S,
             buffer_bytes=BUFFER_BYTES,
-            admit=learned_admit,
+            admit=lambda packet: not next(decisions).dropped,
         )
 
     benchmark(run)

@@ -168,11 +168,13 @@ def _controller_for(rules) -> GatewayController:
 
 
 def cmd_simulate(args) -> int:
+    if args.batch_size is not None and args.batch_size < 1:
+        raise SystemExit("--batch-size must be >= 1")
     rules = load_ruleset(args.rules)
     packets, __ = _load_packets(args)
     controller = _controller_for(rules)
     controller.deploy(rules)
-    controller.switch.process_trace(packets)
+    controller.switch.process_trace(packets, batch_size=args.batch_size)
     stats = controller.switch.stats
     print(
         f"{stats.received} packets: {stats.dropped} dropped "
@@ -277,6 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate", help="replay traffic through the switch")
     simulate.add_argument("rules", help="rules JSON")
     add_input(simulate)
+    simulate.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="replay through the vectorized batch path in chunks of this "
+        "size (default: scalar reference path)",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     evaluate = sub.add_parser("eval", help="score a rule set on labelled traffic")

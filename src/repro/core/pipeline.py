@@ -251,6 +251,27 @@ class TwoStageDetector:
         predictions = rules.predict(x_bytes)
         return float((predictions == np.asarray(y_binary)).mean())
 
+    # -- deployment --------------------------------------------------------------
+
+    def deploy_gateway(self, *, table_capacity: int = 4096):
+        """Generate rules and deploy them on a fresh simulated gateway.
+
+        Convenience for the common end of the pipeline: the returned
+        :class:`~repro.dataplane.controller.GatewayController` has the
+        rules installed and its switch ready for
+        :meth:`~repro.dataplane.switch.Switch.process_trace` — pass
+        ``batch_size`` there to use the vectorised data path.
+        """
+        # Imported lazily: repro.dataplane depends on repro.core.rules.
+        from repro.dataplane.controller import GatewayController
+
+        rules = self.generate_rules()
+        controller = GatewayController.for_ruleset(
+            rules, table_capacity=table_capacity
+        )
+        controller.deploy(rules)
+        return controller
+
     # -- introspection ---------------------------------------------------------
 
     def field_report(self, spans=None) -> List[Dict[str, object]]:

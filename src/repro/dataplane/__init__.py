@@ -14,6 +14,7 @@ from repro.dataplane.queueing import EgressQueue, QueueResult, simulate_queue
 from repro.dataplane.stateful import RateLimitStage, StatefulGateway
 from repro.dataplane.switch import Switch, SwitchConfig, Verdict
 from repro.dataplane.tables import (
+    BatchMatchResult,
     ExactTable,
     LpmTable,
     RangeTable,
@@ -25,6 +26,7 @@ __all__ = [
     "Switch",
     "SwitchConfig",
     "Verdict",
+    "BatchMatchResult",
     "ExactTable",
     "TernaryTable",
     "RangeTable",

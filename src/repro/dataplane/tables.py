@@ -9,6 +9,15 @@ where it matters for the evaluation:
 * **priorities** — ternary/range overlap resolved by explicit priority,
   ties by earlier insertion (the P4Runtime convention),
 * **per-entry hit counters** — direct counters as in P4 ``direct_counter``.
+
+Every table has two lookup implementations with identical semantics:
+
+* :meth:`lookup` — the scalar reference path, one key at a time, written
+  for clarity and used as the oracle by the differential test suite;
+* :meth:`lookup_batch` — a numpy-vectorised path over an
+  ``(n_packets, key_width)`` uint8 key matrix, used by
+  :meth:`repro.dataplane.switch.Switch.process_batch`.  Counters are
+  updated in aggregate so both paths leave the table in the same state.
 """
 
 from __future__ import annotations
@@ -16,10 +25,13 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 __all__ = [
     "TableFullError",
     "EntryExistsError",
     "MatchResult",
+    "BatchMatchResult",
     "ExactTable",
     "TernaryTable",
     "RangeTable",
@@ -43,6 +55,44 @@ class MatchResult:
     action: str
     entry_id: Optional[int] = None
     priority: int = 0
+
+
+@dataclasses.dataclass
+class BatchMatchResult:
+    """Vectorised outcome of :meth:`lookup_batch` over ``n`` keys.
+
+    Attributes:
+        hit: ``(n,)`` bool — whether each key hit an entry.
+        entry_id: ``(n,)`` int64 — the matched entry id, ``-1`` on miss.
+        action_code: ``(n,)`` int64 — index into :attr:`actions`.
+        actions: code → action name; code 0 is always the table's
+            default action (applied on miss).
+        priority: ``(n,)`` int64 — matched entry priority (0 on miss /
+            for priority-less table kinds).
+    """
+
+    hit: np.ndarray
+    entry_id: np.ndarray
+    action_code: np.ndarray
+    actions: Tuple[str, ...]
+    priority: np.ndarray
+
+    def action_names(self) -> np.ndarray:
+        """Per-key action names as an object array."""
+        return np.array(self.actions, dtype=object)[self.action_code]
+
+
+def _keys_as_strings(keys: np.ndarray) -> np.ndarray:
+    """View an ``(n, k)`` uint8 matrix as ``(n,)`` fixed-width byte strings.
+
+    All rows are exactly ``k`` bytes, so numpy's trailing-NUL-padded ``S``
+    comparison is exact equality on the rows — this is what makes the
+    sorted-array hash-join in :meth:`ExactTable.lookup_batch` and the
+    per-length buckets in :meth:`LpmTable.lookup_batch` correct.
+    """
+    keys = np.ascontiguousarray(keys, dtype=np.uint8)
+    width = keys.shape[1]
+    return np.frombuffer(keys.tobytes(), dtype=f"S{width}")
 
 
 @dataclasses.dataclass
@@ -77,6 +127,8 @@ class _BaseTable:
         self.counters: Dict[int, _Counter] = {}
         self.default_counter = _Counter()
         self._next_id = 0
+        #: lazily-built vectorised index; dropped on any entry mutation
+        self._batch_cache: Optional[dict] = None
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -114,6 +166,65 @@ class _BaseTable:
         """Packets that hit ``entry_id`` so far."""
         return self.counters[entry_id].packets
 
+    # -- vectorised path ---------------------------------------------------
+
+    def _invalidate_batch(self) -> None:
+        self._batch_cache = None
+
+    def _check_batch_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Validate and normalise an ``(n, key_width)`` key matrix."""
+        keys = np.asarray(keys)
+        if keys.ndim != 2 or keys.shape[1] != self.key_width:
+            raise ValueError(
+                f"table {self.name!r}: key matrix must be (n, {self.key_width}), "
+                f"got {keys.shape}"
+            )
+        if keys.dtype != np.uint8:
+            if keys.size and (keys.min() < 0 or keys.max() > 255):
+                raise ValueError("key bytes must be in [0, 255]")
+            keys = keys.astype(np.uint8)
+        return np.ascontiguousarray(keys)
+
+    def _batch_sizes(self, n: int, packet_sizes) -> np.ndarray:
+        if packet_sizes is None:
+            return np.zeros(n, dtype=np.int64)
+        sizes = np.asarray(packet_sizes, dtype=np.int64)
+        if sizes.shape != (n,):
+            raise ValueError(f"packet_sizes must be ({n},), got {sizes.shape}")
+        return sizes
+
+    def _count_batch(self, result: BatchMatchResult, sizes: np.ndarray) -> None:
+        """Aggregate-counter equivalent of per-key :meth:`_count` calls."""
+        miss = ~result.hit
+        if miss.any():
+            self.default_counter.packets += int(miss.sum())
+            self.default_counter.bytes += int(sizes[miss].sum())
+        hit_ids = result.entry_id[result.hit]
+        if hit_ids.size:
+            hit_sizes = sizes[result.hit]
+            for entry_id, count in zip(*np.unique(hit_ids, return_counts=True)):
+                counter = self.counters[int(entry_id)]
+                counter.packets += int(count)
+                counter.bytes += int(hit_sizes[hit_ids == entry_id].sum())
+
+    def _miss_batch(self, n: int, sizes: np.ndarray) -> BatchMatchResult:
+        """All-miss result (the empty-table fast path)."""
+        result = BatchMatchResult(
+            hit=np.zeros(n, dtype=bool),
+            entry_id=np.full(n, -1, dtype=np.int64),
+            action_code=np.zeros(n, dtype=np.int64),
+            actions=(self.default_action,),
+            priority=np.zeros(n, dtype=np.int64),
+        )
+        self._count_batch(result, sizes)
+        return result
+
+    def lookup_batch(
+        self, keys: np.ndarray, packet_sizes: Optional[np.ndarray] = None
+    ) -> BatchMatchResult:
+        """Vectorised :meth:`lookup` over an ``(n, key_width)`` matrix."""
+        raise NotImplementedError
+
 
 class ExactTable(_BaseTable):
     """Exact match on the whole key (hash-table in hardware)."""
@@ -131,6 +242,7 @@ class ExactTable(_BaseTable):
             raise EntryExistsError(f"duplicate exact key {key}")
         entry_id = self._allocate_id()
         self._entries[key] = (entry_id, action)
+        self._invalidate_batch()
         return entry_id
 
     def remove(self, entry_id: int) -> None:
@@ -138,6 +250,7 @@ class ExactTable(_BaseTable):
             if eid == entry_id:
                 del self._entries[key]
                 del self.counters[entry_id]
+                self._invalidate_batch()
                 return
         raise KeyError(f"no entry {entry_id}")
 
@@ -149,6 +262,48 @@ class ExactTable(_BaseTable):
         else:
             result = MatchResult(True, found[1], entry_id=found[0])
         self._count(result, packet_size)
+        return result
+
+    def _batch_index(self) -> dict:
+        """Sorted entry-key strings + aligned id/action arrays (hash join)."""
+        if self._batch_cache is None:
+            key_matrix = np.array(
+                sorted(self._entries), dtype=np.uint8
+            ).reshape(len(self._entries), self.key_width)
+            entry_keys = _keys_as_strings(key_matrix)
+            order = np.argsort(entry_keys)
+            items = [self._entries[tuple(row)] for row in key_matrix[order]]
+            self._batch_cache = {
+                "keys": entry_keys[order],
+                "entry_ids": np.array([eid for eid, __ in items], dtype=np.int64),
+                "entry_actions": tuple(action for __, action in items),
+            }
+        return self._batch_cache
+
+    def lookup_batch(
+        self, keys: np.ndarray, packet_sizes: Optional[np.ndarray] = None
+    ) -> BatchMatchResult:
+        keys = self._check_batch_keys(keys)
+        sizes = self._batch_sizes(len(keys), packet_sizes)
+        if not self._entries:
+            return self._miss_batch(len(keys), sizes)
+        index = self._batch_index()
+        sorted_keys = index["keys"]
+        rows = _keys_as_strings(keys)
+        positions = np.searchsorted(sorted_keys, rows)
+        clipped = np.minimum(positions, len(sorted_keys) - 1)
+        hit = sorted_keys[clipped] == rows
+        entry_id = np.where(hit, index["entry_ids"][clipped], -1)
+        # action code 0 = default; entry e maps to code 1 + its sorted slot
+        action_code = np.where(hit, clipped + 1, 0)
+        result = BatchMatchResult(
+            hit=hit,
+            entry_id=entry_id,
+            action_code=action_code,
+            actions=(self.default_action,) + index["entry_actions"],
+            priority=np.zeros(len(keys), dtype=np.int64),
+        )
+        self._count_batch(result, sizes)
         return result
 
 
@@ -191,6 +346,7 @@ class TernaryTable(_BaseTable):
         self._entries.append(record)
         # Keep sorted: higher priority first, then earlier insertion.
         self._entries.sort(key=lambda e: (-e.priority, e.order))
+        self._invalidate_batch()
         return entry_id
 
     def remove(self, entry_id: int) -> None:
@@ -198,12 +354,14 @@ class TernaryTable(_BaseTable):
             if record.entry_id == entry_id:
                 del self._entries[index]
                 del self.counters[entry_id]
+                self._invalidate_batch()
                 return
         raise KeyError(f"no entry {entry_id}")
 
     def clear(self) -> None:
         self._entries.clear()
         self.counters.clear()
+        self._invalidate_batch()
 
     def lookup(self, key: Sequence[int], packet_size: int = 0) -> MatchResult:
         key = self._check_key(key)
@@ -220,6 +378,58 @@ class TernaryTable(_BaseTable):
                 return result
         result = MatchResult(False, self.default_action)
         self._count(result, packet_size)
+        return result
+
+    def _batch_index(self) -> dict:
+        """Priority-sorted value/mask matrices for mask-and-compare."""
+        if self._batch_cache is None:
+            count = len(self._entries)
+            values = np.array(
+                [e.value for e in self._entries], dtype=np.uint8
+            ).reshape(count, self.key_width)
+            masks = np.array(
+                [e.mask for e in self._entries], dtype=np.uint8
+            ).reshape(count, self.key_width)
+            self._batch_cache = {
+                "masks": masks,
+                # pre-masked values: a key k matches row e iff k & mask == this
+                "masked_values": values & masks,
+                "entry_ids": np.array(
+                    [e.entry_id for e in self._entries], dtype=np.int64
+                ),
+                "priorities": np.array(
+                    [e.priority for e in self._entries], dtype=np.int64
+                ),
+                "entry_actions": tuple(e.action for e in self._entries),
+            }
+        return self._batch_cache
+
+    def lookup_batch(
+        self, keys: np.ndarray, packet_sizes: Optional[np.ndarray] = None
+    ) -> BatchMatchResult:
+        keys = self._check_batch_keys(keys)
+        sizes = self._batch_sizes(len(keys), packet_sizes)
+        if not self._entries:
+            return self._miss_batch(len(keys), sizes)
+        index = self._batch_index()
+        # (n, entries, width) mask-and-compare, collapsed over key bytes;
+        # entries are already in match order, so argmax gives the winner.
+        matches = (
+            (keys[:, None, :] & index["masks"][None, :, :])
+            == index["masked_values"][None, :, :]
+        ).all(axis=2)
+        hit = matches.any(axis=1)
+        winner = matches.argmax(axis=1)
+        entry_id = np.where(hit, index["entry_ids"][winner], -1)
+        action_code = np.where(hit, winner + 1, 0)
+        result = BatchMatchResult(
+            hit=hit,
+            entry_id=entry_id,
+            action_code=action_code,
+            actions=(self.default_action,) + index["entry_actions"],
+            priority=np.where(hit, index["priorities"][winner], 0),
+        )
+        self._count_batch(result, sizes)
         return result
 
     def entries(self) -> List[_TernaryEntryRecord]:
@@ -274,6 +484,7 @@ class RangeTable(_BaseTable):
             )
         )
         self._entries.sort(key=lambda e: (-e.priority, e.order))
+        self._invalidate_batch()
         return entry_id
 
     def remove(self, entry_id: int) -> None:
@@ -281,6 +492,7 @@ class RangeTable(_BaseTable):
             if record.entry_id == entry_id:
                 del self._entries[index]
                 del self.counters[entry_id]
+                self._invalidate_batch()
                 return
         raise KeyError(f"no entry {entry_id}")
 
@@ -296,6 +508,54 @@ class RangeTable(_BaseTable):
                 return result
         result = MatchResult(False, self.default_action)
         self._count(result, packet_size)
+        return result
+
+    def _batch_index(self) -> dict:
+        """Priority-sorted per-byte interval bounds for broadcast tests."""
+        if self._batch_cache is None:
+            count = len(self._entries)
+            bounds = np.array(
+                [e.ranges for e in self._entries], dtype=np.int64
+            ).reshape(count, self.key_width, 2)
+            self._batch_cache = {
+                "lows": bounds[:, :, 0],
+                "highs": bounds[:, :, 1],
+                "entry_ids": np.array(
+                    [e.entry_id for e in self._entries], dtype=np.int64
+                ),
+                "priorities": np.array(
+                    [e.priority for e in self._entries], dtype=np.int64
+                ),
+                "entry_actions": tuple(e.action for e in self._entries),
+            }
+        return self._batch_cache
+
+    def lookup_batch(
+        self, keys: np.ndarray, packet_sizes: Optional[np.ndarray] = None
+    ) -> BatchMatchResult:
+        keys = self._check_batch_keys(keys)
+        sizes = self._batch_sizes(len(keys), packet_sizes)
+        if not self._entries:
+            return self._miss_batch(len(keys), sizes)
+        index = self._batch_index()
+        # (n, entries, width) broadcast interval tests over the byte columns.
+        wide = keys[:, None, :].astype(np.int64)
+        matches = (
+            (wide >= index["lows"][None, :, :])
+            & (wide <= index["highs"][None, :, :])
+        ).all(axis=2)
+        hit = matches.any(axis=1)
+        winner = matches.argmax(axis=1)
+        entry_id = np.where(hit, index["entry_ids"][winner], -1)
+        action_code = np.where(hit, winner + 1, 0)
+        result = BatchMatchResult(
+            hit=hit,
+            entry_id=entry_id,
+            action_code=action_code,
+            actions=(self.default_action,) + index["entry_actions"],
+            priority=np.where(hit, index["priorities"][winner], 0),
+        )
+        self._count_batch(result, sizes)
         return result
 
 
@@ -321,6 +581,7 @@ class LpmTable(_BaseTable):
             raise EntryExistsError(f"duplicate prefix {value}/{prefix_len}")
         entry_id = self._allocate_id()
         bucket[value] = (entry_id, action)
+        self._invalidate_batch()
         return entry_id
 
     def remove(self, entry_id: int) -> None:
@@ -329,6 +590,7 @@ class LpmTable(_BaseTable):
                 if eid == entry_id:
                     del bucket[value]
                     del self.counters[entry_id]
+                    self._invalidate_batch()
                     return
         raise KeyError(f"no entry {entry_id}")
 
@@ -346,4 +608,90 @@ class LpmTable(_BaseTable):
                 return result
         result = MatchResult(False, self.default_action)
         self._count(result, packet_size)
+        return result
+
+    def _prefix_mask(self, prefix_len: int) -> np.ndarray:
+        """Byte mask with the leading ``prefix_len`` bits set."""
+        mask = np.zeros(self.key_width, dtype=np.uint8)
+        full, rem = divmod(prefix_len, 8)
+        mask[:full] = 0xFF
+        if rem:
+            mask[full] = (0xFF << (8 - rem)) & 0xFF
+        return mask
+
+    def _batch_index(self) -> dict:
+        """Per-prefix-length buckets, longest first, as sorted masked keys."""
+        if self._batch_cache is None:
+            total_bits = 8 * self.key_width
+            buckets = []
+            actions: List[str] = []
+            for prefix_len in sorted(self._by_length, reverse=True):
+                bucket = self._by_length[prefix_len]
+                if not bucket:
+                    continue
+                values = np.frombuffer(
+                    b"".join(
+                        ((value << (total_bits - prefix_len)) if prefix_len else 0)
+                        .to_bytes(self.key_width, "big")
+                        for value in bucket
+                    ),
+                    dtype=np.uint8,
+                ).reshape(len(bucket), self.key_width)
+                prefixes = _keys_as_strings(values)
+                order = np.argsort(prefixes)
+                items = list(bucket.values())
+                entry_ids = np.array(
+                    [items[i][0] for i in order], dtype=np.int64
+                )
+                codes = np.arange(len(items), dtype=np.int64) + 1 + len(actions)
+                actions.extend(items[i][1] for i in order)
+                buckets.append(
+                    {
+                        "mask": self._prefix_mask(prefix_len),
+                        "prefixes": prefixes[order],
+                        "entry_ids": entry_ids,
+                        "codes": codes,
+                    }
+                )
+            self._batch_cache = {
+                "buckets": buckets,
+                "entry_actions": tuple(actions),
+            }
+        return self._batch_cache
+
+    def lookup_batch(
+        self, keys: np.ndarray, packet_sizes: Optional[np.ndarray] = None
+    ) -> BatchMatchResult:
+        keys = self._check_batch_keys(keys)
+        n = len(keys)
+        sizes = self._batch_sizes(n, packet_sizes)
+        if not len(self):
+            return self._miss_batch(n, sizes)
+        index = self._batch_index()
+        hit = np.zeros(n, dtype=bool)
+        entry_id = np.full(n, -1, dtype=np.int64)
+        action_code = np.zeros(n, dtype=np.int64)
+        remaining = np.arange(n)
+        # Longest prefix first: rows matched by a bucket stop participating,
+        # exactly like the scalar descending-length scan.
+        for bucket in index["buckets"]:
+            if not remaining.size:
+                break
+            masked = _keys_as_strings(keys[remaining] & bucket["mask"])
+            positions = np.searchsorted(bucket["prefixes"], masked)
+            clipped = np.minimum(positions, len(bucket["prefixes"]) - 1)
+            found = bucket["prefixes"][clipped] == masked
+            rows = remaining[found]
+            hit[rows] = True
+            entry_id[rows] = bucket["entry_ids"][clipped[found]]
+            action_code[rows] = bucket["codes"][clipped[found]]
+            remaining = remaining[~found]
+        result = BatchMatchResult(
+            hit=hit,
+            entry_id=entry_id,
+            action_code=action_code,
+            actions=(self.default_action,) + index["entry_actions"],
+            priority=np.zeros(n, dtype=np.int64),
+        )
+        self._count_batch(result, sizes)
         return result

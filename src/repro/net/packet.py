@@ -11,7 +11,7 @@ byte offsets without understanding the protocol.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 __all__ = ["Packet", "Label", "BENIGN"]
 
@@ -79,6 +79,20 @@ class Packet:
     def bytes_at(self, offsets: Tuple[int, ...]) -> Tuple[int, ...]:
         """Values at several offsets (see :meth:`byte_at`)."""
         return tuple(self.byte_at(o) for o in offsets)
+
+    @staticmethod
+    def batch_keys(
+        packets: "Sequence[Packet]", offsets: Sequence[int]
+    ):
+        """Match keys for a whole trace as one ``(n, k)`` uint8 matrix.
+
+        Row ``i`` equals ``packets[i].bytes_at(offsets)`` — including the
+        zero-fill past the end of short packets — extracted in one
+        vectorised pass for the switch's batch data path.
+        """
+        from repro.net.bytesutil import batch_bytes_at
+
+        return batch_bytes_at([p.data for p in packets], offsets)
 
     def with_label(self, category: str, device: str = "") -> "Packet":
         """Copy of this packet with a new ground-truth label."""

@@ -2,10 +2,19 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings
 
 from repro.datasets import TraceConfig, make_dataset
+
+# `make test-full` selects the bigger example budget; tests that pin their
+# own ``max_examples`` (the differential suite's 200-per-table floor) keep
+# their explicit settings either way.
+settings.register_profile("full", max_examples=500, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

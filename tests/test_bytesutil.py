@@ -1,10 +1,12 @@
 """Tests for repro.net.bytesutil."""
 
+import numpy as np
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.net.bytesutil import (
+    batch_bytes_at,
     bytes_to_int,
     bytes_to_ipv4,
     bytes_to_mac,
@@ -109,6 +111,57 @@ class TestXor:
     def test_xor_self_inverse(self, data):
         key = bytes(reversed(data))
         assert xor_bytes(xor_bytes(data, key), key) == data
+
+
+class TestBatchBytesAt:
+    def test_matches_scalar_extraction(self):
+        payloads = [b"", b"\x01", b"\x01\x02\x03", bytes(range(40))]
+        offsets = (0, 2, 33)
+        matrix = batch_bytes_at(payloads, offsets)
+        assert matrix.shape == (4, 3)
+        assert matrix.dtype == np.uint8
+        for row, payload in zip(matrix, payloads):
+            expected = tuple(
+                payload[o] if o < len(payload) else 0 for o in offsets
+            )
+            assert tuple(int(b) for b in row) == expected
+
+    def test_short_payloads_zero_filled(self):
+        matrix = batch_bytes_at([b"\xff", b""], (0, 7))
+        assert matrix.tolist() == [[0xFF, 0], [0, 0]]
+
+    def test_empty_payload_list(self):
+        matrix = batch_bytes_at([], (0, 1, 2))
+        assert matrix.shape == (0, 3)
+        assert matrix.dtype == np.uint8
+
+    def test_empty_offsets_rejected(self):
+        with pytest.raises(ValueError):
+            batch_bytes_at([b"x"], ())
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(IndexError):
+            batch_bytes_at([b"x"], (0, -2))
+
+    def test_repeated_offsets_allowed(self):
+        matrix = batch_bytes_at([b"\x0a\x0b"], (1, 1, 0))
+        assert matrix.tolist() == [[0x0B, 0x0B, 0x0A]]
+
+    @given(
+        st.lists(st.binary(min_size=0, max_size=64), min_size=0, max_size=20),
+        st.lists(
+            st.integers(min_value=0, max_value=80),
+            min_size=1,
+            max_size=6,
+        ),
+    )
+    def test_rows_match_scalar_property(self, payloads, offsets):
+        matrix = batch_bytes_at(payloads, offsets)
+        assert matrix.shape == (len(payloads), len(offsets))
+        for row, payload in zip(matrix, payloads):
+            for got, offset in zip(row, offsets):
+                expected = payload[offset] if offset < len(payload) else 0
+                assert int(got) == expected
 
 
 class TestAddressFormats:

@@ -32,6 +32,33 @@ class TestPacket:
     def test_bytes_at_mixed(self):
         assert Packet(b"\x0a\x0b").bytes_at((0, 1, 9)) == (10, 11, 0)
 
+    def test_batch_keys_matches_bytes_at(self):
+        # The batch extractor shares the zero-fill contract at batch
+        # granularity: row i == packets[i].bytes_at(offsets), including
+        # short and empty packets.
+        offsets = (0, 3, 17)
+        packets = [
+            Packet(b""),
+            Packet(b"\x01"),
+            Packet(b"\x01\x02\x03\x04"),
+            Packet(bytes(range(32))),
+        ]
+        matrix = Packet.batch_keys(packets, offsets)
+        assert matrix.shape == (4, 3)
+        for row, packet in zip(matrix, packets):
+            assert tuple(int(b) for b in row) == packet.bytes_at(offsets)
+
+    def test_batch_keys_short_packets_read_zero(self):
+        matrix = Packet.batch_keys([Packet(b"\xff")], (0, 10))
+        assert matrix.tolist() == [[0xFF, 0]]
+
+    def test_batch_keys_empty_trace(self):
+        assert Packet.batch_keys([], (0, 1)).shape == (0, 2)
+
+    def test_batch_keys_negative_offset_raises(self):
+        with pytest.raises(IndexError):
+            Packet.batch_keys([Packet(b"x")], (0, -1))
+
     def test_with_label(self):
         packet = Packet(b"x").with_label("udp_flood", "dev-1")
         assert packet.label.category == "udp_flood"

@@ -100,6 +100,32 @@ class TestStats:
         assert switch.stats.bytes_dropped == 2
         assert switch.stats.drop_rate == pytest.approx(0.5)
 
+    def test_bytes_quarantined_counted(self):
+        # Quarantined traffic is diverted, not dropped — its bytes must
+        # show up in bytes_quarantined (and not in bytes_dropped).
+        switch = make_switch((0,))
+        table = TernaryTable("fw", 1)
+        table.add((3,), (255,), "quarantine")
+        table.add((1,), (255,), "drop")
+        switch.add_table(table)
+        switch.process(Packet(b"\x03\xaa\xbb"))  # 3 bytes quarantined
+        switch.process(Packet(b"\x03\xcc"))      # 2 bytes quarantined
+        switch.process(Packet(b"\x01\x00"))      # 2 bytes dropped
+        switch.process(Packet(b"\x00"))          # allowed
+        assert switch.stats.quarantined == 2
+        assert switch.stats.bytes_quarantined == 5
+        assert switch.stats.bytes_dropped == 2
+
+    def test_bytes_quarantined_batch_path(self):
+        switch = make_switch((0,))
+        table = TernaryTable("fw", 1)
+        table.add((3,), (255,), "quarantine")
+        switch.add_table(table)
+        switch.process_batch([Packet(b"\x03\xaa"), Packet(b"\x03"), Packet(b"\x00")])
+        assert switch.stats.quarantined == 2
+        assert switch.stats.bytes_quarantined == 3
+        assert switch.stats.allowed == 1
+
     def test_reset(self):
         switch = make_switch((0,))
         switch.process(Packet(b"\x00"))
@@ -113,6 +139,23 @@ class TestStats:
         switch.add_table(table)
         verdicts = switch.process_trace([Packet(b"\x01"), Packet(b"\x00")])
         assert [v.dropped for v in verdicts] == [True, False]
+
+    def test_process_trace_batched_matches_scalar(self):
+        packets = [Packet(bytes([i % 4, i % 7])) for i in range(23)]
+        scalar, batched = make_switch((0,)), make_switch((0,))
+        for switch in (scalar, batched):
+            table = TernaryTable("fw", 1)
+            table.add((1,), (255,), "drop")
+            table.add((2,), (255,), "quarantine")
+            switch.add_table(table)
+        reference = scalar.process_trace(packets)
+        assert batched.process_trace(packets, batch_size=5) == reference
+        assert batched.stats == scalar.stats
+
+    def test_process_trace_invalid_batch_size(self):
+        switch = make_switch((0,))
+        with pytest.raises(ValueError):
+            switch.process_trace([Packet(b"\x00")], batch_size=0)
 
 
 class TestRegister:

@@ -1,0 +1,179 @@
+"""Property-based semantics tests for the match-action tables.
+
+Where ``test_batch_differential.py`` holds ``lookup_batch`` equal to the
+scalar ``lookup``, this suite pins down what both are *supposed* to
+compute — the P4 semantics themselves, checked against brute-force
+oracles over the entry lists:
+
+* ternary: the highest-priority matching entry wins, insertion order
+  breaking ties (the P4Runtime convention);
+* LPM: the longest matching prefix wins regardless of insertion order;
+* range: the per-byte intervals are closed (``lo`` and ``hi`` inclusive).
+
+Each property is asserted on the scalar path and then on the batch path
+with the scalar result as the oracle, so a bug in shared semantics cannot
+hide behind path agreement.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane.tables import LpmTable, RangeTable, TernaryTable
+
+key_byte = st.integers(0, 255)
+
+
+def key_bytes(width):
+    return st.lists(key_byte, min_size=width, max_size=width).map(tuple)
+
+
+def batch_action(table, key):
+    """Single-key action via the batch path (fresh result, no oracle reuse)."""
+    result = table.lookup_batch(np.array([key], dtype=np.uint8))
+    return result.actions[result.action_code[0]], (
+        int(result.entry_id[0]) if result.hit[0] else None
+    )
+
+
+class TestTernaryPriorityOrdering:
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_highest_priority_match_wins(self, data):
+        width = data.draw(st.integers(1, 3))
+        entries = data.draw(
+            st.lists(
+                st.tuples(
+                    key_bytes(width),        # value
+                    key_bytes(width),        # mask
+                    st.integers(0, 5),       # priority
+                ),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        table = TernaryTable("t", width)
+        records = []  # (priority, insertion_order, entry_id, value, mask)
+        for order, (value, mask, priority) in enumerate(entries):
+            entry_id = table.add(value, mask, f"a{order}", priority=priority)
+            records.append((priority, order, entry_id, value, mask))
+        key = data.draw(key_bytes(width))
+
+        matching = [
+            record
+            for record in records
+            if all(
+                (k & m) == (v & m)
+                for k, v, m in zip(key, record[3], record[4])
+            )
+        ]
+        result = table.lookup(key)
+        if not matching:
+            assert not result.hit
+        else:
+            # Oracle: max priority, then earliest insertion.
+            expected = min(matching, key=lambda r: (-r[0], r[1]))
+            assert result.hit and result.entry_id == expected[2]
+            assert result.priority == expected[0]
+        action, entry_id = batch_action(table, key)
+        assert (action, entry_id) == (result.action, result.entry_id)
+
+
+class TestLpmLongestPrefixWins:
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_longest_matching_prefix_wins(self, data):
+        width = data.draw(st.integers(1, 3))
+        total_bits = 8 * width
+        entries = data.draw(
+            st.lists(
+                st.tuples(key_bytes(width), st.integers(0, total_bits)),
+                min_size=1,
+                max_size=8,
+                unique_by=lambda e: (
+                    e[1],
+                    int.from_bytes(bytes(e[0]), "big")
+                    >> (8 * len(e[0]) - e[1]) if e[1] else 0,
+                ),
+            )
+        )
+        table = LpmTable("t", width)
+        installed = []  # (prefix_len, prefix_value, entry_id)
+        for index, (key, prefix_len) in enumerate(entries):
+            entry_id = table.add(key, prefix_len, f"a{index}")
+            key_int = int.from_bytes(bytes(key), "big")
+            value = key_int >> (total_bits - prefix_len) if prefix_len else 0
+            installed.append((prefix_len, value, entry_id))
+        key = data.draw(key_bytes(width))
+        key_int = int.from_bytes(bytes(key), "big")
+
+        matching = [
+            record
+            for record in installed
+            if (key_int >> (total_bits - record[0]) if record[0] else 0)
+            == record[1]
+        ]
+        result = table.lookup(key)
+        if not matching:
+            assert not result.hit
+        else:
+            expected = max(matching, key=lambda r: r[0])
+            assert result.hit and result.entry_id == expected[2]
+        action, entry_id = batch_action(table, key)
+        assert (action, entry_id) == (result.action, result.entry_id)
+
+
+class TestRangeBoundaryInclusivity:
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_closed_interval_boundaries(self, data):
+        width = data.draw(st.integers(1, 3))
+        ranges = []
+        for __ in range(width):
+            lo = data.draw(key_byte)
+            ranges.append((lo, data.draw(st.integers(lo, 255))))
+        table = RangeTable("t", width, default_action="allow")
+        entry_id = table.add(ranges, "drop")
+
+        # Both endpoints of every byte interval are included...
+        for boundary in (0, 1):
+            key = tuple(r[boundary] for r in ranges)
+            result = table.lookup(key)
+            assert result.hit and result.entry_id == entry_id
+            assert batch_action(table, key) == ("drop", entry_id)
+
+        # ...and stepping any single byte just outside the interval misses.
+        for position, (lo, hi) in enumerate(ranges):
+            for outside in (lo - 1, hi + 1):
+                if not 0 <= outside <= 255:
+                    continue
+                key = tuple(
+                    outside if index == position else r[0]
+                    for index, r in enumerate(ranges)
+                )
+                result = table.lookup(key)
+                assert not result.hit
+                assert batch_action(table, key) == ("allow", None)
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=st.data())
+    def test_first_priority_match_scalar_oracle(self, data):
+        width = data.draw(st.integers(1, 2))
+        table = RangeTable("t", width)
+        count = data.draw(st.integers(0, 6))
+        for index in range(count):
+            ranges = []
+            for __ in range(width):
+                lo = data.draw(key_byte)
+                ranges.append((lo, data.draw(st.integers(lo, 255))))
+            table.add(ranges, f"a{index}", priority=data.draw(st.integers(0, 3)))
+        keys = np.array(
+            data.draw(st.lists(key_bytes(width), min_size=1, max_size=16)),
+            dtype=np.uint8,
+        )
+        batch = table.lookup_batch(keys.copy())
+        for row, key in enumerate(keys):
+            result = table.lookup(tuple(int(b) for b in key))
+            assert batch.actions[batch.action_code[row]] == result.action
+            expected = result.entry_id if result.entry_id is not None else -1
+            assert int(batch.entry_id[row]) == expected
