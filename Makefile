@@ -1,7 +1,7 @@
 # Developer convenience targets.
 PYTHON ?= python
 
-.PHONY: test test-fast test-full bench examples lint all
+.PHONY: test test-fast test-full bench bench-suite examples lint all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -16,10 +16,16 @@ test-fast:
 test-full:
 	HYPOTHESIS_PROFILE=full $(PYTHON) -m pytest tests/ --durations=10
 
+# Timed perf trajectory: appends one {commit, date, metrics} record to
+# BENCH_perf.json (trace synthesis, detector fit, batch switch).
 bench:
+	$(PYTHON) tools/bench.py
+
+# The full paper-experiment benchmark suite (pytest-benchmark).
+bench-suite:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
 
-all: test bench
+all: test bench-suite

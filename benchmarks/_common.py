@@ -9,10 +9,10 @@ SUITE_KWARGS = dict(duration=30.0, n_devices=2, n_bytes=64, seed=7)
 
 
 def x_test_bytes(dataset) -> np.ndarray:
-    """Unscaled uint8 view of a dataset's test features."""
-    return np.round(dataset.x_test * 255.0).astype(np.uint8)
+    """Unscaled uint8 view of a dataset's test features (exact bytes)."""
+    return dataset.x_test_bytes
 
 
 def x_train_bytes(dataset) -> np.ndarray:
-    """Unscaled uint8 view of a dataset's train features."""
-    return np.round(dataset.x_train * 255.0).astype(np.uint8)
+    """Unscaled uint8 view of a dataset's train features (exact bytes)."""
+    return dataset.x_train_bytes

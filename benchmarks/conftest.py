@@ -8,7 +8,17 @@ measure the interesting work, not trace generation.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import pytest
+
+# Benchmarks reuse generated traces across runs via the on-disk dataset
+# cache.  Honour an operator-provided REPRO_CACHE_DIR; default to a
+# repo-local cache directory otherwise.
+os.environ.setdefault(
+    "REPRO_CACHE_DIR", str(Path(__file__).resolve().parent.parent / ".cache" / "datasets")
+)
 
 from repro.core import DetectorConfig, TwoStageDetector
 from repro.eval.harness import cached_suite

@@ -142,6 +142,47 @@ def cmd_synth(args) -> int:
     return 0
 
 
+def cmd_cache(args) -> int:
+    from repro.datasets import cache as cache_mod
+
+    if args.action == "list":
+        found = cache_mod.entries()
+        print(f"cache dir: {cache_mod.cache_dir()}")
+        if not found:
+            print("(empty)")
+            return 0
+        for entry in found:
+            if entry.get("corrupted"):
+                print(f"  {entry['key'][:12]}…  CORRUPTED ({entry['size_bytes']} bytes)")
+                continue
+            config = entry.get("config", {})
+            print(
+                f"  {entry['key'][:12]}…  {entry.get('name', '?'):<12} "
+                f"stack={config.get('stack', '?')} "
+                f"duration={config.get('duration', '?')} "
+                f"seed={config.get('seed', '?')} "
+                f"train/test={entry.get('n_train', '?')}/{entry.get('n_test', '?')} "
+                f"({entry['size_bytes'] // 1024} KiB)"
+            )
+        return 0
+    if args.action == "clear":
+        removed = cache_mod.clear()
+        print(f"removed {removed} entries from {cache_mod.cache_dir()}")
+        return 0
+    # warm: generate (or verify) the standard suite into the cache.
+    suite = standard_suite(
+        duration=args.duration,
+        n_devices=args.devices,
+        n_bytes=args.window,
+        seed=args.seed,
+        cache=True,
+    )
+    for name, dataset in suite.items():
+        print(dataset.summary())
+    print(f"cache dir: {cache_mod.cache_dir()}")
+    return 0
+
+
 def cmd_explain(args) -> int:
     from repro.eval.interpret import explain_ruleset
 
@@ -264,6 +305,20 @@ def build_parser() -> argparse.ArgumentParser:
     synth.add_argument("--pcap", required=True, help="output pcap path")
     synth.add_argument("--labels", help="output labels CSV path")
     synth.set_defaults(func=cmd_synth)
+
+    cache = sub.add_parser(
+        "cache", help="manage the on-disk dataset cache (REPRO_CACHE_DIR)"
+    )
+    cache.add_argument(
+        "action",
+        choices=["list", "clear", "warm"],
+        help="list entries, delete them, or pre-generate the standard suite",
+    )
+    cache.add_argument("--duration", type=float, default=40.0)
+    cache.add_argument("--devices", type=int, default=3)
+    cache.add_argument("--window", type=int, default=64)
+    cache.add_argument("--seed", type=int, default=7)
+    cache.set_defaults(func=cmd_cache)
 
     p4 = sub.add_parser("p4", help="emit the P4-16 gateway program")
     p4.add_argument("rules", help="rules JSON")

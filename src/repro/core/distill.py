@@ -10,11 +10,28 @@ uses it as the student model that mimics the compact DNN (teacher), and
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 __all__ = ["DecisionTree", "Leaf", "gini_impurity"]
+
+
+@functools.lru_cache(maxsize=None)
+def _tcam_expansion_cost(threshold: int, max_value: int) -> int:
+    """TCAM entries needed to express ``<= threshold`` and its complement.
+
+    Called for every candidate cut point of every split during threshold
+    snapping; there are only ``max_value + 1`` distinct thresholds, so the
+    prefix-range expansion is memoised for the life of the process.
+    """
+    from repro.net.bytesutil import iter_prefix_ranges
+
+    cost = sum(1 for _ in iter_prefix_ranges(0, threshold, 8))
+    if threshold < max_value:
+        cost += sum(1 for _ in iter_prefix_ranges(threshold + 1, max_value, 8))
+    return cost
 
 
 def gini_impurity(counts: np.ndarray) -> float:
@@ -222,16 +239,12 @@ class DecisionTree:
         adaptation: trading a sliver of split quality for much smaller
         TCAM tables.
         """
-        from repro.net.bytesutil import iter_prefix_ranges
-
         acceptable = np.nonzero(gains >= self.snap_tolerance * best_gain)[0]
         best_cost = None
         choice: Tuple[int, float] = (int(sorted_vals[boundaries[gains.argmax()]]), best_gain)
         for idx in acceptable:
             t = int(sorted_vals[boundaries[idx]])
-            cost = len(list(iter_prefix_ranges(0, t, 8)))
-            if t < self.max_value:
-                cost += len(list(iter_prefix_ranges(t + 1, self.max_value, 8)))
+            cost = _tcam_expansion_cost(t, self.max_value)
             candidate = (cost, -gains[idx])
             if best_cost is None or candidate < best_cost:
                 best_cost = candidate

@@ -56,6 +56,11 @@ class DetectorConfig:
             "tailored to P4" adaptation.  The E4 bench ablates this.
         prune_fraction: fraction of the distillation data held out for
             reduced-error pruning of the student tree (0 disables).
+        dtype: float precision for both stages' networks.  ``"float32"``
+            (default) runs the training loop roughly twice as fast as
+            ``"float64"`` with accuracy differences well inside run-to-run
+            noise; weights are still *initialised* from float64 draws so
+            the same seed selects the same starting point either way.
         seed: master seed.
     """
 
@@ -71,6 +76,7 @@ class DetectorConfig:
     rule_mode: str = "drop"
     p4_friendly: bool = True
     prune_fraction: float = 0.0
+    dtype: str = "float32"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -78,6 +84,8 @@ class DetectorConfig:
             raise ValueError("need 1 <= n_fields <= n_bytes")
         if not 0.0 <= self.prune_fraction < 1.0:
             raise ValueError("prune_fraction must be in [0, 1)")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError(f"dtype must be float32 or float64, got {self.dtype!r}")
 
 
 class TwoStageDetector:
@@ -116,9 +124,9 @@ class TwoStageDetector:
             n_classes,
             seed=cfg.seed,
             **(
-                {"l1": cfg.selector_l1, "epochs": cfg.selector_epochs}
+                {"l1": cfg.selector_l1, "epochs": cfg.selector_epochs, "dtype": cfg.dtype}
                 if cfg.selector == "gate"
-                else {"epochs": cfg.selector_epochs}
+                else {"epochs": cfg.selector_epochs, "dtype": cfg.dtype}
                 if cfg.selector == "saliency"
                 else {}
             ),
@@ -131,6 +139,7 @@ class TwoStageDetector:
             hidden=cfg.hidden,
             epochs=cfg.epochs,
             seed=cfg.seed,
+            dtype=cfg.dtype,
         )
         self.classifier.fit(x, y)
         # Keep the unscaled byte view of the training data for distillation.
@@ -354,6 +363,7 @@ class TwoStageDetector:
             hidden=config.hidden,
             epochs=config.epochs,
             seed=config.seed,
+            dtype=config.dtype,
         )
         detector.classifier.model.load(directory / "classifier.npz")
         scores = np.array(manifest["selector_scores"])

@@ -98,6 +98,7 @@ class GateSelector(FieldSelector):
         lr: float = 3e-3,
         n_runs: int = 3,
         seed: int = 0,
+        dtype: str = "float64",
     ):
         if n_runs < 1:
             raise ValueError("n_runs must be >= 1")
@@ -110,19 +111,20 @@ class GateSelector(FieldSelector):
         self.lr = lr
         self.n_runs = n_runs
         self.seed = seed
+        self.dtype = dtype
         self.gate: Optional[InputGate] = None
         self.model: Optional[Sequential] = None
         self._scores: Optional[np.ndarray] = None
 
     def _fit_once(self, x: np.ndarray, y: np.ndarray, seed: int) -> np.ndarray:
         rng = np.random.default_rng(seed)
-        self.gate = InputGate(self.n_features, l1=self.l1)
+        self.gate = InputGate(self.n_features, l1=self.l1, dtype=self.dtype)
         self.model = Sequential(
             [
                 self.gate,
-                Dense(self.n_features, self.hidden, rng=rng),
+                Dense(self.n_features, self.hidden, rng=rng, dtype=self.dtype),
                 ReLU(),
-                Dense(self.hidden, self.n_classes, rng=rng),
+                Dense(self.hidden, self.n_classes, rng=rng, dtype=self.dtype),
             ]
         )
         self.model.fit(
@@ -136,6 +138,7 @@ class GateSelector(FieldSelector):
         return self.gate.gates()
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "GateSelector":
+        x = np.asarray(x, dtype=self.dtype)
         total = np.zeros(self.n_features)
         for run in range(self.n_runs):
             gates = self._fit_once(x, y, self.seed + 1000 * run)
@@ -208,6 +211,7 @@ class SaliencySelector(FieldSelector):
         batch_size: int = 64,
         lr: float = 3e-3,
         seed: int = 0,
+        dtype: str = "float64",
     ):
         self.n_features = n_features
         self.n_classes = n_classes
@@ -216,16 +220,18 @@ class SaliencySelector(FieldSelector):
         self.batch_size = batch_size
         self.lr = lr
         self.seed = seed
+        self.dtype = dtype
         self.model: Optional[Sequential] = None
         self._scores: Optional[np.ndarray] = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "SaliencySelector":
+        x = np.asarray(x, dtype=self.dtype)
         rng = np.random.default_rng(self.seed)
         self.model = Sequential(
             [
-                Dense(self.n_features, self.hidden, rng=rng),
+                Dense(self.n_features, self.hidden, rng=rng, dtype=self.dtype),
                 ReLU(),
-                Dense(self.hidden, self.n_classes, rng=rng),
+                Dense(self.hidden, self.n_classes, rng=rng, dtype=self.dtype),
             ]
         )
         self.model.fit(

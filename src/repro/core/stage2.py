@@ -30,6 +30,8 @@ class CompactClassifier:
         dropout: dropout rate between hidden layers (0 disables).
         epochs / batch_size / lr: training knobs.
         seed: weight/shuffle seed.
+        dtype: training float precision ("float32" halves memory
+            bandwidth with no measurable accuracy cost on byte features).
     """
 
     def __init__(
@@ -43,6 +45,7 @@ class CompactClassifier:
         batch_size: int = 64,
         lr: float = 3e-3,
         seed: int = 0,
+        dtype: str = "float64",
     ):
         if not offsets:
             raise ValueError("offsets must be non-empty")
@@ -52,16 +55,17 @@ class CompactClassifier:
         self.batch_size = batch_size
         self.lr = lr
         self.seed = seed
+        self.dtype = dtype
         rng = np.random.default_rng(seed)
         layers = []
         width = len(self.offsets)
         for h in hidden:
-            layers.append(Dense(width, h, rng=rng))
+            layers.append(Dense(width, h, rng=rng, dtype=dtype))
             layers.append(ReLU())
             if dropout:
                 layers.append(Dropout(dropout, rng=rng))
             width = h
-        layers.append(Dense(width, n_classes, rng=rng))
+        layers.append(Dense(width, n_classes, rng=rng, dtype=dtype))
         self.model = Sequential(layers)
         self._rng = rng
 
@@ -80,9 +84,12 @@ class CompactClassifier:
     ) -> TrainHistory:
         """Train on a full-width or pre-projected feature matrix."""
         if validation is not None:
-            validation = (self._project(validation[0]), validation[1])
+            validation = (
+                np.asarray(self._project(validation[0]), dtype=self.dtype),
+                validation[1],
+            )
         return self.model.fit(
-            self._project(x),
+            np.asarray(self._project(x), dtype=self.dtype),
             y,
             epochs=self.epochs,
             batch_size=self.batch_size,

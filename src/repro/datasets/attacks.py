@@ -32,6 +32,19 @@ import numpy as np
 from repro.datasets import devices
 from repro.net.packet import Packet
 from repro.net.protocols import ble, coap, dns, inet, modbus, mqtt, zigbee
+from repro.net.synth import (
+    FrameEmitter,
+    poisson_times,
+    random_mac_matrix,
+    random_payloads,
+    spoofed_ip_matrix,
+    stamped_payloads,
+)
+
+PSH_ACK = inet.TCP_PSH | inet.TCP_ACK
+
+#: Benign LAN pool a compromised device is drawn from (see ``_compromised``).
+COMPROMISED_POOL = 16
 
 __all__ = [
     "AttackModel",
@@ -86,8 +99,32 @@ def _compromised(rng: np.random.Generator) -> tuple:
     network addresses, so source address alone cannot separate them — the
     detector must look at transport/application bytes.
     """
-    index = int(rng.integers(0, 16))
+    index = int(rng.integers(0, COMPROMISED_POOL))
     return devices.device_mac(index), devices.device_ip(index)
+
+
+_POOL_MACS = [devices.device_mac(i) for i in range(COMPROMISED_POOL)]
+_POOL_IPS = [devices.device_ip(i) for i in range(COMPROMISED_POOL)]
+
+
+def _compromised_columns(
+    rng: np.random.Generator, n: int
+) -> "tuple[List[str], List[str]]":
+    """Per-packet (mac, ip) columns drawn from the compromised pool."""
+    indices = rng.integers(0, COMPROMISED_POOL, size=n).tolist()
+    return [_POOL_MACS[i] for i in indices], [_POOL_IPS[i] for i in indices]
+
+
+def _patched_coap(
+    template: bytes, message_ids: np.ndarray, tokens: np.ndarray
+) -> List[bytes]:
+    """Copies of a serialised CoAP ``template`` with fresh ids and tokens.
+
+    ``tokens`` is ``(n, tkl)`` uint8 and must match the template's token
+    length; the CoAP fixed header is 4 bytes, so the message id lives at
+    bytes 2:4 and the token right after.
+    """
+    return stamped_payloads(template, {2: message_ids, 4: tokens})
 
 
 class AttackModel:
@@ -113,6 +150,9 @@ class AttackModel:
             self.category, self.name
         )
 
+    def _emitter(self) -> FrameEmitter:
+        return FrameEmitter(self.category, self.name)
+
     def _times(
         self, rng: np.random.Generator, start: float, duration: float
     ) -> Iterator[float]:
@@ -134,22 +174,24 @@ class SynFlood(AttackModel):
         self.dst_port = dst_port
 
     def generate(self, rng, start, duration):
-        for t in self._times(rng, start, duration):
-            yield self._label(
-                inet.build_tcp_packet(
-                    _random_mac(rng),
-                    devices.GATEWAY_MAC,
-                    _spoofed_ip(rng),
-                    devices.GATEWAY_IP,
-                    int(rng.integers(1024, 65535)),
-                    self.dst_port,
-                    seq=int(rng.integers(0, 2**32)),
-                    flags=inet.TCP_SYN,
-                    window=int(rng.integers(1, 1024)),  # tiny windows
-                    ttl=int(rng.integers(30, 255)),
-                ),
-                t,
+        emitter = self._emitter()
+        times = poisson_times(rng, start, duration, self.rate)
+        n = len(times)
+        if n:
+            emitter.tcp_batch(
+                times,
+                random_mac_matrix(rng, n),
+                devices.GATEWAY_MAC,
+                spoofed_ip_matrix(rng, n),
+                devices.GATEWAY_IP,
+                rng.integers(1024, 65535, size=n),
+                self.dst_port,
+                seqs=rng.integers(0, 2**32, size=n),
+                flags=inet.TCP_SYN,
+                windows=rng.integers(1, 1024, size=n),  # tiny windows
+                ttls=rng.integers(30, 255, size=n),
             )
+        return emitter.packets()
 
 
 class UdpFlood(AttackModel):
@@ -158,21 +200,22 @@ class UdpFlood(AttackModel):
     category = "udp_flood"
 
     def generate(self, rng, start, duration):
-        for t in self._times(rng, start, duration):
-            size = int(rng.integers(64, 512))
-            yield self._label(
-                inet.build_udp_packet(
-                    _random_mac(rng),
-                    devices.GATEWAY_MAC,
-                    _spoofed_ip(rng),
-                    devices.GATEWAY_IP,
-                    int(rng.integers(1024, 65535)),
-                    int(rng.integers(10000, 65535)),
-                    ttl=int(rng.integers(30, 255)),
-                    payload=bytes(rng.integers(0, 256, size=size, dtype=np.uint8)),
-                ),
-                t,
+        emitter = self._emitter()
+        times = poisson_times(rng, start, duration, self.rate)
+        n = len(times)
+        if n:
+            emitter.udp_batch(
+                times,
+                random_mac_matrix(rng, n),
+                devices.GATEWAY_MAC,
+                spoofed_ip_matrix(rng, n),
+                devices.GATEWAY_IP,
+                rng.integers(1024, 65535, size=n),
+                rng.integers(10000, 65535, size=n),
+                ttls=rng.integers(30, 255, size=n),
+                payloads=random_payloads(rng, n, 64, 512),
             )
+        return emitter.packets()
 
 
 class PortScan(AttackModel):
@@ -187,23 +230,28 @@ class PortScan(AttackModel):
         self._port = 1
 
     def generate(self, rng, start, duration):
-        for t in self._times(rng, start, duration):
-            self._port = self._port % 10000 + 1
-            yield self._label(
-                inet.build_tcp_packet(
-                    self.mac,
-                    devices.GATEWAY_MAC,
-                    self.ip,
-                    devices.GATEWAY_IP,
-                    int(rng.integers(40000, 65535)),
-                    self._port,
-                    seq=int(rng.integers(0, 2**32)),
-                    flags=inet.TCP_SYN,
-                    window=1024,
-                    ttl=64,
-                ),
-                t,
+        emitter = self._emitter()
+        times = poisson_times(rng, start, duration, self.rate)
+        n = len(times)
+        if n:
+            # Sequential sweep: p_{k+1} = p_k % 10000 + 1, continued
+            # across windows via self._port.
+            ports = (self._port + np.arange(n)) % 10000 + 1
+            self._port = int(ports[-1])
+            emitter.tcp_batch(
+                times,
+                self.mac,
+                devices.GATEWAY_MAC,
+                self.ip,
+                devices.GATEWAY_IP,
+                rng.integers(40000, 65535, size=n),
+                ports,
+                seqs=rng.integers(0, 2**32, size=n),
+                flags=inet.TCP_SYN,
+                windows=1024,
+                ttls=64,
             )
+        return emitter.packets()
 
 
 class MiraiTelnet(AttackModel):
@@ -215,26 +263,29 @@ class MiraiTelnet(AttackModel):
         super().__init__(index, rate=rate)
 
     def generate(self, rng, start, duration):
-        for t in self._times(rng, start, duration):
-            victim_port = 23 if rng.random() < 0.8 else 2323
-            credential = MIRAI_CREDENTIALS[int(rng.integers(0, len(MIRAI_CREDENTIALS)))]
-            mac, ip = _compromised(rng)
-            yield self._label(
-                inet.build_tcp_packet(
-                    mac,
-                    devices.GATEWAY_MAC,
-                    ip,
-                    devices.GATEWAY_IP,
-                    int(rng.integers(1024, 65535)),
-                    victim_port,
-                    seq=int(rng.integers(0, 2**32)),
-                    ack=int(rng.integers(0, 2**32)),
-                    flags=inet.TCP_PSH | inet.TCP_ACK,
-                    ttl=64,
-                    payload=credential + b"\r\n",
-                ),
-                t,
+        emitter = self._emitter()
+        times = poisson_times(rng, start, duration, self.rate)
+        n = len(times)
+        if n:
+            ports = np.where(rng.random(n) < 0.8, 23, 2323)
+            lines = [c + b"\r\n" for c in MIRAI_CREDENTIALS]
+            chosen = rng.integers(0, len(lines), size=n).tolist()
+            macs, ips = _compromised_columns(rng, n)
+            emitter.tcp_batch(
+                times,
+                macs,
+                devices.GATEWAY_MAC,
+                ips,
+                devices.GATEWAY_IP,
+                rng.integers(1024, 65535, size=n),
+                ports,
+                seqs=rng.integers(0, 2**32, size=n),
+                acks=rng.integers(0, 2**32, size=n),
+                flags=PSH_ACK,
+                ttls=64,
+                payloads=[lines[i] for i in chosen],
             )
+        return emitter.packets()
 
 
 class MqttConnectFlood(AttackModel):
@@ -243,28 +294,39 @@ class MqttConnectFlood(AttackModel):
     category = "mqtt_connect_flood"
 
     def generate(self, rng, start, duration):
-        for t in self._times(rng, start, duration):
-            client_id = "".join(
-                chr(int(c)) for c in rng.integers(97, 123, size=16)
+        emitter = self._emitter()
+        times = poisson_times(rng, start, duration, self.rate)
+        n = len(times)
+        if n:
+            # A 16-char client id is the trailing payload field of the
+            # CONNECT frame, so stamp random ids into one template.
+            template = mqtt.build_connect(
+                "a" * 16, keep_alive=0, clean_session=False
             )
-            connect = mqtt.build_connect(client_id, keep_alive=0, clean_session=False)
-            mac, ip = _compromised(rng)
-            yield self._label(
-                inet.build_tcp_packet(
-                    mac,
-                    devices.GATEWAY_MAC,
-                    ip,
-                    devices.GATEWAY_IP,
-                    int(rng.integers(1024, 65535)),
-                    mqtt.MQTT_PORT,
-                    seq=int(rng.integers(0, 2**32)),
-                    ack=int(rng.integers(0, 2**32)),
-                    flags=inet.TCP_PSH | inet.TCP_ACK,
-                    ttl=64,
-                    payload=connect,
-                ),
-                t,
+            connects = stamped_payloads(
+                template,
+                {
+                    len(template) - 16: rng.integers(
+                        97, 123, size=(n, 16), dtype=np.uint8
+                    )
+                },
             )
+            macs, ips = _compromised_columns(rng, n)
+            emitter.tcp_batch(
+                times,
+                macs,
+                devices.GATEWAY_MAC,
+                ips,
+                devices.GATEWAY_IP,
+                rng.integers(1024, 65535, size=n),
+                mqtt.MQTT_PORT,
+                seqs=rng.integers(0, 2**32, size=n),
+                acks=rng.integers(0, 2**32, size=n),
+                flags=PSH_ACK,
+                ttls=64,
+                payloads=connects,
+            )
+        return emitter.packets()
 
 
 class CoapAmplification(AttackModel):
@@ -273,31 +335,37 @@ class CoapAmplification(AttackModel):
     category = "coap_amplification"
 
     def generate(self, rng, start, duration):
-        for t in self._times(rng, start, duration):
-            request = coap.build_message(
+        emitter = self._emitter()
+        times = poisson_times(rng, start, duration, self.rate)
+        n = len(times)
+        if n:
+            template = coap.build_message(
                 msg_type=coap.NON,
                 code=coap.GET,
-                message_id=int(rng.integers(0, 0xFFFF)),
-                token=bytes(rng.integers(0, 256, size=2, dtype=np.uint8)),
+                token=b"\x00\x00",
                 options=[
                     (coap.OPTION_URI_PATH, b".well-known"),
                     (coap.OPTION_URI_PATH, b"core"),
                     (coap.OPTION_BLOCK2, b"\x06"),  # ask for 1024-byte blocks
                 ],
             )
-            yield self._label(
-                inet.build_udp_packet(
-                    _random_mac(rng),
-                    devices.GATEWAY_MAC,
-                    _spoofed_ip(rng),  # spoofed victim address
-                    devices.GATEWAY_IP,
-                    int(rng.integers(1024, 65535)),
-                    coap.COAP_PORT,
-                    ttl=int(rng.integers(30, 255)),
-                    payload=request,
-                ),
-                t,
+            requests = _patched_coap(
+                template,
+                rng.integers(0, 0xFFFF, size=n),
+                rng.integers(0, 256, size=(n, 2), dtype=np.uint8),
             )
+            emitter.udp_batch(
+                times,
+                random_mac_matrix(rng, n),
+                devices.GATEWAY_MAC,
+                spoofed_ip_matrix(rng, n),  # spoofed victim addresses
+                devices.GATEWAY_IP,
+                rng.integers(1024, 65535, size=n),
+                coap.COAP_PORT,
+                ttls=rng.integers(30, 255, size=n),
+                payloads=requests,
+            )
+        return emitter.packets()
 
 
 class Ipv6CoapFlood(AttackModel):
@@ -316,29 +384,43 @@ class Ipv6CoapFlood(AttackModel):
     def generate(self, rng, start, duration):
         from repro.datasets.devices import ThreadSensor
 
-        for t in self._times(rng, start, duration):
-            spoofed = f"fd00::{int(rng.integers(0x100, 0xFFFF)):x}"
-            request = coap.build_message(
+        emitter = self._emitter()
+        times = poisson_times(rng, start, duration, self.rate)
+        n = len(times)
+        if n:
+            # Spoofed fd00::/64 ULAs with a random interface suffix.
+            suffixes = rng.integers(0x100, 0xFFFF, size=n)
+            sources = np.zeros((n, 16), dtype=np.uint8)
+            sources[:, 0] = 0xFD
+            sources[:, 14] = suffixes >> 8
+            sources[:, 15] = suffixes & 0xFF
+            prefix = coap.build_message(
                 msg_type=coap.CON,
                 code=coap.POST,
-                message_id=int(rng.integers(0, 0xFFFF)),
-                token=bytes(rng.integers(0, 256, size=8, dtype=np.uint8)),
+                token=b"\x00" * 8,
                 options=[(coap.OPTION_URI_PATH, b"telemetry")],
-                payload=bytes(rng.integers(0, 256, size=int(rng.integers(40, 120)), dtype=np.uint8)),
             )
-            yield self._label(
-                inet.build_udp6_packet(
-                    _random_mac(rng),
-                    devices.GATEWAY_MAC,
-                    spoofed,
-                    ThreadSensor.BORDER_ROUTER,
-                    int(rng.integers(1024, 65535)),
-                    coap.COAP_PORT,
-                    hop_limit=int(rng.integers(30, 255)),
-                    payload=request,
-                ),
-                t,
+            headers = _patched_coap(
+                prefix,
+                rng.integers(0, 0xFFFF, size=n),
+                rng.integers(0, 256, size=(n, 8), dtype=np.uint8),
             )
+            bodies = random_payloads(rng, n, 40, 120)
+            emitter.udp6_batch(
+                times,
+                random_mac_matrix(rng, n),
+                devices.GATEWAY_MAC,
+                sources,
+                ThreadSensor.BORDER_ROUTER,
+                rng.integers(1024, 65535, size=n),
+                coap.COAP_PORT,
+                hop_limits=rng.integers(30, 255, size=n),
+                payloads=[
+                    header + b"\xff" + body
+                    for header, body in zip(headers, bodies)
+                ],
+            )
+        return emitter.packets()
 
 
 class IcmpFlood(AttackModel):
@@ -350,26 +432,22 @@ class IcmpFlood(AttackModel):
         super().__init__(index, rate=rate)
 
     def generate(self, rng, start, duration):
-        sequence = 0
-        for t in self._times(rng, start, duration):
-            sequence = (sequence + 1) & 0xFFFF
-            payload = bytes(rng.integers(0, 256, size=int(rng.integers(400, 900)), dtype=np.uint8))
-            icmp_msg = inet.build_icmp_echo(
-                int(rng.integers(0, 0xFFFF)), sequence, payload
-            )
-            ip = inet.build_ipv4(
-                _spoofed_ip(rng),
+        emitter = self._emitter()
+        times = poisson_times(rng, start, duration, self.rate)
+        n = len(times)
+        if n:
+            emitter.icmp_echo_batch(
+                times,
+                devices.GATEWAY_MAC,
+                random_mac_matrix(rng, n),
+                spoofed_ip_matrix(rng, n),
                 devices.GATEWAY_IP,
-                inet.PROTO_ICMP,
-                icmp_msg,
-                ttl=int(rng.integers(30, 255)),
+                identifiers=rng.integers(0, 0xFFFF, size=n),
+                sequences=(np.arange(n) + 1) & 0xFFFF,
+                ttls=rng.integers(30, 255, size=n),
+                payloads=random_payloads(rng, n, 400, 900),
             )
-            yield self._label(
-                inet.build_ethernet(
-                    devices.GATEWAY_MAC, _random_mac(rng), inet.ETHERTYPE_IPV4, ip
-                ),
-                t,
-            )
+        return emitter.packets()
 
 
 class ArpSpoof(AttackModel):
@@ -388,20 +466,20 @@ class ArpSpoof(AttackModel):
         self.mac = devices.device_mac(210 + index)
 
     def generate(self, rng, start, duration):
-        for t in self._times(rng, start, duration):
-            body = inet.build_arp(
-                self.mac,                 # attacker's MAC ...
-                devices.GATEWAY_IP,       # ... claiming the gateway's IP
-                "ff:ff:ff:ff:ff:ff",
-                devices.device_ip(int(rng.integers(0, 16))),
-                request=False,
+        emitter = self._emitter()
+        times = poisson_times(rng, start, duration, self.rate)
+        n = len(times)
+        if n:
+            victims = rng.integers(0, COMPROMISED_POOL, size=n).tolist()
+            emitter.arp_batch(
+                times, "ff:ff:ff:ff:ff:ff", self.mac,
+                sender_macs=self.mac,           # attacker's MAC ...
+                sender_ips=devices.GATEWAY_IP,  # ... claiming the gateway's IP
+                target_macs="ff:ff:ff:ff:ff:ff",
+                target_ips=[_POOL_IPS[i] for i in victims],
+                requests=False,
             )
-            yield self._label(
-                inet.build_ethernet(
-                    "ff:ff:ff:ff:ff:ff", self.mac, inet.ETHERTYPE_ARP, body
-                ),
-                t,
-            )
+        return emitter.packets()
 
 
 class ModbusWriteStorm(AttackModel):
@@ -415,39 +493,48 @@ class ModbusWriteStorm(AttackModel):
     category = "modbus_write_storm"
 
     def generate(self, rng, start, duration):
+        emitter = self._emitter()
         mac, ip = _compromised(rng)
-        for t in self._times(rng, start, duration):
-            transaction = int(rng.integers(0, 0xFFFF))
-            unit = int(rng.integers(1, 5))
-            choice = rng.random()
-            if choice < 0.4:
-                pdu = modbus.build_write_coil(
-                    transaction, unit, int(rng.integers(0, 64)),
-                    bool(rng.integers(0, 2)),
-                )
-            elif choice < 0.8:
-                pdu = modbus.build_write_register(
-                    transaction, unit, int(rng.integers(0, 64)),
-                    int(rng.integers(0, 0xFFFF)),
-                )
-            else:
-                pdu = modbus.build_diagnostics(transaction, unit, 1)  # restart
-            yield self._label(
-                inet.build_tcp_packet(
-                    mac,
-                    devices.GATEWAY_MAC,
-                    ip,
-                    devices.GATEWAY_IP,
-                    int(rng.integers(49152, 65535)),
-                    modbus.MODBUS_PORT,
-                    seq=int(rng.integers(0, 2**32)),
-                    ack=int(rng.integers(0, 2**32)),
-                    flags=inet.TCP_PSH | inet.TCP_ACK,
-                    ttl=64,
-                    payload=pdu,
-                ),
-                t,
+        times = poisson_times(rng, start, duration, self.rate)
+        n = len(times)
+        if n:
+            transactions = rng.integers(0, 0xFFFF, size=n).tolist()
+            units = rng.integers(1, 5, size=n).tolist()
+            choices = rng.random(n)
+            addresses = rng.integers(0, 64, size=n).tolist()
+            coil_values = rng.integers(0, 2, size=n).tolist()
+            register_values = rng.integers(0, 0xFFFF, size=n).tolist()
+            pdus = []
+            for i in range(n):
+                if choices[i] < 0.4:
+                    pdus.append(modbus.build_write_coil(
+                        transactions[i], units[i], addresses[i],
+                        bool(coil_values[i]),
+                    ))
+                elif choices[i] < 0.8:
+                    pdus.append(modbus.build_write_register(
+                        transactions[i], units[i], addresses[i],
+                        register_values[i],
+                    ))
+                else:
+                    pdus.append(modbus.build_diagnostics(
+                        transactions[i], units[i], 1  # restart
+                    ))
+            emitter.tcp_batch(
+                times,
+                mac,
+                devices.GATEWAY_MAC,
+                ip,
+                devices.GATEWAY_IP,
+                rng.integers(49152, 65535, size=n),
+                modbus.MODBUS_PORT,
+                seqs=rng.integers(0, 2**32, size=n),
+                acks=rng.integers(0, 2**32, size=n),
+                flags=PSH_ACK,
+                ttls=64,
+                payloads=pdus,
             )
+        return emitter.packets()
 
 
 class ZigbeeStorm(AttackModel):

@@ -7,7 +7,11 @@ also appear in *benign* traffic — attacks must not be separable by the SYN
 flag alone).  Non-IP models emit Zigbee-like and BLE-like frames.
 
 All randomness flows through the caller's ``numpy`` Generator, so traces
-are reproducible from a seed.
+are reproducible from a seed.  The inet-stack models record frame specs
+into a :class:`repro.net.synth.FrameEmitter` and render the whole window
+in batch; high-volume models (the camera stream) draw whole column
+arrays at once.  Byte identity between the fast and scalar render
+backends is locked by the differential test suite.
 """
 
 from __future__ import annotations
@@ -19,6 +23,13 @@ import numpy as np
 
 from repro.net.packet import Packet
 from repro.net.protocols import ble, coap, dns, inet, modbus, mqtt, zigbee
+from repro.net.synth import (
+    FrameEmitter,
+    arrival_chain,
+    random_payloads,
+    stamped_payloads,
+    uniform_chain,
+)
 
 __all__ = [
     "GATEWAY_MAC",
@@ -39,6 +50,20 @@ __all__ = [
 GATEWAY_MAC = "02:00:00:00:00:01"
 GATEWAY_IP = "192.168.1.1"
 BROKER_PORT = mqtt.MQTT_PORT
+
+PSH_ACK = inet.TCP_PSH | inet.TCP_ACK
+
+#: (flags, reverse) steps of the three-way handshake / FIN-ACK teardown.
+TCP_HANDSHAKE = (
+    (inet.TCP_SYN, False),
+    (inet.TCP_SYN | inet.TCP_ACK, True),
+    (inet.TCP_ACK, False),
+)
+TCP_TEARDOWN = (
+    (inet.TCP_FIN | inet.TCP_ACK, False),
+    (inet.TCP_FIN | inet.TCP_ACK, True),
+    (inet.TCP_ACK, False),
+)
 
 
 def device_mac(index: int) -> str:
@@ -70,64 +95,70 @@ class TcpSession:
     peer_seq: int = 0
     ip_id: int = 1
 
-    def _frame(self, payload: bytes, flags: int, *, reverse: bool = False) -> bytes:
+    def _advance(self, payload: bytes, flags: int, reverse: bool) -> tuple:
+        """Step the session state; return the endpoint/seq tuple to emit."""
         self.ip_id = (self.ip_id + 1) & 0xFFFF
-        if reverse:
-            frame = inet.build_tcp_packet(
-                self.dst_mac,
-                self.src_mac,
-                self.dst_ip,
-                self.src_ip,
-                self.dst_port,
-                self.src_port,
-                seq=self.peer_seq,
-                ack=self.seq,
-                flags=flags,
-                identification=self.ip_id,
-                payload=payload,
-            )
-            self.peer_seq = (self.peer_seq + max(len(payload), 1 if flags & (inet.TCP_SYN | inet.TCP_FIN) else 0)) & 0xFFFFFFFF
-            if not payload and not flags & (inet.TCP_SYN | inet.TCP_FIN):
-                pass
-            return frame
-        frame = inet.build_tcp_packet(
-            self.src_mac,
-            self.dst_mac,
-            self.src_ip,
-            self.dst_ip,
-            self.src_port,
-            self.dst_port,
-            seq=self.seq,
-            ack=self.peer_seq,
-            flags=flags,
-            identification=self.ip_id,
-            payload=payload,
+        bump = max(
+            len(payload), 1 if flags & (inet.TCP_SYN | inet.TCP_FIN) else 0
         )
-        self.seq = (self.seq + max(len(payload), 1 if flags & (inet.TCP_SYN | inet.TCP_FIN) else 0)) & 0xFFFFFFFF
-        return frame
+        if reverse:
+            args = (self.dst_mac, self.src_mac, self.dst_ip, self.src_ip,
+                    self.dst_port, self.src_port, self.peer_seq, self.seq)
+            self.peer_seq = (self.peer_seq + bump) & 0xFFFFFFFF
+        else:
+            args = (self.src_mac, self.dst_mac, self.src_ip, self.dst_ip,
+                    self.src_port, self.dst_port, self.seq, self.peer_seq)
+            self.seq = (self.seq + bump) & 0xFFFFFFFF
+        return args
+
+    def emit(
+        self,
+        emitter: FrameEmitter,
+        t: float,
+        payload: bytes,
+        flags: int,
+        *,
+        reverse: bool = False,
+    ) -> None:
+        """Record one segment into ``emitter`` and advance the session."""
+        smac, dmac, sip, dip, sport, dport, seq, ack = self._advance(
+            payload, flags, reverse
+        )
+        emitter.tcp(
+            t, smac, dmac, sip, dip, sport, dport,
+            seq=seq, ack=ack, flags=flags, ident=self.ip_id, payload=payload,
+        )
+
+    def _frame(self, payload: bytes, flags: int, *, reverse: bool = False) -> bytes:
+        smac, dmac, sip, dip, sport, dport, seq, ack = self._advance(
+            payload, flags, reverse
+        )
+        return inet.build_tcp_packet(
+            smac, dmac, sip, dip, sport, dport,
+            seq=seq, ack=ack, flags=flags,
+            identification=self.ip_id, payload=payload,
+        )
 
     def handshake(self) -> List[bytes]:
         """SYN, SYN-ACK, ACK frames."""
         return [
-            self._frame(b"", inet.TCP_SYN),
-            self._frame(b"", inet.TCP_SYN | inet.TCP_ACK, reverse=True),
-            self._frame(b"", inet.TCP_ACK),
+            self._frame(b"", flags, reverse=reverse)
+            for flags, reverse in TCP_HANDSHAKE
         ]
 
     def send(self, payload: bytes) -> bytes:
         """A PSH|ACK data segment from the client."""
-        return self._frame(payload, inet.TCP_PSH | inet.TCP_ACK)
+        return self._frame(payload, PSH_ACK)
 
     def receive(self, payload: bytes) -> bytes:
         """A PSH|ACK data segment from the server."""
-        return self._frame(payload, inet.TCP_PSH | inet.TCP_ACK, reverse=True)
+        return self._frame(payload, PSH_ACK, reverse=True)
 
     def teardown(self) -> List[bytes]:
         """FIN-ACK exchange frames."""
         return [
-            self._frame(b"", inet.TCP_FIN | inet.TCP_ACK),
-            self._frame(b"", inet.TCP_FIN | inet.TCP_ACK, reverse=True),
-            self._frame(b"", inet.TCP_ACK),
+            self._frame(b"", flags, reverse=reverse)
+            for flags, reverse in TCP_TEARDOWN
         ]
 
 
@@ -149,6 +180,9 @@ class DeviceModel:
     ) -> Iterator[Packet]:
         raise NotImplementedError
 
+    def _emitter(self) -> FrameEmitter:
+        return FrameEmitter("benign", self.name)
+
     def _label(self, data: bytes, timestamp: float) -> Packet:
         return Packet(data=data, timestamp=timestamp).with_label("benign", self.name)
 
@@ -162,6 +196,7 @@ class MqttSensor(DeviceModel):
         self.topic = f"{topic}/{index}"
 
     def generate(self, rng, start, duration):
+        emitter = self._emitter()
         session = TcpSession(
             self.mac,
             GATEWAY_MAC,
@@ -173,12 +208,12 @@ class MqttSensor(DeviceModel):
             peer_seq=int(rng.integers(0, 2**32)),
         )
         t = start + float(rng.uniform(0, self.period))
-        for frame in session.handshake():
-            yield self._label(frame, t)
+        for flags, reverse in TCP_HANDSHAKE:
+            session.emit(emitter, t, b"", flags, reverse=reverse)
             t += float(rng.uniform(0.0005, 0.003))
-        yield self._label(session.send(mqtt.build_connect(self.name, keep_alive=60)), t)
+        session.emit(emitter, t, mqtt.build_connect(self.name, keep_alive=60), PSH_ACK)
         t += float(rng.uniform(0.001, 0.01))
-        yield self._label(session.receive(mqtt.build_connack()), t)
+        session.emit(emitter, t, mqtt.build_connack(), PSH_ACK, reverse=True)
         end = start + duration
         last_ping = t
         while t < end:
@@ -186,15 +221,20 @@ class MqttSensor(DeviceModel):
             if t >= end:
                 break
             reading = f"{{\"t\":{rng.normal(21.0, 2.0):.2f}}}".encode()
-            yield self._label(
-                session.send(mqtt.build_publish(self.topic, reading)), t
+            session.emit(
+                emitter, t, mqtt.build_publish(self.topic, reading), PSH_ACK
             )
             if t - last_ping > 30.0:
-                yield self._label(session.send(mqtt.build_pingreq()), t + 0.01)
+                session.emit(emitter, t + 0.01, mqtt.build_pingreq(), PSH_ACK)
                 last_ping = t
-        yield self._label(session.send(mqtt.build_disconnect()), min(t, end - 1e-3))
-        for frame in session.teardown():
-            yield self._label(frame, min(t + 0.01, end - 1e-4))
+        session.emit(
+            emitter, min(t, end - 1e-3), mqtt.build_disconnect(), PSH_ACK
+        )
+        for flags, reverse in TCP_TEARDOWN:
+            session.emit(
+                emitter, min(t + 0.01, end - 1e-4), b"", flags, reverse=reverse
+            )
+        return emitter.packets()
 
 
 class CoapPlug(DeviceModel):
@@ -205,43 +245,51 @@ class CoapPlug(DeviceModel):
         self.period = period
 
     def generate(self, rng, start, duration):
-        t = start + float(rng.uniform(0, self.period))
-        end = start + duration
+        emitter = self._emitter()
+        first = start + float(rng.uniform(0, self.period))
         message_id = int(rng.integers(0, 0xFFFF))
-        while t < end:
-            token = bytes(rng.integers(0, 256, size=4, dtype=np.uint8))
-            message_id = (message_id + 1) & 0xFFFF
+        times = uniform_chain(
+            rng, first, start + duration,
+            0.5 * self.period, 1.5 * self.period,
+        )
+        n = len(times)
+        if n:
+            message_ids = (message_id + 1 + np.arange(n)) & 0xFFFF
+            tokens = rng.integers(0, 256, size=(n, 4), dtype=np.uint8)
+            sports = rng.integers(49152, 65535, size=n)
+            delays = rng.uniform(0.002, 0.02, size=n)
+            states = rng.random(n) < 0.5
             request = coap.build_message(
                 msg_type=coap.CON,
                 code=coap.GET,
-                message_id=message_id,
-                token=token,
+                token=b"\x00" * 4,
                 options=[(coap.OPTION_URI_PATH, b"state")],
             )
-            sport = int(rng.integers(49152, 65535))
-            yield self._label(
-                inet.build_udp_packet(
-                    GATEWAY_MAC, self.mac, GATEWAY_IP, self.ip,
-                    sport, coap.COAP_PORT, payload=request,
-                ),
-                t,
-            )
-            response = coap.build_message(
+            # ACK header without payload; "on"/"off" rides after the
+            # 0xFF payload marker.
+            ack = coap.build_message(
                 msg_type=coap.ACK,
                 code=coap.CONTENT,
-                message_id=message_id,
-                token=token,
+                token=b"\x00" * 4,
                 options=[(coap.OPTION_CONTENT_FORMAT, b"\x00")],
-                payload=b"on" if rng.random() < 0.5 else b"off",
             )
-            yield self._label(
-                inet.build_udp_packet(
-                    self.mac, GATEWAY_MAC, self.ip, GATEWAY_IP,
-                    coap.COAP_PORT, sport, payload=response,
+            acks = stamped_payloads(ack, {2: message_ids, 4: tokens})
+            emitter.udp_batch(
+                times, GATEWAY_MAC, self.mac, GATEWAY_IP, self.ip,
+                sports, coap.COAP_PORT,
+                payloads=stamped_payloads(
+                    request, {2: message_ids, 4: tokens}
                 ),
-                t + float(rng.uniform(0.002, 0.02)),
             )
-            t += float(rng.uniform(0.5, 1.5)) * self.period
+            emitter.udp_batch(
+                times + delays, self.mac, GATEWAY_MAC, self.ip, GATEWAY_IP,
+                coap.COAP_PORT, sports,
+                payloads=[
+                    header + (b"\xffon" if state else b"\xffoff")
+                    for header, state in zip(acks, states.tolist())
+                ],
+            )
+        return emitter.packets()
 
 
 class UdpCamera(DeviceModel):
@@ -254,25 +302,38 @@ class UdpCamera(DeviceModel):
         self.fps = fps
 
     def generate(self, rng, start, duration):
-        t = start + float(rng.uniform(0, 1.0 / self.fps))
-        end = start + duration
+        emitter = self._emitter()
+        first = start + float(rng.uniform(0, 1.0 / self.fps))
         sequence = int(rng.integers(0, 0xFFFF))
         sport = int(rng.integers(49152, 65535))
-        while t < end:
-            sequence = (sequence + 1) & 0xFFFF
-            # RTP-ish header: V=2, PT=96, sequence, timestamp, SSRC.
-            header = bytes([0x80, 96]) + sequence.to_bytes(2, "big")
-            header += int(t * 90000).to_bytes(4, "big", signed=False)[-4:]
-            header += (0x1000 + self.index).to_bytes(4, "big")
-            body = bytes(rng.integers(0, 256, size=int(rng.integers(200, 400)), dtype=np.uint8))
-            yield self._label(
-                inet.build_udp_packet(
-                    self.mac, GATEWAY_MAC, self.ip, GATEWAY_IP,
-                    sport, self.RTP_PORT, payload=header + body,
-                ),
-                t,
+        times = arrival_chain(rng, first, start + duration, 1.0 / self.fps)
+        n = len(times)
+        if n:
+            # RTP-ish headers: V=2, PT=96, sequence, timestamp, SSRC.
+            sequences = (sequence + 1 + np.arange(n)) & 0xFFFF
+            stamps = (times * 90000).astype(np.int64) & 0xFFFFFFFF
+            headers = np.empty((n, 12), dtype=np.uint8)
+            headers[:, 0] = 0x80
+            headers[:, 1] = 96
+            headers[:, 2] = sequences >> 8
+            headers[:, 3] = sequences & 0xFF
+            headers[:, 4] = stamps >> 24
+            headers[:, 5] = (stamps >> 16) & 0xFF
+            headers[:, 6] = (stamps >> 8) & 0xFF
+            headers[:, 7] = stamps & 0xFF
+            headers[:, 8:12] = np.frombuffer(
+                (0x1000 + self.index).to_bytes(4, "big"), dtype=np.uint8
             )
-            t += float(rng.exponential(1.0 / self.fps))
+            header_blob = headers.tobytes()
+            payloads = [
+                header_blob[i * 12 : (i + 1) * 12] + body
+                for i, body in enumerate(random_payloads(rng, n, 200, 400))
+            ]
+            emitter.udp_batch(
+                times, self.mac, GATEWAY_MAC, self.ip, GATEWAY_IP,
+                sport, self.RTP_PORT, payloads=payloads,
+            )
+        return emitter.packets()
 
 
 class DnsClient(DeviceModel):
@@ -285,28 +346,43 @@ class DnsClient(DeviceModel):
         self.period = period
 
     def generate(self, rng, start, duration):
-        t = start + float(rng.uniform(0, self.period))
-        end = start + duration
-        while t < end:
-            txid = int(rng.integers(0, 0xFFFF))
-            name = self.NAMES[int(rng.integers(0, len(self.NAMES)))]
-            sport = int(rng.integers(49152, 65535))
-            yield self._label(
-                inet.build_udp_packet(
-                    self.mac, GATEWAY_MAC, self.ip, GATEWAY_IP,
-                    sport, dns.DNS_PORT, payload=dns.build_query(txid, name),
-                ),
-                t,
+        emitter = self._emitter()
+        first = start + float(rng.uniform(0, self.period))
+        times = uniform_chain(
+            rng, first, start + duration,
+            0.5 * self.period, 1.5 * self.period,
+        )
+        n = len(times)
+        if n:
+            txids = rng.integers(0, 0xFFFF, size=n)
+            chosen = rng.integers(0, len(self.NAMES), size=n).tolist()
+            sports = rng.integers(49152, 65535, size=n)
+            delays = rng.uniform(0.005, 0.05, size=n)
+            # The txid is the first header word; stamp it into one
+            # query/response template per name.
+            txid_blob = txids.astype(">u2").tobytes()
+            queries = [dns.build_query(0, name)[2:] for name in self.NAMES]
+            answers = [
+                dns.build_response(0, name, ["203.0.113.10"])[2:]
+                for name in self.NAMES
+            ]
+            emitter.udp_batch(
+                times, self.mac, GATEWAY_MAC, self.ip, GATEWAY_IP,
+                sports, dns.DNS_PORT,
+                payloads=[
+                    txid_blob[2 * i : 2 * i + 2] + queries[k]
+                    for i, k in enumerate(chosen)
+                ],
             )
-            yield self._label(
-                inet.build_udp_packet(
-                    GATEWAY_MAC, self.mac, GATEWAY_IP, self.ip,
-                    dns.DNS_PORT, sport,
-                    payload=dns.build_response(txid, name, ["203.0.113.10"]),
-                ),
-                t + float(rng.uniform(0.005, 0.05)),
+            emitter.udp_batch(
+                times + delays, GATEWAY_MAC, self.mac, GATEWAY_IP, self.ip,
+                dns.DNS_PORT, sports,
+                payloads=[
+                    txid_blob[2 * i : 2 * i + 2] + answers[k]
+                    for i, k in enumerate(chosen)
+                ],
             )
-            t += float(rng.uniform(0.5, 1.5)) * self.period
+        return emitter.packets()
 
 
 class ThreadSensor(DeviceModel):
@@ -325,6 +401,7 @@ class ThreadSensor(DeviceModel):
         self.ip6 = f"fd00::{10 + index:x}"
 
     def generate(self, rng, start, duration):
+        emitter = self._emitter()
         t = start + float(rng.uniform(0, self.period))
         end = start + duration
         message_id = int(rng.integers(0, 0xFFFF))
@@ -341,12 +418,9 @@ class ThreadSensor(DeviceModel):
                 options=[(coap.OPTION_URI_PATH, b"telemetry")],
                 payload=reading,
             )
-            yield self._label(
-                inet.build_udp6_packet(
-                    self.mac, GATEWAY_MAC, self.ip6, self.BORDER_ROUTER,
-                    sport, coap.COAP_PORT, payload=request,
-                ),
-                t,
+            emitter.udp6(
+                t, self.mac, GATEWAY_MAC, self.ip6, self.BORDER_ROUTER,
+                sport, coap.COAP_PORT, payload=request,
             )
             ack = coap.build_message(
                 msg_type=coap.ACK,
@@ -354,14 +428,13 @@ class ThreadSensor(DeviceModel):
                 message_id=message_id,
                 token=token,
             )
-            yield self._label(
-                inet.build_udp6_packet(
-                    GATEWAY_MAC, self.mac, self.BORDER_ROUTER, self.ip6,
-                    coap.COAP_PORT, sport, payload=ack,
-                ),
+            emitter.udp6(
                 t + float(rng.uniform(0.002, 0.02)),
+                GATEWAY_MAC, self.mac, self.BORDER_ROUTER, self.ip6,
+                coap.COAP_PORT, sport, payload=ack,
             )
             t += float(rng.uniform(0.5, 1.5)) * self.period
+        return emitter.packets()
 
 
 class NetworkChatter(DeviceModel):
@@ -377,55 +450,47 @@ class NetworkChatter(DeviceModel):
         self.period = period
 
     def generate(self, rng, start, duration):
-        t = start + float(rng.uniform(0, self.period))
-        end = start + duration
-        sequence = 0
-        while t < end:
-            if rng.random() < 0.5:
-                # Device ARPs for the gateway; gateway replies.
-                request = inet.build_arp(
-                    self.mac, self.ip, "00:00:00:00:00:00", GATEWAY_IP
-                )
-                yield self._label(
-                    inet.build_ethernet(
-                        "ff:ff:ff:ff:ff:ff", self.mac, inet.ETHERTYPE_ARP, request
-                    ),
-                    t,
-                )
-                reply = inet.build_arp(
-                    GATEWAY_MAC, GATEWAY_IP, self.mac, self.ip, request=False
-                )
-                yield self._label(
-                    inet.build_ethernet(
-                        self.mac, GATEWAY_MAC, inet.ETHERTYPE_ARP, reply
-                    ),
-                    t + float(rng.uniform(0.001, 0.01)),
-                )
-            else:
-                # Gateway pings the device; device answers.
-                sequence = (sequence + 1) & 0xFFFF
-                ident = 0x4242 + self.index
-                echo = inet.build_icmp_echo(ident, sequence, b"liveness")
-                ip_out = inet.build_ipv4(
-                    GATEWAY_IP, self.ip, inet.PROTO_ICMP, echo
-                )
-                yield self._label(
-                    inet.build_ethernet(
-                        self.mac, GATEWAY_MAC, inet.ETHERTYPE_IPV4, ip_out
-                    ),
-                    t,
-                )
-                answer = inet.build_icmp_echo(ident, sequence, b"liveness", reply=True)
-                ip_back = inet.build_ipv4(
-                    self.ip, GATEWAY_IP, inet.PROTO_ICMP, answer
-                )
-                yield self._label(
-                    inet.build_ethernet(
-                        GATEWAY_MAC, self.mac, inet.ETHERTYPE_IPV4, ip_back
-                    ),
-                    t + float(rng.uniform(0.001, 0.02)),
-                )
-            t += float(rng.uniform(0.5, 1.5)) * self.period
+        emitter = self._emitter()
+        first = start + float(rng.uniform(0, self.period))
+        times = uniform_chain(
+            rng, first, start + duration,
+            0.5 * self.period, 1.5 * self.period,
+        )
+        n = len(times)
+        if not n:
+            return emitter.packets()
+        arp_turn = rng.random(n) < 0.5
+        arp_times = times[arp_turn]
+        if len(arp_times):
+            # Device ARPs for the gateway; gateway replies.
+            emitter.arp_batch(
+                arp_times, "ff:ff:ff:ff:ff:ff", self.mac,
+                sender_macs=self.mac, sender_ips=self.ip,
+                target_macs="00:00:00:00:00:00", target_ips=GATEWAY_IP,
+            )
+            emitter.arp_batch(
+                arp_times + rng.uniform(0.001, 0.01, size=len(arp_times)),
+                self.mac, GATEWAY_MAC,
+                sender_macs=GATEWAY_MAC, sender_ips=GATEWAY_IP,
+                target_macs=self.mac, target_ips=self.ip,
+                requests=False,
+            )
+        ping_times = times[~arp_turn]
+        if len(ping_times):
+            # Gateway pings the device; device answers.
+            sequences = (np.arange(len(ping_times)) + 1) & 0xFFFF
+            ident = 0x4242 + self.index
+            emitter.icmp_echo_batch(
+                ping_times, self.mac, GATEWAY_MAC, GATEWAY_IP, self.ip,
+                identifiers=ident, sequences=sequences, payloads=b"liveness",
+            )
+            emitter.icmp_echo_batch(
+                ping_times + rng.uniform(0.001, 0.02, size=len(ping_times)),
+                GATEWAY_MAC, self.mac, self.ip, GATEWAY_IP,
+                replies=True, identifiers=ident, sequences=sequences,
+                payloads=b"liveness",
+            )
+        return emitter.packets()
 
 
 class PlcPoller(DeviceModel):
@@ -443,6 +508,7 @@ class PlcPoller(DeviceModel):
         self.unit_id = 1 + index % 4
 
     def generate(self, rng, start, duration):
+        emitter = self._emitter()
         session = TcpSession(
             GATEWAY_MAC,
             self.mac,
@@ -454,8 +520,8 @@ class PlcPoller(DeviceModel):
             peer_seq=int(rng.integers(0, 2**32)),
         )
         t = start + float(rng.uniform(0, self.period))
-        for frame in session.handshake():
-            yield self._label(frame, t)
+        for flags, reverse in TCP_HANDSHAKE:
+            session.emit(emitter, t, b"", flags, reverse=reverse)
             t += float(rng.uniform(0.0005, 0.003))
         end = start + duration
         transaction = int(rng.integers(0, 0xFFFF))
@@ -464,13 +530,17 @@ class PlcPoller(DeviceModel):
             request = modbus.build_read_holding_request(
                 transaction, self.unit_id, address=0x0000, count=8
             )
-            yield self._label(session.send(request), t)
+            session.emit(emitter, t, request, PSH_ACK)
             values = [int(v) for v in rng.integers(0, 1000, size=8)]
             response = modbus.build_read_holding_response(
                 transaction, self.unit_id, values
             )
-            yield self._label(session.receive(response), t + float(rng.uniform(0.002, 0.01)))
+            session.emit(
+                emitter, t + float(rng.uniform(0.002, 0.01)), response,
+                PSH_ACK, reverse=True,
+            )
             t += float(rng.uniform(0.5, 1.5)) * self.period
+        return emitter.packets()
 
 
 class ZigbeeSensor(DeviceModel):

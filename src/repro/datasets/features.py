@@ -15,7 +15,10 @@ import numpy as np
 
 from repro.net.packet import BENIGN, Packet
 
-__all__ = ["FeatureExtractor", "LabelEncoder", "train_test_split"]
+__all__ = ["DEFAULT_SPLIT_SEED", "FeatureExtractor", "LabelEncoder", "train_test_split"]
+
+#: Seed for the shuffle split when no rng is supplied.
+DEFAULT_SPLIT_SEED = 0
 
 
 @dataclasses.dataclass
@@ -35,23 +38,24 @@ class FeatureExtractor:
         if self.n_bytes <= 0:
             raise ValueError("n_bytes must be positive")
 
+    def _byte_matrix(self, packets: Sequence[Packet]) -> np.ndarray:
+        """One ``frombuffer`` over a single zero-padded concatenation."""
+        width = self.n_bytes
+        if not len(packets):
+            return np.zeros((0, width), dtype=np.uint8)
+        padded = b"".join(p.data[:width].ljust(width, b"\x00") for p in packets)
+        return np.frombuffer(padded, dtype=np.uint8).reshape(len(packets), width)
+
     def transform(self, packets: Sequence[Packet]) -> np.ndarray:
         """Vectorise ``packets`` (row order preserved)."""
-        out = np.zeros((len(packets), self.n_bytes), dtype=np.float64)
-        for row, packet in enumerate(packets):
-            data = packet.data[: self.n_bytes]
-            out[row, : len(data)] = np.frombuffer(data, dtype=np.uint8)
+        out = self._byte_matrix(packets).astype(np.float64)
         if self.scale:
             out /= 255.0
         return out
 
     def transform_bytes(self, packets: Sequence[Packet]) -> np.ndarray:
         """Unscaled uint8 view (used when emitting rules in byte units)."""
-        out = np.zeros((len(packets), self.n_bytes), dtype=np.uint8)
-        for row, packet in enumerate(packets):
-            data = packet.data[: self.n_bytes]
-            out[row, : len(data)] = np.frombuffer(data, dtype=np.uint8)
-        return out
+        return self._byte_matrix(packets).copy()  # writable
 
     def to_model_units(self, byte_value: float) -> float:
         """Convert a raw byte value into the model's input units."""
@@ -90,14 +94,19 @@ class LabelEncoder:
         Raises:
             KeyError: for a category never registered.
         """
-        return np.array(
-            [self._to_index[p.label.category] for p in packets], dtype=np.int64
+        index = self._to_index
+        return np.fromiter(
+            (index[p.label.category] for p in packets),
+            dtype=np.int64,
+            count=len(packets),
         )
 
     def encode_binary(self, packets: Sequence[Packet]) -> np.ndarray:
         """Packets → {0 benign, 1 attack}."""
-        return np.array(
-            [0 if p.label.category == BENIGN else 1 for p in packets], dtype=np.int64
+        return np.fromiter(
+            (p.label.category != BENIGN for p in packets),
+            dtype=np.int64,
+            count=len(packets),
         )
 
     def decode(self, index: int) -> str:
@@ -127,6 +136,10 @@ def train_test_split(
             ``1 - test_fraction`` of the capture by timestamp, test on the
             rest — the deployment-realistic protocol where the model never
             sees the future).
+        rng: source of shuffle randomness.  When omitted a *seeded*
+            generator is used so two calls with the same packets produce
+            the same split — an unseeded default here made every dataset
+            built without an explicit rng irreproducible.
     """
     if not 0.0 < test_fraction < 1.0:
         raise ValueError("test_fraction must be in (0, 1)")
@@ -136,7 +149,8 @@ def train_test_split(
     if method == "time":
         ordered = sorted(packets, key=lambda p: p.timestamp)
         return list(ordered[:cut]), list(ordered[cut:])
-    rng = rng or np.random.default_rng()
+    if rng is None:
+        rng = np.random.default_rng(DEFAULT_SPLIT_SEED)
     order = rng.permutation(len(packets))
     train = [packets[i] for i in order[:cut]]
     test = [packets[i] for i in order[cut:]]

@@ -9,6 +9,7 @@ byte-reproducible.
 from __future__ import annotations
 
 import dataclasses
+import functools
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -94,8 +95,15 @@ def _attack_models(config: TraceConfig) -> List[attacks_mod.AttackModel]:
     return models
 
 
+#: Count of :func:`generate_trace` calls in this process.  The on-disk
+#: dataset cache's tests assert a warm cache performs *zero* generations.
+GENERATE_CALLS = 0
+
+
 def generate_trace(config: TraceConfig) -> List[Packet]:
     """Generate one labelled, time-sorted trace for ``config``."""
+    global GENERATE_CALLS
+    GENERATE_CALLS += 1
     rng = np.random.default_rng(config.seed)
     packets: List[Packet] = []
     for model in _benign_models(config):
@@ -136,6 +144,16 @@ class Dataset:
     def y_test_binary(self) -> np.ndarray:
         return (self.y_test != 0).astype(np.int64)
 
+    @functools.cached_property
+    def x_train_bytes(self) -> np.ndarray:
+        """Exact uint8 feature matrix (no float round-trip)."""
+        return self.extractor.transform_bytes(self.train_packets)
+
+    @functools.cached_property
+    def x_test_bytes(self) -> np.ndarray:
+        """Exact uint8 feature matrix (no float round-trip)."""
+        return self.extractor.transform_bytes(self.test_packets)
+
     def class_counts(self) -> Dict[str, int]:
         """Per-category packet counts over the whole trace."""
         counts: Dict[str, int] = {}
@@ -159,12 +177,26 @@ def make_dataset(
     n_bytes: int = 64,
     test_fraction: float = 0.3,
     split: str = "shuffle",
+    cache: Optional[bool] = None,
 ) -> Dataset:
     """Generate, split and vectorise one dataset.
 
     Args:
         split: ``"shuffle"`` or ``"time"`` (train strictly precedes test).
+        cache: use the content-addressed on-disk cache
+            (:mod:`repro.datasets.cache`).  ``None`` (default) enables it
+            iff ``REPRO_CACHE_DIR`` is set, so plain test runs are
+            unaffected; ``True``/``False`` force it either way.
     """
+    from repro.datasets import cache as cache_mod
+
+    use_cache = cache_mod.cache_enabled() if cache is None else cache
+    if use_cache:
+        cached = cache_mod.load(
+            name, config, n_bytes=n_bytes, test_fraction=test_fraction, split=split
+        )
+        if cached is not None:
+            return cached
     packets = generate_trace(config)
     split_rng = np.random.default_rng(config.seed + 1)
     train, test = train_test_split(
@@ -172,7 +204,7 @@ def make_dataset(
     )
     extractor = FeatureExtractor(n_bytes=n_bytes)
     labels = LabelEncoder().fit(packets)
-    return Dataset(
+    dataset = Dataset(
         name=name,
         config=config,
         train_packets=train,
@@ -184,6 +216,9 @@ def make_dataset(
         x_test=extractor.transform(test),
         y_test=labels.encode(test),
     )
+    if use_cache:
+        cache_mod.store(dataset, test_fraction=test_fraction, split=split)
+    return dataset
 
 
 def standard_suite(
@@ -192,6 +227,7 @@ def standard_suite(
     n_devices: int = 3,
     n_bytes: int = 64,
     seed: int = 7,
+    cache: Optional[bool] = None,
 ) -> Dict[str, Dataset]:
     """The three evaluation datasets used throughout the benchmarks."""
     return {
@@ -199,6 +235,7 @@ def standard_suite(
             "inet",
             TraceConfig(stack="inet", duration=duration, n_devices=n_devices, seed=seed),
             n_bytes=n_bytes,
+            cache=cache,
         ),
         "zigbee": make_dataset(
             "zigbee",
@@ -209,6 +246,7 @@ def standard_suite(
                 seed=seed + 1,
             ),
             n_bytes=n_bytes,
+            cache=cache,
         ),
         "ble": make_dataset(
             "ble",
@@ -219,5 +257,6 @@ def standard_suite(
                 seed=seed + 2,
             ),
             n_bytes=n_bytes,
+            cache=cache,
         ),
     }

@@ -210,9 +210,7 @@ def compare_methods(
         _result(
             "two-stage (rules)",
             dataset,
-            detector.generate_rules().predict(
-                np.round(dataset.x_test * 255.0).astype(np.uint8)
-            ),
+            detector.generate_rules().predict(dataset.x_test_bytes),
             len(detector.offsets or ()),
         ),
     ]

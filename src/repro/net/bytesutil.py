@@ -19,6 +19,9 @@ __all__ = [
     "get_bits",
     "set_bits",
     "ones_complement_checksum",
+    "ones_complement_checksum_batch",
+    "fold_checksum",
+    "matrix_word_sums",
     "crc16_ccitt",
     "hexdump",
     "xor_bytes",
@@ -104,6 +107,46 @@ def ones_complement_checksum(data: bytes) -> int:
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return ~total & 0xFFFF
+
+
+def fold_checksum(totals: np.ndarray) -> np.ndarray:
+    """Vectorised RFC 1071 finish: fold carries and invert word sums.
+
+    ``totals`` are per-row sums of big-endian 16-bit words (uint64);
+    returns the checksum per row, bit-identical to
+    :func:`ones_complement_checksum` run on the same bytes.
+    """
+    totals = totals.astype(np.uint64, copy=True)
+    while (totals >> np.uint64(16)).any():
+        totals = (totals & np.uint64(0xFFFF)) + (totals >> np.uint64(16))
+    return totals ^ np.uint64(0xFFFF)
+
+
+def matrix_word_sums(matrix: np.ndarray) -> np.ndarray:
+    """Per-row sum of big-endian 16-bit words of an even-width uint8 matrix.
+
+    Accepts non-contiguous views (e.g. column slices of a frame matrix).
+    """
+    if matrix.shape[1] % 2:
+        raise ValueError("matrix width must be even")
+    hi = matrix[:, 0::2].astype(np.uint64)
+    lo = matrix[:, 1::2].astype(np.uint64)
+    return ((hi << np.uint64(8)) | lo).sum(axis=1)
+
+
+def ones_complement_checksum_batch(matrix: np.ndarray) -> np.ndarray:
+    """Row-wise Internet checksum of an ``(n, width)`` uint8 matrix.
+
+    Odd widths are padded with a zero byte, matching the scalar helper.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if matrix.shape[1] % 2:
+        padded = np.zeros(
+            (matrix.shape[0], matrix.shape[1] + 1), dtype=np.uint8
+        )
+        padded[:, :-1] = matrix
+        matrix = padded
+    return fold_checksum(matrix_word_sums(matrix))
 
 
 def crc16_ccitt(data: bytes, initial: int = 0xFFFF) -> int:

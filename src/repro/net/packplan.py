@@ -1,0 +1,208 @@
+"""Compiled batch-packing plans for :class:`repro.net.headers.HeaderSpec`.
+
+``HeaderSpec.pack`` is the *reference* serialiser: a big-integer
+accumulator that shifts every field in, one Python call per packet.  That
+is what the trace generators used to call ~200k times per trace and what
+dominated ``generate_trace`` profiles.
+
+A :class:`PackPlan` compiles a spec once into per-field byte/bit
+placement ("which output bytes does this field touch, shifted how"), so
+*n* headers of the same layout render as a single ``(n, size_bytes)``
+uint8 matrix with a handful of vectorised shift/or operations — no
+per-packet Python.  The batch synthesis layer (:mod:`repro.net.synth`)
+builds whole Ethernet/IP/TCP stacks this way; the scalar ``pack`` stays
+as the fallback for odd cases and as the differential-test oracle.
+
+Placement math: a field of width ``w`` starting at absolute bit offset
+``bit_start`` (from the header's most-significant bit) contributes to
+output byte ``b`` the value ``(value >> s) & 0xFF`` with
+``s = bit_start + w - 8 * (b + 1)`` (negative ``s`` meaning a left
+shift) — exactly the bytes the reference accumulator would produce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.net.headers import FieldSpec, HeaderSpec
+
+__all__ = ["PackPlan", "plan_for"]
+
+#: Accepted per-field batch values: a scalar int (broadcast), ``bytes``
+#: (broadcast), a 1-D integer array (one value per row), or an
+#: ``(n, width_bytes)`` uint8 matrix for byte-aligned fields.
+FieldValue = Union[int, bytes, bytearray, np.ndarray]
+
+
+class _FieldPlan:
+    """Placement of one field inside the output byte matrix."""
+
+    __slots__ = ("spec", "bit_start", "byte_start", "byte_end", "aligned", "shifts")
+
+    def __init__(self, spec: FieldSpec, bit_start: int):
+        self.spec = spec
+        self.bit_start = bit_start
+        self.byte_start = bit_start // 8
+        self.byte_end = (bit_start + spec.width_bits + 7) // 8  # exclusive
+        self.aligned = bit_start % 8 == 0 and spec.width_bits % 8 == 0
+        # (byte_index, right_shift) pairs; negative shift means left shift.
+        self.shifts: Tuple[Tuple[int, int], ...] = tuple(
+            (b, bit_start + spec.width_bits - 8 * (b + 1))
+            for b in range(self.byte_start, self.byte_end)
+        )
+
+
+class PackPlan:
+    """A reusable batch serialiser for one :class:`HeaderSpec`.
+
+    Non-byte-aligned fields wider than 57 bits cannot use the uint64
+    shift path (a left shift of up to 7 bits would overflow); no real
+    header has one, but :meth:`pack_batch` raises rather than corrupting
+    output if one appears.
+    """
+
+    def __init__(self, spec: HeaderSpec):
+        self.spec = spec
+        self.size_bytes = spec.size_bytes
+        self._fields: Dict[str, _FieldPlan] = {}
+        bit_cursor = 0
+        for field in spec.fields:
+            self._fields[field.name] = _FieldPlan(field, bit_cursor)
+            bit_cursor += field.width_bits
+
+    def __repr__(self) -> str:
+        return f"PackPlan({self.spec.name!r}, {self.size_bytes}B)"
+
+    # -- scalar placement (used for broadcast/template values) ---------------
+
+    def _place_scalar(self, row: np.ndarray, plan: _FieldPlan, raw: object) -> None:
+        field = plan.spec
+        if isinstance(raw, (bytes, bytearray)):
+            if len(raw) * 8 != field.width_bits:
+                raise ValueError(
+                    f"{self.spec.name}.{field.name}: expected "
+                    f"{field.width_bits // 8} bytes, got {len(raw)}"
+                )
+            value = int.from_bytes(bytes(raw), "big")
+        else:
+            value = int(raw)  # type: ignore[arg-type]
+        if value < 0 or value > field.max_value:
+            raise ValueError(
+                f"{self.spec.name}.{field.name}: value {value} out of range "
+                f"for {field.width_bits}-bit field"
+            )
+        for byte_index, shift in plan.shifts:
+            part = value >> shift if shift >= 0 else value << -shift
+            row[byte_index] |= part & 0xFF
+
+    # -- batch packing --------------------------------------------------------
+
+    def pack_batch(
+        self, n: int, values: Mapping[str, FieldValue]
+    ) -> np.ndarray:
+        """Render ``n`` headers as an ``(n, size_bytes)`` uint8 matrix."""
+        out = np.zeros((n, self.size_bytes), dtype=np.uint8)
+        self.pack_batch_into(out, values)
+        return out
+
+    def pack_batch_into(
+        self, out: np.ndarray, values: Mapping[str, FieldValue]
+    ) -> np.ndarray:
+        """Pack into an existing zeroed ``(n, size_bytes)`` uint8 view.
+
+        Lets a caller compose several headers into one frame matrix
+        without intermediate copies (``out`` may be a column slice).
+        """
+        if out.ndim != 2 or out.shape[1] != self.size_bytes:
+            raise ValueError(
+                f"out must be (n, {self.size_bytes}), got {out.shape}"
+            )
+        n = out.shape[0]
+        template: np.ndarray = np.zeros(self.size_bytes, dtype=np.uint8)
+        batched: List[Tuple[_FieldPlan, np.ndarray]] = []
+        for name, raw in values.items():
+            try:
+                plan = self._fields[name]
+            except KeyError:
+                raise KeyError(
+                    f"header {self.spec.name!r} has no field {name!r}"
+                ) from None
+            if isinstance(raw, np.ndarray) and raw.ndim >= 1:
+                batched.append((plan, raw))
+            else:
+                self._place_scalar(template, plan, raw)
+        if template.any():
+            out |= template
+        for plan, array in batched:
+            self._place_batch(out, plan, array, n)
+        return out
+
+    def _place_batch(
+        self, out: np.ndarray, plan: _FieldPlan, array: np.ndarray, n: int
+    ) -> None:
+        field = plan.spec
+        if array.ndim == 2:
+            # (n, width_bytes) uint8 matrix — direct byte placement.
+            if not plan.aligned:
+                raise ValueError(
+                    f"{self.spec.name}.{field.name}: byte-matrix values "
+                    "require a byte-aligned field"
+                )
+            expected = (n, field.width_bits // 8)
+            if array.shape != expected:
+                raise ValueError(
+                    f"{self.spec.name}.{field.name}: expected shape "
+                    f"{expected}, got {array.shape}"
+                )
+            out[:, plan.byte_start : plan.byte_end] = array
+            return
+        if array.shape != (n,):
+            raise ValueError(
+                f"{self.spec.name}.{field.name}: expected {n} values, "
+                f"got shape {array.shape}"
+            )
+        if field.width_bits > 64 or (not plan.aligned and field.width_bits > 57):
+            raise ValueError(
+                f"{self.spec.name}.{field.name}: {field.width_bits}-bit "
+                "field needs a byte-matrix value"
+            )
+        work = array.astype(np.uint64, copy=False)
+        if array.dtype.kind not in "ui":
+            raise TypeError(
+                f"{self.spec.name}.{field.name}: integer array required"
+            )
+        if array.size and (
+            int(work.max()) > field.max_value
+            or (array.dtype.kind == "i" and int(array.min()) < 0)
+        ):
+            raise ValueError(
+                f"{self.spec.name}.{field.name}: value out of range "
+                f"for {field.width_bits}-bit field"
+            )
+        for byte_index, shift in plan.shifts:
+            if shift >= 0:
+                part = work >> np.uint64(shift)
+            else:
+                part = work << np.uint64(-shift)
+            out[:, byte_index] |= part.astype(np.uint8)
+
+    def field_offset(self, name: str) -> int:
+        """Byte offset of a byte-aligned field inside the header."""
+        plan = self._fields[name]
+        if plan.bit_start % 8:
+            raise ValueError(f"field {name!r} is not byte-aligned")
+        return plan.byte_start
+
+
+_PLANS: Dict[int, PackPlan] = {}
+
+
+def plan_for(spec: HeaderSpec) -> PackPlan:
+    """Compiled plan for ``spec`` (memoised per spec object)."""
+    plan = _PLANS.get(id(spec))
+    if plan is None or plan.spec is not spec:
+        plan = PackPlan(spec)
+        _PLANS[id(spec)] = plan
+    return plan

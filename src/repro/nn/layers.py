@@ -79,6 +79,7 @@ class Dense(Layer):
         rng: Optional[np.random.Generator] = None,
         init: str = "he",
         weight_decay: float = 0.0,
+        dtype: str = "float64",
     ):
         rng = rng or np.random.default_rng()
         if init == "he":
@@ -87,8 +88,10 @@ class Dense(Layer):
             weights = glorot_uniform(rng, in_features, out_features)
         else:
             raise ValueError(f"unknown init {init!r}")
-        self.weight = Parameter("weight", weights)
-        self.bias = Parameter("bias", np.zeros(out_features))
+        # Weights are always *drawn* in float64 (same seed → same values
+        # regardless of dtype) and then cast.
+        self.weight = Parameter("weight", weights.astype(dtype))
+        self.bias = Parameter("bias", np.zeros(out_features, dtype=dtype))
         self.weight_decay = weight_decay
         self._x: Optional[np.ndarray] = None
 
@@ -105,7 +108,9 @@ class Dense(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._x = x
-        return x @ self.weight.value + self.bias.value
+        out = x @ self.weight.value
+        out += self.bias.value
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None:
@@ -130,7 +135,7 @@ class ReLU(Layer):
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        return np.maximum(x, 0.0)
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
@@ -185,7 +190,7 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self.rng.random(x.shape) < keep) / keep
+        self._mask = (self.rng.random(x.shape) < keep).astype(x.dtype) / x.dtype.type(keep)
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -197,13 +202,16 @@ class Dropout(Layer):
 class BatchNorm(Layer):
     """Batch normalisation with running statistics for inference."""
 
-    def __init__(self, features: int, *, momentum: float = 0.9, eps: float = 1e-5):
-        self.gamma = Parameter("gamma", np.ones(features))
-        self.beta = Parameter("beta", np.zeros(features))
+    def __init__(
+        self, features: int, *, momentum: float = 0.9, eps: float = 1e-5,
+        dtype: str = "float64",
+    ):
+        self.gamma = Parameter("gamma", np.ones(features, dtype=dtype))
+        self.beta = Parameter("beta", np.zeros(features, dtype=dtype))
         self.momentum = momentum
         self.eps = eps
-        self.running_mean = np.zeros(features)
-        self.running_var = np.ones(features)
+        self.running_mean = np.zeros(features, dtype=dtype)
+        self.running_var = np.ones(features, dtype=dtype)
         self._cache = None
 
     def params(self) -> List[Parameter]:
@@ -257,8 +265,11 @@ class InputGate(Layer):
             mostly open so the classifier can learn before pruning begins).
     """
 
-    def __init__(self, features: int, *, l1: float = 1e-3, init_logit: float = 2.0):
-        self.theta = Parameter("theta", np.full(features, float(init_logit)))
+    def __init__(
+        self, features: int, *, l1: float = 1e-3, init_logit: float = 2.0,
+        dtype: str = "float64",
+    ):
+        self.theta = Parameter("theta", np.full(features, float(init_logit), dtype=dtype))
         self.l1 = l1
         self._x: Optional[np.ndarray] = None
         self._gate: Optional[np.ndarray] = None
@@ -278,15 +289,22 @@ class InputGate(Layer):
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None or self._gate is None:
             raise RuntimeError("backward called before forward")
-        gate_grad = self._gate * (1.0 - self._gate)
+        gate = self._gate
+        gate_grad = gate * (1.0 - gate)
         # Data term: dL/dtheta = sum_batch dL/dy * x * g'(theta)
         self.theta.grad += (grad_out * self._x).sum(axis=0) * gate_grad
         # L1 term: d/dtheta l1*sum(sigmoid(theta)) = l1 * g'(theta)
         if self.l1:
             self.theta.grad += self.l1 * gate_grad
-        return grad_out * self._gate
+        # The optimiser will move theta next, so the cached gate values go
+        # stale here; regularization() must recompute from then on.
+        self._gate = None
+        return grad_out * gate
 
     def regularization(self) -> float:
         if not self.l1:
             return 0.0
-        return self.l1 * float(np.sum(self.gates()))
+        # Reuse the forward-pass gate values when fresh (training loops call
+        # regularization() right after forward()).
+        gates = self._gate if self._gate is not None else self.gates()
+        return self.l1 * float(np.sum(gates))

@@ -32,8 +32,9 @@ class Loss:
 def softmax(logits: np.ndarray) -> np.ndarray:
     """Row-wise softmax, numerically stable."""
     shifted = logits - logits.max(axis=1, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=1, keepdims=True)
+    np.exp(shifted, out=shifted)
+    shifted /= shifted.sum(axis=1, keepdims=True)
+    return shifted
 
 
 class SoftmaxCrossEntropy(Loss):
@@ -46,21 +47,28 @@ class SoftmaxCrossEntropy(Loss):
     def __init__(self) -> None:
         self._probs: Optional[np.ndarray] = None
         self._targets: Optional[np.ndarray] = None
+        self._rows = np.arange(0)
+
+    def _row_index(self, batch: int) -> np.ndarray:
+        if len(self._rows) < batch:
+            self._rows = np.arange(batch)
+        return self._rows[:batch]
 
     def forward(self, predictions: np.ndarray, targets: np.ndarray) -> float:
         self._probs = softmax(predictions)
         self._targets = targets.astype(int)
         batch = predictions.shape[0]
-        picked = self._probs[np.arange(batch), self._targets]
-        return float(-np.log(picked + _EPS).mean())
+        picked = self._probs[self._row_index(batch), self._targets]
+        return float(-np.log(picked + _EPS).sum()) / batch
 
     def backward(self) -> np.ndarray:
         if self._probs is None or self._targets is None:
             raise RuntimeError("backward called before forward")
         batch = self._probs.shape[0]
         grad = self._probs.copy()
-        grad[np.arange(batch), self._targets] -= 1.0
-        return grad / batch
+        grad[self._row_index(batch), self._targets] -= 1.0
+        grad /= batch
+        return grad
 
 
 class BinaryCrossEntropy(Loss):

@@ -37,12 +37,15 @@ def iterate_minibatches(
     """Yield shuffled ``(x_batch, y_batch)`` minibatches."""
     if len(x) != len(y):
         raise ValueError(f"x/y length mismatch: {len(x)} vs {len(y)}")
-    order = np.arange(len(x))
     if rng is not None:
+        # One gather for the whole epoch; the per-batch yields below are
+        # then contiguous views instead of fancy-indexed copies.
+        order = np.arange(len(x))
         rng.shuffle(order)
+        x = x[order]
+        y = y[order]
     for start in range(0, len(x), batch_size):
-        idx = order[start : start + batch_size]
-        yield x[idx], y[idx]
+        yield x[start : start + batch_size], y[start : start + batch_size]
 
 
 class Sequential:
@@ -104,13 +107,21 @@ class Sequential:
         history = TrainHistory()
         best_val = np.inf
         bad_epochs = 0
+        # Most layers have no regularization term; skip them in the hot loop.
+        reg_layers = [
+            layer
+            for layer in self.layers
+            if type(layer).regularization is not Layer.regularization
+        ]
         for epoch in range(epochs):
             epoch_loss = 0.0
             batches = 0
             for xb, yb in iterate_minibatches(x, y, batch_size, rng):
                 optimizer.zero_grad()
                 logits = self.forward(xb, training=True)
-                batch_loss = loss.forward(logits, yb) + self.regularization()
+                batch_loss = loss.forward(logits, yb)
+                for layer in reg_layers:
+                    batch_loss += layer.regularization()
                 self.backward(loss.backward())
                 optimizer.step()
                 epoch_loss += batch_loss

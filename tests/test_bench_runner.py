@@ -1,0 +1,69 @@
+"""Smoke test for tools/bench.py: schema-valid, append-only trajectory."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH = REPO_ROOT / "tools" / "bench.py"
+
+RECORD_KEYS = {"commit", "date", "mode", "metrics"}
+METRIC_GROUPS = {"trace_synthesis", "detector_fit", "batch_switch"}
+
+
+def run_bench(output: Path) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+    return subprocess.run(
+        [sys.executable, str(BENCH), "--quick", "--output", str(output)],
+        env=env, capture_output=True, text=True, timeout=600,
+    )
+
+
+@pytest.mark.slow
+def test_bench_appends_schema_valid_records(tmp_path):
+    output = tmp_path / "BENCH_perf.json"
+
+    result = run_bench(output)
+    assert result.returncode == 0, result.stderr
+    history = json.loads(output.read_text())
+    assert isinstance(history, list) and len(history) == 1
+
+    (record,) = history
+    assert set(record) == RECORD_KEYS
+    assert record["mode"] == "quick"
+    assert isinstance(record["commit"], str) and record["commit"]
+    assert "T" in record["date"]  # ISO-8601 timestamp
+    assert set(record["metrics"]) == METRIC_GROUPS
+    for group in METRIC_GROUPS:
+        metrics = record["metrics"][group]
+        assert metrics, f"{group} produced no numbers"
+        assert all(
+            isinstance(v, (int, float)) for v in metrics.values()
+        ), f"{group} has non-numeric values: {metrics}"
+    assert record["metrics"]["trace_synthesis"]["speedup"] > 1.0
+    assert record["metrics"]["batch_switch"]["speedup"] > 1.0
+    assert record["metrics"]["detector_fit"]["seconds"] > 0
+
+    # Second run appends; the first record is preserved verbatim.
+    assert run_bench(output).returncode == 0
+    history2 = json.loads(output.read_text())
+    assert len(history2) == 2
+    assert history2[0] == record
+
+
+def test_repo_trajectory_file_is_schema_valid():
+    """The committed BENCH_perf.json must stay parseable and well-formed."""
+    path = REPO_ROOT / "BENCH_perf.json"
+    if not path.exists():
+        pytest.skip("no committed BENCH_perf.json")
+    history = json.loads(path.read_text())
+    assert isinstance(history, list) and history
+    for record in history:
+        assert RECORD_KEYS <= set(record)
+        assert METRIC_GROUPS <= set(record["metrics"])

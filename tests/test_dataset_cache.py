@@ -1,0 +1,204 @@
+"""Cross-process dataset cache: round-trips, key sensitivity, recovery."""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import TraceConfig, make_dataset
+from repro.datasets import cache
+from repro.datasets import generator
+
+CONFIG = TraceConfig(stack="inet", duration=12.0, n_devices=2, seed=31)
+
+SRC_DIR = str(Path(__file__).resolve().parent.parent / "src")
+
+
+@pytest.fixture()
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    return tmp_path / "cache"
+
+
+def assert_datasets_identical(a, b):
+    assert a.name == b.name
+    assert a.config == b.config
+    assert a.labels.classes == b.labels.classes
+    for split in ("train_packets", "test_packets"):
+        pa, pb = getattr(a, split), getattr(b, split)
+        assert len(pa) == len(pb)
+        for x, y in zip(pa, pb):
+            assert x.data == y.data
+            assert x.timestamp == y.timestamp
+            assert x.label == y.label
+    np.testing.assert_array_equal(a.x_train, b.x_train)
+    np.testing.assert_array_equal(a.y_train, b.y_train)
+    np.testing.assert_array_equal(a.x_test, b.x_test)
+    np.testing.assert_array_equal(a.y_test, b.y_test)
+    np.testing.assert_array_equal(a.x_train_bytes, b.x_train_bytes)
+    np.testing.assert_array_equal(a.x_test_bytes, b.x_test_bytes)
+
+
+def test_cache_disabled_without_env(monkeypatch, tmp_path):
+    # With no REPRO_CACHE_DIR, make_dataset must not write anywhere —
+    # point HOME at a sandbox so the fallback dir is observable.
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.setenv("HOME", str(tmp_path))
+    assert not cache.cache_enabled()
+    make_dataset("plain", CONFIG)
+    assert not (tmp_path / ".cache").exists()
+
+
+def test_round_trip_is_byte_identical(cache_env):
+    built = make_dataset("rt", CONFIG)
+    assert list(cache_env.glob("*.npz")), "store() did not write an entry"
+    loaded = cache.load(
+        "rt", CONFIG, n_bytes=64, test_fraction=0.3, split="shuffle"
+    )
+    assert loaded is not None
+    assert_datasets_identical(built, loaded)
+
+
+def test_warm_hit_skips_generation(cache_env):
+    first = make_dataset("warm", CONFIG)
+    before = generator.GENERATE_CALLS
+    second = make_dataset("warm", CONFIG)
+    assert generator.GENERATE_CALLS == before, "hit still generated a trace"
+    assert_datasets_identical(first, second)
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"seed": 32},
+        {"duration": 13.0},
+        {"n_devices": 3},
+        {"stack": "zigbee"},
+        {"chatter": True},
+    ],
+    ids=lambda c: next(iter(c)),
+)
+def test_key_sensitivity_to_config_fields(cache_env, change):
+    make_dataset("keys", CONFIG)
+    before = generator.GENERATE_CALLS
+    make_dataset("keys", dataclasses.replace(CONFIG, **change))
+    assert generator.GENERATE_CALLS == before + 1, f"{change} reused stale entry"
+    assert len(list(cache_env.glob("*.npz"))) == 2
+
+
+def test_key_sensitivity_to_n_bytes(cache_env):
+    make_dataset("nb", CONFIG, n_bytes=64)
+    before = generator.GENERATE_CALLS
+    make_dataset("nb", CONFIG, n_bytes=32)
+    assert generator.GENERATE_CALLS == before + 1
+
+
+def test_corrupted_entry_is_dropped_and_regenerated(cache_env):
+    built = make_dataset("crash", CONFIG)
+    (entry,) = cache_env.glob("*.npz")
+    entry.write_bytes(b"\x00garbage, not a zip archive")
+    before = generator.GENERATE_CALLS
+    rebuilt = make_dataset("crash", CONFIG)
+    assert generator.GENERATE_CALLS == before + 1
+    assert_datasets_identical(built, rebuilt)
+    # The bad file was replaced by a fresh, readable entry.
+    (entry,) = cache_env.glob("*.npz")
+    assert all("corrupted" not in e for e in cache.entries())
+
+
+def test_truncated_entry_recovery(cache_env):
+    make_dataset("trunc", CONFIG)
+    (entry,) = cache_env.glob("*.npz")
+    entry.write_bytes(entry.read_bytes()[: entry.stat().st_size // 2])
+    assert cache.load(
+        "trunc", CONFIG, n_bytes=64, test_fraction=0.3, split="shuffle"
+    ) is None
+    assert not entry.exists(), "corrupted entry should be unlinked"
+
+
+def test_explicit_cache_flag_overrides_env(cache_env):
+    make_dataset("off", CONFIG, cache=False)
+    assert not list(cache_env.glob("*.npz"))
+
+
+def test_entries_reports_metadata(cache_env):
+    make_dataset("meta", CONFIG)
+    (entry,) = cache.entries()
+    assert entry["name"] == "meta"
+    assert entry["config"]["seed"] == 31
+    assert entry["n_train"] > 0 and entry["n_test"] > 0
+    assert entry["classes"][0] == "benign"
+
+
+def test_clear_removes_everything(cache_env):
+    make_dataset("a", CONFIG)
+    make_dataset("b", dataclasses.replace(CONFIG, seed=99))
+    assert cache.clear() == 2
+    assert cache.entries() == []
+
+
+def test_warm_cache_fresh_process_does_not_generate(cache_env):
+    """A separate process must rebuild the suite purely from disk."""
+    script = (
+        "import os, sys\n"
+        "from repro.datasets import generator\n"
+        "from repro.eval.harness import cached_suite\n"
+        "suite = cached_suite(duration=12.0, n_devices=2, n_bytes=64, seed=31)\n"
+        "assert generator.GENERATE_CALLS == int(sys.argv[1]), (\n"
+        "    f'expected {sys.argv[1]} generations, got {generator.GENERATE_CALLS}')\n"
+        "print(sum(len(d.train_packets) + len(d.test_packets) for d in suite.values()))\n"
+    )
+    env = dict(os.environ, REPRO_CACHE_DIR=str(cache_env), PYTHONPATH=SRC_DIR)
+
+    def run(expected_calls: int) -> str:
+        result = subprocess.run(
+            [sys.executable, "-c", script, str(expected_calls)],
+            env=env, capture_output=True, text=True, timeout=300,
+        )
+        assert result.returncode == 0, result.stderr
+        return result.stdout.strip()
+
+    cold = run(3)   # inet + zigbee + ble, all generated and stored
+    warm = run(0)   # every dataset served from disk, zero generations
+    assert cold == warm
+
+
+def test_cli_cache_list_warm_clear(cache_env, capsys):
+    assert main(["cache", "list"]) == 0
+    assert "empty" in capsys.readouterr().out
+
+    assert main([
+        "cache", "warm", "--duration", "12", "--devices", "2", "--seed", "31",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "inet" in out and "zigbee" in out and "ble" in out
+    assert len(list(cache_env.glob("*.npz"))) == 3
+
+    assert main(["cache", "list"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("inet") >= 1
+    assert "train" in out
+
+    assert main(["cache", "clear"]) == 0
+    assert "3" in capsys.readouterr().out
+    assert not list(cache_env.glob("*.npz"))
+
+
+def test_code_fingerprint_feeds_key():
+    base = cache.cache_key(CONFIG, n_bytes=64, test_fraction=0.3, split="shuffle")
+    fingerprint = cache._fingerprint
+    try:
+        cache._fingerprint = "0" * 64
+        changed = cache.cache_key(
+            CONFIG, n_bytes=64, test_fraction=0.3, split="shuffle"
+        )
+    finally:
+        cache._fingerprint = fingerprint
+    assert base != changed

@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""Project benchmark runner with a persisted perf trajectory.
+
+Times the three perf-critical paths — trace synthesis, detector
+training, and the batch switch data path — and *appends* one record to
+``BENCH_perf.json`` so the numbers form a trajectory across commits
+rather than a single snapshot:
+
+    [{"commit": "abc1234", "date": "...", "mode": "full", "metrics": {...}}, ...]
+
+Usage::
+
+    python tools/bench.py            # full scale (the acceptance configs)
+    python tools/bench.py --quick    # small configs, seconds not minutes
+    make bench                       # alias for the full run
+
+The file is append-only by construction: existing records are loaded,
+never rewritten.  Use ``--output`` to point somewhere else (tests do).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.pipeline import DetectorConfig, TwoStageDetector  # noqa: E402
+from repro.dataplane import Switch, SwitchConfig, TernaryTable  # noqa: E402
+from repro.datasets import TraceConfig, generate_trace, make_dataset  # noqa: E402
+from repro.net.synth import fastpath  # noqa: E402
+
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_perf.json"
+
+#: The synthesis acceptance config (also the detector-fit data source).
+FULL_TRACE = dict(stack="inet", duration=300.0, n_devices=8, chatter=True, seed=7)
+QUICK_TRACE = dict(stack="inet", duration=20.0, n_devices=2, chatter=True, seed=7)
+
+
+def _commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, timeout=10,
+        )
+        if out.returncode == 0:
+            return out.stdout.strip()
+    except OSError:
+        pass
+    return "unknown"
+
+
+def bench_trace_synthesis(quick: bool) -> dict:
+    """Packets/second of generate_trace, fast path vs scalar reference."""
+    config = TraceConfig(**(QUICK_TRACE if quick else FULL_TRACE))
+    with fastpath(True):
+        generate_trace(config)  # warm plan/ufunc caches
+        start = time.perf_counter()
+        packets = generate_trace(config)
+        fast_seconds = time.perf_counter() - start
+    with fastpath(False):
+        start = time.perf_counter()
+        generate_trace(config)
+        scalar_seconds = time.perf_counter() - start
+    return {
+        "packets": len(packets),
+        "fast_seconds": round(fast_seconds, 4),
+        "fast_pkts_per_sec": round(len(packets) / fast_seconds, 1),
+        "scalar_seconds": round(scalar_seconds, 4),
+        "speedup": round(scalar_seconds / fast_seconds, 2),
+    }
+
+
+def bench_detector_fit(quick: bool) -> dict:
+    """Seconds for a TwoStageDetector fit (and its test accuracy)."""
+    config = TraceConfig(**(QUICK_TRACE if quick else FULL_TRACE))
+    with fastpath(True):
+        dataset = make_dataset("bench", config)
+    detector_config = (
+        DetectorConfig(n_fields=6, selector_epochs=5, epochs=10, seed=3)
+        if quick
+        else DetectorConfig(n_fields=6, selector_epochs=20, epochs=40, seed=3)
+    )
+    detector = TwoStageDetector(detector_config)
+    start = time.perf_counter()
+    detector.fit(dataset.x_train, dataset.y_train_binary)
+    seconds = time.perf_counter() - start
+    predictions = detector.predict(dataset.x_test)
+    accuracy = float((predictions == dataset.y_test_binary).mean())
+    return {
+        "rows": int(len(dataset.x_train)),
+        "seconds": round(seconds, 3),
+        "rows_per_sec": round(len(dataset.x_train) / seconds, 1),
+        "accuracy": round(accuracy, 4),
+    }
+
+
+def bench_batch_switch(quick: bool) -> dict:
+    """Packets/second through the switch, batch path vs scalar loop."""
+    config = TraceConfig(**QUICK_TRACE)
+    with fastpath(True):
+        packets = generate_trace(config)
+    target = 20_000 if quick else 200_000
+    packets = (packets * (target // len(packets) + 1))[:target]
+    offsets = (19, 34, 37, 48, 49, 63)
+    rng = np.random.default_rng(0)
+
+    def build() -> Switch:
+        switch = Switch(SwitchConfig(key_offsets=offsets))
+        table = TernaryTable("fw", len(offsets), max_entries=1024)
+        for i in range(100):
+            value = tuple(int(v) for v in rng.integers(0, 256, size=len(offsets)))
+            table.add(value, (255,) * len(offsets), "drop", priority=i)
+        switch.add_table(table)
+        return switch
+
+    start = time.perf_counter()
+    build().process_trace(packets, batch_size=2048)
+    batch_seconds = time.perf_counter() - start
+    scalar_sample = packets[: max(target // 10, 1)]
+    start = time.perf_counter()
+    build().process_trace(scalar_sample)
+    scalar_seconds = time.perf_counter() - start
+    scalar_pps = len(scalar_sample) / scalar_seconds
+    batch_pps = len(packets) / batch_seconds
+    return {
+        "packets": len(packets),
+        "batch_seconds": round(batch_seconds, 4),
+        "batch_pkts_per_sec": round(batch_pps, 1),
+        "scalar_pkts_per_sec": round(scalar_pps, 1),
+        "speedup": round(batch_pps / scalar_pps, 2),
+    }
+
+
+def run(quick: bool) -> dict:
+    record = {
+        "commit": _commit(),
+        "date": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "mode": "quick" if quick else "full",
+        "metrics": {},
+    }
+    for name, fn in [
+        ("trace_synthesis", bench_trace_synthesis),
+        ("detector_fit", bench_detector_fit),
+        ("batch_switch", bench_batch_switch),
+    ]:
+        print(f"[bench] {name} ...", flush=True)
+        start = time.perf_counter()
+        record["metrics"][name] = fn(quick)
+        elapsed = time.perf_counter() - start
+        print(f"[bench] {name}: {json.dumps(record['metrics'][name])} "
+              f"({elapsed:.1f}s)", flush=True)
+    return record
+
+
+def append_record(record: dict, output: Path) -> list:
+    history = []
+    if output.exists():
+        try:
+            history = json.loads(output.read_text())
+        except (ValueError, OSError):
+            print(f"[bench] warning: {output} unreadable, starting fresh",
+                  file=sys.stderr)
+        if not isinstance(history, list):
+            history = []
+    history.append(record)
+    output.write_text(json.dumps(history, indent=2) + "\n")
+    return history
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small configs (seconds, for smoke tests) instead of the "
+        "full acceptance-scale run",
+    )
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT,
+        help=f"perf trajectory file (default {DEFAULT_OUTPUT.name})",
+    )
+    args = parser.parse_args(argv)
+    record = run(args.quick)
+    history = append_record(record, args.output)
+    print(f"[bench] appended record #{len(history)} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
