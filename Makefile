@@ -1,7 +1,7 @@
 # Developer convenience targets.
 PYTHON ?= python
 
-.PHONY: test test-fast test-full bench bench-suite examples lint all
+.PHONY: test test-fast test-full bench bench-suite examples lint docs-check all
 
 test:
 	$(PYTHON) -m pytest tests/
@@ -28,4 +28,9 @@ bench-suite:
 examples:
 	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
 
-all: test bench-suite
+# Lint intra-repo Markdown links (dead files / dead anchors) across
+# README, docs/, EXPERIMENTS, and the rest of the *.md corpus.
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+all: test docs-check bench-suite

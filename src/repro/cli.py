@@ -8,6 +8,7 @@ Installed as the ``repro`` console script::
     repro p4 rules.json --out gateway.p4
     repro simulate rules.json --pcap capture.pcap
     repro eval rules.json --pcap capture.pcap --labels labels.csv
+    repro stats rules.json --synthetic inet --format table
 
 Label files are CSV with one ``index,category`` row per packet (category
 ``benign`` or any attack name); packets not listed default to benign.
@@ -226,6 +227,42 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Replay traffic with observability on and dump the metric registry.
+
+    Two modes: with ``--snapshot`` an existing JSONL snapshot (e.g. saved
+    by an earlier run via ``--save``) is rendered without replaying
+    anything; otherwise the rule set is deployed on a fresh gateway, the
+    input trace is replayed with an enabled registry, and the resulting
+    snapshot is rendered.  See docs/OBSERVABILITY.md for the catalogue.
+    """
+    from repro import obs
+
+    if args.snapshot:
+        snapshot = obs.read_jsonl(args.snapshot)
+    else:
+        if not args.rules:
+            raise SystemExit("need a rules file (or --snapshot)")
+        from repro.eval.harness import replay_gateway
+
+        rules = load_ruleset(args.rules)
+        packets, __ = _load_packets(args)
+        registry = obs.Registry(enabled=True)
+        with obs.use_registry(registry):
+            replay_gateway(rules, packets, batch_size=args.batch_size)
+        snapshot = registry.snapshot()
+    if args.save:
+        obs.write_jsonl(snapshot, args.save)
+        print(f"wrote {args.save}", file=sys.stderr)
+    if args.format == "jsonl":
+        sys.stdout.write(obs.to_jsonl(snapshot))
+    elif args.format == "prometheus":
+        sys.stdout.write(obs.to_prometheus(snapshot))
+    else:
+        print(obs.render_table(snapshot))
+    return 0
+
+
 def cmd_eval(args) -> int:
     rules = load_ruleset(args.rules)
     packets, labels = _load_packets(args)
@@ -347,6 +384,33 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("rules", help="rules JSON")
     add_input(evaluate)
     evaluate.set_defaults(func=cmd_eval)
+
+    stats = sub.add_parser(
+        "stats",
+        help="replay with observability on and dump the metric registry",
+    )
+    stats.add_argument("rules", nargs="?", help="rules JSON")
+    add_input(stats)
+    stats.add_argument(
+        "--batch-size",
+        type=int,
+        default=1024,
+        help="vectorized replay chunk size (default 1024)",
+    )
+    stats.add_argument(
+        "--snapshot",
+        help="render a previously saved JSONL snapshot instead of replaying",
+    )
+    stats.add_argument(
+        "--save", help="also write the snapshot to this JSONL file"
+    )
+    stats.add_argument(
+        "--format",
+        choices=["table", "jsonl", "prometheus"],
+        default="table",
+        help="output format (default: aligned table)",
+    )
+    stats.set_defaults(func=cmd_stats)
 
     return parser
 

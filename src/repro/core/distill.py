@@ -15,6 +15,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+
 __all__ = ["DecisionTree", "Leaf", "gini_impurity"]
 
 
@@ -137,6 +139,19 @@ class DecisionTree:
         self._n_features = x.shape[1]
         self._n_classes = int(y.max()) + 1
         self._root = self._grow(x.astype(np.int64), y, depth=0)
+        registry = obs.registry()
+        if registry.enabled:
+            registry.gauge(
+                "distill_tree_depth", help="grown depth of the student tree"
+            ).set(self.depth())
+            registry.gauge(
+                "distill_tree_leaves",
+                help="leaves of the student tree (candidate rules)",
+            ).set(len(self.leaves()))
+            registry.gauge(
+                "distill_tree_nodes",
+                help="total nodes (internal + leaves) of the student tree",
+            ).set(self.node_count())
         return self
 
     def _class_counts(self, y: np.ndarray) -> np.ndarray:

@@ -20,6 +20,7 @@ import collections
 
 import numpy as np
 
+from repro import obs
 from repro.core.pipeline import DetectorConfig, TwoStageDetector
 from repro.dataplane.controller import GatewayController, UpdateReport
 
@@ -137,6 +138,13 @@ class OnlineGateway:
         return np.stack(list(self._x)), np.array(list(self._y), dtype=np.int64)
 
     def _retrain(self, *, reason: str, drift_score: float) -> RetrainEvent:
+        registry = obs.registry()
+        if registry.enabled:
+            registry.counter(
+                "online_retrain_events_total",
+                {"reason": reason},
+                help="retraining cycles by trigger reason",
+            ).inc()
         x, y = self._window_arrays()
         detector = TwoStageDetector(self.config)
         detector.fit(x, y)
@@ -182,6 +190,15 @@ class OnlineGateway:
             return None
         score = self.monitor.score(np.round(pending * 255).astype(np.uint8))
         self._pending = []
+        registry = obs.registry()
+        if registry.enabled:
+            registry.counter(
+                "online_drift_checks_total", help="drift scores computed"
+            ).inc()
+            registry.gauge(
+                "online_drift_score",
+                help="latest mean total-variation drift score",
+            ).set(score)
         if score > self.monitor.threshold:
             return self._retrain(reason="drift", drift_score=score)
         return None

@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.core.rules import MatchField, Rule, RuleSet
 
 __all__ = ["optimize_ruleset", "merge_adjacent", "remove_shadowed", "OptimizeReport"]
@@ -165,6 +166,23 @@ def optimize_ruleset(ruleset: RuleSet) -> Tuple[RuleSet, OptimizeReport]:
     unshadowed, shadowed = remove_shadowed(ruleset)
     merged_set, merges = merge_adjacent(unshadowed)
     after = merged_set.resource_report()
+    registry = obs.registry()
+    if registry.enabled:
+        registry.counter(
+            "optimize_rules_merged_total", help="rules removed by adjacent merge"
+        ).inc(merges)
+        registry.counter(
+            "optimize_rules_shadowed_total",
+            help="unreachable rules removed by shadow elimination",
+        ).inc(shadowed)
+        registry.gauge(
+            "optimize_rules_after",
+            help="rules remaining after the latest optimisation pass",
+        ).set(after["rules"])
+        registry.gauge(
+            "optimize_tcam_entries_after",
+            help="ternary entries remaining after the latest optimisation pass",
+        ).set(after["ternary_entries"])
     return merged_set, OptimizeReport(
         rules_before=before["rules"],
         rules_after=after["rules"],

@@ -26,6 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.distill import DecisionTree
 from repro.core.rules import RuleSet, rules_from_leaves
 from repro.core.stage1 import FieldSelector, make_selector
@@ -110,6 +111,10 @@ class TwoStageDetector:
             y: binary labels (1 = attack).  Multi-class labels also work;
                 the rule set then drops every non-zero class.
         """
+        with obs.registry().span("detector.fit"):
+            return self._fit(x, y)
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> "TwoStageDetector":
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.int64)
         if x.ndim != 2 or x.shape[1] != self.config.n_bytes:
@@ -219,13 +224,28 @@ class TwoStageDetector:
             dataclasses.replace(leaf, prediction=int(leaf.prediction != 0))
             for leaf in leaves
         ]
-        return rules_from_leaves(
+        rules = rules_from_leaves(
             binary_leaves,
             self.offsets,
             drop_class=1,
             mode=self.config.rule_mode,
             min_confidence=min_confidence,
         )
+        registry = obs.registry()
+        if registry.enabled:
+            report = rules.resource_report()
+            registry.gauge(
+                "rules_total", help="match-action rules in the generated set"
+            ).set(report["rules"])
+            registry.gauge(
+                "rules_tcam_entries",
+                help="ternary entries after range-to-prefix expansion",
+            ).set(report["ternary_entries"])
+            registry.gauge(
+                "rules_tcam_bits", unit="bits",
+                help="total TCAM bits the rule set occupies",
+            ).set(report["tcam_bits"])
+        return rules
 
     def generate_multiclass_rules(
         self,

@@ -25,6 +25,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.nn.layers import Dense, InputGate, ReLU
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.model import Sequential, iterate_minibatches
@@ -138,13 +139,14 @@ class GateSelector(FieldSelector):
         return self.gate.gates()
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "GateSelector":
-        x = np.asarray(x, dtype=self.dtype)
-        total = np.zeros(self.n_features)
-        for run in range(self.n_runs):
-            gates = self._fit_once(x, y, self.seed + 1000 * run)
-            total += gates / (gates.max() + 1e-12)
-        self._scores = total / self.n_runs
-        return self
+        with obs.registry().span("stage1.fit"):
+            x = np.asarray(x, dtype=self.dtype)
+            total = np.zeros(self.n_features)
+            for run in range(self.n_runs):
+                gates = self._fit_once(x, y, self.seed + 1000 * run)
+                total += gates / (gates.max() + 1e-12)
+            self._scores = total / self.n_runs
+            return self
 
     def scores(self) -> np.ndarray:
         if self._scores is None:
@@ -166,6 +168,10 @@ class MutualInformationSelector(FieldSelector):
         self._scores: Optional[np.ndarray] = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "MutualInformationSelector":
+        with obs.registry().span("stage1.fit"):
+            return self._fit(x, y)
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> "MutualInformationSelector":
         # Accept scaled [0,1] or raw [0,255] input.
         values = np.asarray(x)
         if values.size and values.max() <= 1.0:
@@ -225,6 +231,10 @@ class SaliencySelector(FieldSelector):
         self._scores: Optional[np.ndarray] = None
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "SaliencySelector":
+        with obs.registry().span("stage1.fit"):
+            return self._fit(x, y)
+
+    def _fit(self, x: np.ndarray, y: np.ndarray) -> "SaliencySelector":
         x = np.asarray(x, dtype=self.dtype)
         rng = np.random.default_rng(self.seed)
         self.model = Sequential(

@@ -12,6 +12,7 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.core.distill import DecisionTree
 from repro.nn.layers import Dense, Dropout, ReLU
 from repro.nn.model import Sequential, TrainHistory
@@ -83,21 +84,22 @@ class CompactClassifier:
         validation: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> TrainHistory:
         """Train on a full-width or pre-projected feature matrix."""
-        if validation is not None:
-            validation = (
-                np.asarray(self._project(validation[0]), dtype=self.dtype),
-                validation[1],
+        with obs.registry().span("stage2.fit"):
+            if validation is not None:
+                validation = (
+                    np.asarray(self._project(validation[0]), dtype=self.dtype),
+                    validation[1],
+                )
+            return self.model.fit(
+                np.asarray(self._project(x), dtype=self.dtype),
+                y,
+                epochs=self.epochs,
+                batch_size=self.batch_size,
+                optimizer=Adam(self.model.params(), lr=self.lr),
+                validation=validation,
+                patience=5 if validation is not None else 0,
+                rng=self._rng,
             )
-        return self.model.fit(
-            np.asarray(self._project(x), dtype=self.dtype),
-            y,
-            epochs=self.epochs,
-            batch_size=self.batch_size,
-            optimizer=Adam(self.model.params(), lr=self.lr),
-            validation=validation,
-            patience=5 if validation is not None else 0,
-            rng=self._rng,
-        )
 
     def predict(self, x: np.ndarray) -> np.ndarray:
         return self.model.predict(self._project(x))
@@ -129,15 +131,18 @@ class CompactClassifier:
             The fitted student tree over the selected features, in the
             order of ``self.offsets``.
         """
-        selected = self._project(np.asarray(x_bytes))
-        teacher_labels = self.model.predict(selected.astype(np.float64) / scale)
-        tree = DecisionTree(
-            max_depth=max_depth,
-            min_samples_leaf=min_samples_leaf,
-            snap_thresholds=snap_thresholds,
-        )
-        tree.fit(selected.astype(np.int64), teacher_labels)
-        return tree
+        with obs.registry().span("stage2.distill"):
+            selected = self._project(np.asarray(x_bytes))
+            teacher_labels = self.model.predict(
+                selected.astype(np.float64) / scale
+            )
+            tree = DecisionTree(
+                max_depth=max_depth,
+                min_samples_leaf=min_samples_leaf,
+                snap_thresholds=snap_thresholds,
+            )
+            tree.fit(selected.astype(np.int64), teacher_labels)
+            return tree
 
     def fidelity(self, tree: DecisionTree, x_bytes: np.ndarray, *, scale: float = 255.0) -> float:
         """Fraction of inputs where the student tree agrees with the teacher."""

@@ -24,10 +24,12 @@ Two data paths share these semantics:
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.net.packet import Packet
 from repro.dataplane.tables import (
     ExactTable,
@@ -104,7 +106,16 @@ class Register:
 
 @dataclasses.dataclass
 class SwitchStats:
-    """Aggregate packet statistics."""
+    """Aggregate packet statistics — the legacy compat view.
+
+    Kept as a plain always-on dataclass because the differential test
+    suite (and downstream users of ``Switch.stats``) rely on exact,
+    dependency-free counts.  The same quantities are *also* exported
+    through :mod:`repro.obs` when observability is enabled
+    (``switch_packets_total{verdict=...}`` etc.); new code should read
+    the registry — see the migration notes in ``docs/OBSERVABILITY.md``
+    and the Observability section of ``docs/ARCHITECTURE.md``.
+    """
 
     received: int = 0
     dropped: int = 0
@@ -127,6 +138,35 @@ class Switch:
         self._pipeline: List[AnyTable] = []
         self._registers: Dict[str, Register] = {}
         self.stats = SwitchStats()
+        # Registry telemetry (no-ops when observability is disabled).
+        registry = obs.registry()
+        self._obs = registry
+        self._obs_on = registry.enabled
+        self._obs_verdicts = {
+            action: registry.counter(
+                "switch_packets_total", {"verdict": action},
+                help="packets by final pipeline verdict",
+            )
+            for action in TERMINAL_ACTIONS
+        }
+        self._obs_bytes = {
+            action: registry.counter(
+                "switch_bytes_total", {"verdict": action}, unit="bytes",
+                help="payload bytes by final pipeline verdict",
+            )
+            for action in TERMINAL_ACTIONS
+        }
+        self._obs_received = registry.counter(
+            "switch_packets_received_total", help="packets entering the pipeline"
+        )
+        self._obs_bytes_received = registry.counter(
+            "switch_bytes_received_total", unit="bytes",
+            help="payload bytes entering the pipeline",
+        )
+        self._obs_batch_seconds = registry.histogram(
+            "switch_batch_seconds", unit="s",
+            help="wall-clock seconds per process_batch call",
+        )
 
     # -- configuration -----------------------------------------------------
 
@@ -186,6 +226,12 @@ class Switch:
             self.stats.bytes_quarantined += len(packet.data)
         else:
             self.stats.allowed += 1
+        if self._obs_on:
+            size = len(packet.data)
+            self._obs_received.inc()
+            self._obs_bytes_received.inc(size)
+            self._obs_verdicts[verdict.action].inc()
+            self._obs_bytes[verdict.action].inc(size)
         return verdict
 
     def process_batch(self, packets: Sequence[Packet]) -> List[Verdict]:
@@ -201,6 +247,7 @@ class Switch:
         n = len(packets)
         if n == 0:
             return []
+        start_time = time.perf_counter() if self._obs_on else 0.0
         sizes = np.fromiter(
             (len(p.data) for p in packets), dtype=np.int64, count=n
         )
@@ -237,6 +284,20 @@ class Switch:
         self.stats.allowed += int(n - dropped.sum() - quarantined.sum())
         self.stats.bytes_dropped += int(sizes[dropped].sum())
         self.stats.bytes_quarantined += int(sizes[quarantined].sum())
+        if self._obs_on:
+            n_drop = int(dropped.sum())
+            n_quar = int(quarantined.sum())
+            self._obs_received.inc(n)
+            self._obs_bytes_received.inc(int(sizes.sum()))
+            self._obs_verdicts["drop"].inc(n_drop)
+            self._obs_verdicts["quarantine"].inc(n_quar)
+            self._obs_verdicts["allow"].inc(n - n_drop - n_quar)
+            self._obs_bytes["drop"].inc(int(sizes[dropped].sum()))
+            self._obs_bytes["quarantine"].inc(int(sizes[quarantined].sum()))
+            self._obs_bytes["allow"].inc(
+                int(sizes.sum() - sizes[dropped].sum() - sizes[quarantined].sum())
+            )
+            self._obs_batch_seconds.observe(time.perf_counter() - start_time)
         return [
             Verdict(
                 final_action[i],
@@ -256,14 +317,17 @@ class Switch:
                 :meth:`process_batch` in chunks of this size (the fast
                 path); ``None`` keeps the scalar reference path.
         """
-        if batch_size is None:
-            return [self.process(packet) for packet in packets]
-        if batch_size < 1:
-            raise ValueError("batch_size must be >= 1")
-        verdicts: List[Verdict] = []
-        for start in range(0, len(packets), batch_size):
-            verdicts.extend(self.process_batch(packets[start : start + batch_size]))
-        return verdicts
+        with self._obs.span("switch.process_trace"):
+            if batch_size is None:
+                return [self.process(packet) for packet in packets]
+            if batch_size < 1:
+                raise ValueError("batch_size must be >= 1")
+            verdicts: List[Verdict] = []
+            for start in range(0, len(packets), batch_size):
+                verdicts.extend(
+                    self.process_batch(packets[start : start + batch_size])
+                )
+            return verdicts
 
     def reset_stats(self) -> None:
         self.stats = SwitchStats()

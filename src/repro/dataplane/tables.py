@@ -10,6 +10,17 @@ where it matters for the evaluation:
   ties by earlier insertion (the P4Runtime convention),
 * **per-entry hit counters** — direct counters as in P4 ``direct_counter``.
 
+Beyond the per-entry direct counters, every table also reports
+aggregate telemetry through :mod:`repro.obs` when observability is
+enabled: ``table_lookups_total`` / ``table_hits_total`` /
+``table_misses_total`` counters, a ``table_entries`` occupancy gauge,
+and — for the priority-ordered kinds (ternary/range) —
+``table_shadow_hits_total``, counting lookups whose winning entry
+shadowed at least one other matching entry.  The registry instruments
+are captured at table construction time; with observability disabled
+(the default) they are shared no-ops and the shadow scan is skipped
+entirely, so the hot lookup paths pay one branch.
+
 Every table has two lookup implementations with identical semantics:
 
 * :meth:`lookup` — the scalar reference path, one key at a time, written
@@ -26,6 +37,8 @@ import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro import obs
 
 __all__ = [
     "TableFullError",
@@ -129,6 +142,31 @@ class _BaseTable:
         self._next_id = 0
         #: lazily-built vectorised index; dropped on any entry mutation
         self._batch_cache: Optional[dict] = None
+        # Registry telemetry, captured once per table; no-ops when the
+        # current default registry is disabled (see module docstring).
+        registry = obs.registry()
+        self._obs_on = registry.enabled
+        labels = {"table": name}
+        self._obs_lookups = registry.counter(
+            "table_lookups_total", labels,
+            help="keys looked up in this match-action table",
+        )
+        self._obs_hits = registry.counter(
+            "table_hits_total", labels,
+            help="lookups that matched an installed entry",
+        )
+        self._obs_misses = registry.counter(
+            "table_misses_total", labels,
+            help="lookups that fell through to the default action",
+        )
+        self._obs_shadow = registry.counter(
+            "table_shadow_hits_total", labels,
+            help="hits whose winner shadowed >=1 other matching entry "
+            "(ternary/range kinds only)",
+        )
+        self._obs_entries = registry.gauge(
+            "table_entries", labels, help="installed entries in the table"
+        )
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -157,10 +195,14 @@ class _BaseTable:
         return key
 
     def _count(self, result: MatchResult, packet_size: int) -> None:
+        """Bump the direct counter for a scalar lookup outcome."""
         if result.hit and result.entry_id is not None:
             self.counters[result.entry_id].bump(packet_size)
         else:
             self.default_counter.bump(packet_size)
+        if self._obs_on:
+            self._obs_lookups.inc()
+            (self._obs_hits if result.hit else self._obs_misses).inc()
 
     def hit_count(self, entry_id: int) -> int:
         """Packets that hit ``entry_id`` so far."""
@@ -169,7 +211,14 @@ class _BaseTable:
     # -- vectorised path ---------------------------------------------------
 
     def _invalidate_batch(self) -> None:
+        """Drop the vectorised index (and refresh the occupancy gauge).
+
+        Called after every entry mutation, which makes it the single
+        choke point where ``table_entries`` can be kept current.
+        """
         self._batch_cache = None
+        if self._obs_on:
+            self._obs_entries.set(len(self))
 
     def _check_batch_keys(self, keys: np.ndarray) -> np.ndarray:
         """Validate and normalise an ``(n, key_width)`` key matrix."""
@@ -195,6 +244,12 @@ class _BaseTable:
 
     def _count_batch(self, result: BatchMatchResult, sizes: np.ndarray) -> None:
         """Aggregate-counter equivalent of per-key :meth:`_count` calls."""
+        if self._obs_on:
+            n = len(result.hit)
+            hits = int(result.hit.sum())
+            self._obs_lookups.inc(n)
+            self._obs_hits.inc(hits)
+            self._obs_misses.inc(n - hits)
         miss = ~result.hit
         if miss.any():
             self.default_counter.packets += int(miss.sum())
@@ -237,6 +292,7 @@ class ExactTable(_BaseTable):
         return len(self._entries)
 
     def add(self, key: Sequence[int], action: str) -> int:
+        """Install an exact-match entry; returns its entry id."""
         key = self._check_key(key)
         if key in self._entries:
             raise EntryExistsError(f"duplicate exact key {key}")
@@ -246,6 +302,7 @@ class ExactTable(_BaseTable):
         return entry_id
 
     def remove(self, entry_id: int) -> None:
+        """Delete an entry (and its counter) by id."""
         for key, (eid, __) in list(self._entries.items()):
             if eid == entry_id:
                 del self._entries[key]
@@ -255,6 +312,7 @@ class ExactTable(_BaseTable):
         raise KeyError(f"no entry {entry_id}")
 
     def lookup(self, key: Sequence[int], packet_size: int = 0) -> MatchResult:
+        """Exact hash lookup, bumping the matched/default direct counter."""
         key = self._check_key(key)
         found = self._entries.get(key)
         if found is None:
@@ -336,6 +394,7 @@ class TernaryTable(_BaseTable):
         *,
         priority: int = 0,
     ) -> int:
+        """Install a value/mask entry; higher ``priority`` wins overlaps."""
         value = self._check_key(value)
         mask = self._check_key(mask)
         entry_id = self._allocate_id()
@@ -350,6 +409,7 @@ class TernaryTable(_BaseTable):
         return entry_id
 
     def remove(self, entry_id: int) -> None:
+        """Delete an entry (and its counter) by id."""
         for index, record in enumerate(self._entries):
             if record.entry_id == entry_id:
                 del self._entries[index]
@@ -359,22 +419,36 @@ class TernaryTable(_BaseTable):
         raise KeyError(f"no entry {entry_id}")
 
     def clear(self) -> None:
+        """Remove every entry and counter at once (controller rollbacks)."""
         self._entries.clear()
         self.counters.clear()
         self._invalidate_batch()
 
+    @staticmethod
+    def _matches(key, record) -> bool:
+        """Scalar value/mask match of one key against one entry."""
+        return all(
+            (k & m) == (v & m)
+            for k, v, m in zip(key, record.value, record.mask)
+        )
+
     def lookup(self, key: Sequence[int], packet_size: int = 0) -> MatchResult:
+        """First match in priority order, bumping its direct counter."""
         key = self._check_key(key)
-        for record in self._entries:
-            if all(
-                (k & m) == (v & m)
-                for k, v, m in zip(key, record.value, record.mask)
-            ):
+        for index, record in enumerate(self._entries):
+            if self._matches(key, record):
                 result = MatchResult(
                     True, record.action, entry_id=record.entry_id,
                     priority=record.priority,
                 )
                 self._count(result, packet_size)
+                # The shadow scan looks past the winner, so it only runs
+                # with observability on; verdicts are unaffected.
+                if self._obs_on and any(
+                    self._matches(key, later)
+                    for later in self._entries[index + 1 :]
+                ):
+                    self._obs_shadow.inc()
                 return result
         result = MatchResult(False, self.default_action)
         self._count(result, packet_size)
@@ -419,6 +493,8 @@ class TernaryTable(_BaseTable):
             == index["masked_values"][None, :, :]
         ).all(axis=2)
         hit = matches.any(axis=1)
+        if self._obs_on:
+            self._obs_shadow.inc(int((matches.sum(axis=1) >= 2).sum()))
         winner = matches.argmax(axis=1)
         entry_id = np.where(hit, index["entry_ids"][winner], -1)
         action_code = np.where(hit, winner + 1, 0)
@@ -468,6 +544,7 @@ class RangeTable(_BaseTable):
         *,
         priority: int = 0,
     ) -> int:
+        """Install per-byte ``[lo, hi]`` ranges; ``priority`` breaks overlaps."""
         if len(ranges) != self.key_width:
             raise ValueError(
                 f"table {self.name!r}: {len(ranges)} ranges != width {self.key_width}"
@@ -496,15 +573,26 @@ class RangeTable(_BaseTable):
                 return
         raise KeyError(f"no entry {entry_id}")
 
+    @staticmethod
+    def _matches(key, record) -> bool:
+        """Scalar per-byte interval match of one key against one entry."""
+        return all(lo <= k <= hi for k, (lo, hi) in zip(key, record.ranges))
+
     def lookup(self, key: Sequence[int], packet_size: int = 0) -> MatchResult:
+        """First match in priority order, bumping its direct counter."""
         key = self._check_key(key)
-        for record in self._entries:
-            if all(lo <= k <= hi for k, (lo, hi) in zip(key, record.ranges)):
+        for index, record in enumerate(self._entries):
+            if self._matches(key, record):
                 result = MatchResult(
                     True, record.action, entry_id=record.entry_id,
                     priority=record.priority,
                 )
                 self._count(result, packet_size)
+                if self._obs_on and any(
+                    self._matches(key, later)
+                    for later in self._entries[index + 1 :]
+                ):
+                    self._obs_shadow.inc()
                 return result
         result = MatchResult(False, self.default_action)
         self._count(result, packet_size)
@@ -545,6 +633,8 @@ class RangeTable(_BaseTable):
             & (wide <= index["highs"][None, :, :])
         ).all(axis=2)
         hit = matches.any(axis=1)
+        if self._obs_on:
+            self._obs_shadow.inc(int((matches.sum(axis=1) >= 2).sum()))
         winner = matches.argmax(axis=1)
         entry_id = np.where(hit, index["entry_ids"][winner], -1)
         action_code = np.where(hit, winner + 1, 0)
@@ -571,6 +661,7 @@ class LpmTable(_BaseTable):
         return sum(len(v) for v in self._by_length.values())
 
     def add(self, key: Sequence[int], prefix_len: int, action: str) -> int:
+        """Install a ``key/prefix_len`` route; longest prefix wins lookups."""
         key = self._check_key(key)
         total_bits = 8 * self.key_width
         if not 0 <= prefix_len <= total_bits:
@@ -595,6 +686,7 @@ class LpmTable(_BaseTable):
         raise KeyError(f"no entry {entry_id}")
 
     def lookup(self, key: Sequence[int], packet_size: int = 0) -> MatchResult:
+        """Longest-prefix scalar lookup, bumping direct counters."""
         key = self._check_key(key)
         total_bits = 8 * self.key_width
         key_int = int.from_bytes(bytes(key), "big")

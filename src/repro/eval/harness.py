@@ -2,7 +2,14 @@
 
 Caches the standard dataset suite per parameterisation (trace generation
 and training are the expensive parts) and provides the comparison runners
-used by several experiments.
+used by several experiments: :func:`fit_two_stage` and
+:func:`compare_methods` for model-vs-baseline tables,
+:func:`cross_validate` for stability estimates, and
+:func:`replay_gateway` for turning a learned rule set into per-packet
+gateway verdicts.  ``replay_gateway`` is also the observability show-case:
+with :mod:`repro.obs` enabled it emits ``replay`` / ``replay/deploy`` /
+``replay/process`` spans plus the per-table and per-verdict counters the
+switch and tables record (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -172,13 +179,22 @@ def replay_gateway(
         ``(verdicts, controller)`` — the per-packet verdict list and the
         deployed controller (for stats / hit counters).
     """
+    from repro import obs
     from repro.dataplane import GatewayController
 
-    controller = GatewayController.for_ruleset(
-        rules, table_capacity=table_capacity
-    )
-    controller.deploy(rules)
-    verdicts = controller.switch.process_trace(packets, batch_size=batch_size)
+    registry = obs.registry()
+    with registry.span("replay"):
+        # The controller (and its switch/tables) is built inside the span
+        # so its instruments land in whatever registry is current.
+        with registry.span("deploy"):
+            controller = GatewayController.for_ruleset(
+                rules, table_capacity=table_capacity
+            )
+            controller.deploy(rules)
+        with registry.span("process"):
+            verdicts = controller.switch.process_trace(
+                packets, batch_size=batch_size
+            )
     return verdicts, controller
 
 

@@ -1,13 +1,22 @@
-"""Sequential model container and training loop."""
+"""Sequential model container and training loop.
+
+When observability is enabled (:mod:`repro.obs`), :meth:`Sequential.fit`
+exports per-epoch telemetry: ``nn_epoch_seconds`` (histogram),
+``nn_train_loss`` / ``nn_grad_norm`` (gauges, latest epoch) and
+``nn_epochs_total`` (counter).
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import math
+import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.nn.layers import Layer, Parameter
 from repro.nn.losses import Loss, SoftmaxCrossEntropy, softmax
 from repro.nn.optim import Adam, Optimizer
@@ -107,6 +116,23 @@ class Sequential:
         history = TrainHistory()
         best_val = np.inf
         bad_epochs = 0
+        registry = obs.registry()
+        obs_on = registry.enabled
+        if obs_on:
+            obs_epoch_seconds = registry.histogram(
+                "nn_epoch_seconds", unit="s",
+                help="wall-clock seconds per training epoch",
+            )
+            obs_train_loss = registry.gauge(
+                "nn_train_loss", help="mean training loss of the latest epoch"
+            )
+            obs_grad_norm = registry.gauge(
+                "nn_grad_norm",
+                help="global L2 gradient norm after the last minibatch",
+            )
+            obs_epochs = registry.counter(
+                "nn_epochs_total", help="training epochs completed"
+            )
         # Most layers have no regularization term; skip them in the hot loop.
         reg_layers = [
             layer
@@ -114,6 +140,7 @@ class Sequential:
             if type(layer).regularization is not Layer.regularization
         ]
         for epoch in range(epochs):
+            epoch_start = time.perf_counter() if obs_on else 0.0
             epoch_loss = 0.0
             batches = 0
             for xb, yb in iterate_minibatches(x, y, batch_size, rng):
@@ -127,6 +154,19 @@ class Sequential:
                 epoch_loss += batch_loss
                 batches += 1
             history.train_loss.append(epoch_loss / max(batches, 1))
+            if obs_on:
+                obs_epoch_seconds.observe(time.perf_counter() - epoch_start)
+                obs_train_loss.set(history.train_loss[-1])
+                obs_grad_norm.set(
+                    math.sqrt(
+                        sum(
+                            float(np.square(p.grad).sum())
+                            for p in self.params()
+                            if p.grad is not None
+                        )
+                    )
+                )
+                obs_epochs.inc()
             if validation is not None:
                 val_loss, val_acc = self.evaluate(validation[0], validation[1], loss)
                 history.val_loss.append(val_loss)

@@ -1,0 +1,77 @@
+"""Unified telemetry layer: counters, gauges, histograms, timing spans.
+
+The software analogue of what P4 gives a real data plane — per-table
+``direct_counter``s, registers, and ingress timestamps — packaged as a
+dependency-free metrics/tracing subsystem the whole repo reports
+through.  See ``docs/OBSERVABILITY.md`` for the instrument catalogue
+and usage guide.
+
+Quick start::
+
+    from repro import obs
+
+    reg = obs.registry()                     # process-wide default
+    obs.set_registry(obs.Registry(enabled=True))   # turn recording on
+
+    hits = reg.counter("table_hits_total", {"table": "fw"})
+    hits.inc()
+    with reg.span("replay"):
+        ...                                   # span_seconds{span="replay"}
+
+    print(obs.render_table(reg.snapshot()))
+
+Recording is **off by default** (set ``REPRO_OBS=1`` or install an
+enabled registry) and the disabled mode is near-free: instrumented code
+receives shared no-op instruments, so hot loops pay one empty method
+call.  ``repro stats`` and ``make bench`` enable it for you.
+"""
+
+from repro.obs.export import (
+    from_jsonl,
+    read_jsonl,
+    render_table,
+    to_jsonl,
+    to_prometheus,
+    write_jsonl,
+)
+from repro.obs.instruments import (
+    Counter,
+    Gauge,
+    Histogram,
+    NullInstrument,
+    Span,
+    Timer,
+    default_buckets,
+)
+from repro.obs.registry import (
+    ENV_VAR,
+    Registry,
+    enabled,
+    env_enabled,
+    registry,
+    set_registry,
+    use_registry,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "NullInstrument",
+    "Registry",
+    "Span",
+    "Timer",
+    "default_buckets",
+    "enabled",
+    "env_enabled",
+    "from_jsonl",
+    "read_jsonl",
+    "registry",
+    "render_table",
+    "set_registry",
+    "to_jsonl",
+    "to_prometheus",
+    "use_registry",
+    "write_jsonl",
+]

@@ -313,6 +313,44 @@ class TestEdgeCases:
         table.default_action = "quarantine"
         assert table.lookup_batch(keys).actions[0] == "quarantine"
 
+    def test_byte_counters_parity_across_paths(self):
+        """All byte counters (received/dropped/quarantined) match exactly.
+
+        Deterministic companion to the hypothesis stats equality above:
+        a trace engineered so every verdict class occurs with distinct,
+        non-zero byte totals, so a path that forgot to accumulate
+        ``bytes_dropped`` or ``bytes_quarantined`` cannot pass by luck.
+        """
+        def build():
+            switch = Switch(SwitchConfig(key_offsets=(0,)))
+            table = ExactTable("t", 1)
+            table.add((1,), "drop")
+            table.add((2,), "quarantine")
+            switch.add_table(table)
+            return switch
+
+        packets = (
+            [Packet(bytes([1]) * 10)] * 3       # dropped, 10 B each
+            + [Packet(bytes([2]) * 7)] * 5      # quarantined, 7 B each
+            + [Packet(bytes([3]) * 4)] * 2      # allowed, 4 B each
+        )
+        switch_scalar, switch_batch = build(), build()
+        for packet in packets:
+            switch_scalar.process(packet)
+        switch_batch.process_trace(packets, batch_size=4)
+
+        expected = {
+            "received": 10,
+            "dropped": 3,
+            "allowed": 2,
+            "quarantined": 5,
+            "bytes_received": 3 * 10 + 5 * 7 + 2 * 4,
+            "bytes_dropped": 30,
+            "bytes_quarantined": 35,
+        }
+        assert dataclasses.asdict(switch_scalar.stats) == expected
+        assert dataclasses.asdict(switch_batch.stats) == expected
+
     def test_truncated_packets_zero_fill_through_pipeline(self):
         """Keys past a short packet's end read 0 on both paths."""
         switch_scalar = Switch(SwitchConfig(key_offsets=(0, 50)))

@@ -13,7 +13,10 @@ import pytest
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH = REPO_ROOT / "tools" / "bench.py"
 
-RECORD_KEYS = {"commit", "date", "mode", "metrics"}
+#: Records written before the telemetry layer lack "obs"; the committed
+#: trajectory is append-only, so historical records stay valid as-is.
+BASE_RECORD_KEYS = {"commit", "date", "mode", "metrics"}
+RECORD_KEYS = BASE_RECORD_KEYS | {"obs"}
 METRIC_GROUPS = {"trace_synthesis", "detector_fit", "batch_switch"}
 
 
@@ -50,6 +53,19 @@ def test_bench_appends_schema_valid_records(tmp_path):
     assert record["metrics"]["batch_switch"]["speedup"] > 1.0
     assert record["metrics"]["detector_fit"]["seconds"] > 0
 
+    # Telemetry snapshot rides along: per-phase bench spans + counters.
+    obs_metrics = record["obs"]["metrics"]
+    assert isinstance(obs_metrics, list) and obs_metrics
+    span_labels = {
+        m["labels"].get("span")
+        for m in obs_metrics
+        if m["name"] == "span_seconds"
+    }
+    assert {f"bench.{group}" for group in METRIC_GROUPS} <= span_labels
+    names = {m["name"] for m in obs_metrics}
+    assert "switch_packets_total" in names
+    assert "table_lookups_total" in names
+
     # Second run appends; the first record is preserved verbatim.
     assert run_bench(output).returncode == 0
     history2 = json.loads(output.read_text())
@@ -65,5 +81,5 @@ def test_repo_trajectory_file_is_schema_valid():
     history = json.loads(path.read_text())
     assert isinstance(history, list) and history
     for record in history:
-        assert RECORD_KEYS <= set(record)
+        assert BASE_RECORD_KEYS <= set(record)
         assert METRIC_GROUPS <= set(record["metrics"])

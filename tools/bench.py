@@ -6,7 +6,14 @@ training, and the batch switch data path — and *appends* one record to
 ``BENCH_perf.json`` so the numbers form a trajectory across commits
 rather than a single snapshot:
 
-    [{"commit": "abc1234", "date": "...", "mode": "full", "metrics": {...}}, ...]
+    [{"commit": "abc1234", "date": "...", "mode": "full", "metrics": {...},
+      "obs": {"metrics": [...]}}, ...]
+
+Each run executes under an enabled :mod:`repro.obs` registry, so the
+record also carries the full telemetry snapshot — per-phase
+``span_seconds{span="bench.<name>"}`` timings plus every per-table and
+per-verdict counter the instrumented code recorded (see
+docs/OBSERVABILITY.md).
 
 Usage::
 
@@ -33,6 +40,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 import numpy as np  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.core.pipeline import DetectorConfig, TwoStageDetector  # noqa: E402
 from repro.dataplane import Switch, SwitchConfig, TernaryTable  # noqa: E402
 from repro.datasets import TraceConfig, generate_trace, make_dataset  # noqa: E402
@@ -147,17 +155,24 @@ def run(quick: bool) -> dict:
         "mode": "quick" if quick else "full",
         "metrics": {},
     }
-    for name, fn in [
-        ("trace_synthesis", bench_trace_synthesis),
-        ("detector_fit", bench_detector_fit),
-        ("batch_switch", bench_batch_switch),
-    ]:
-        print(f"[bench] {name} ...", flush=True)
-        start = time.perf_counter()
-        record["metrics"][name] = fn(quick)
-        elapsed = time.perf_counter() - start
-        print(f"[bench] {name}: {json.dumps(record['metrics'][name])} "
-              f"({elapsed:.1f}s)", flush=True)
+    # Run under an enabled registry so each phase gets a bench.<name>
+    # span and the detector/switch instruments record; the full snapshot
+    # rides along in the perf record for post-hoc analysis.
+    registry = obs.Registry(enabled=True)
+    with obs.use_registry(registry):
+        for name, fn in [
+            ("trace_synthesis", bench_trace_synthesis),
+            ("detector_fit", bench_detector_fit),
+            ("batch_switch", bench_batch_switch),
+        ]:
+            print(f"[bench] {name} ...", flush=True)
+            start = time.perf_counter()
+            with registry.span(f"bench.{name}"):
+                record["metrics"][name] = fn(quick)
+            elapsed = time.perf_counter() - start
+            print(f"[bench] {name}: {json.dumps(record['metrics'][name])} "
+                  f"({elapsed:.1f}s)", flush=True)
+    record["obs"] = registry.snapshot()
     return record
 
 

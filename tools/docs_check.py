@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Markdown link linter for the repo's documentation.
+
+Checks every intra-repo link in the Markdown corpus (top-level ``*.md``
+plus ``docs/*.md``) and fails on:
+
+* **dead file links** — ``[text](docs/FOO.md)`` where the target file
+  does not exist (resolved relative to the linking file, like a
+  renderer would);
+* **dead anchors** — ``[text](#section)`` or ``[text](FILE.md#section)``
+  where no heading in the target file slugifies to ``section``
+  (GitHub-style slugification: lowercase, spaces → ``-``, punctuation
+  stripped, duplicate slugs suffixed ``-1``, ``-2``, ...).
+
+External links (``http(s)://``, ``mailto:``) are deliberately not
+fetched — this repo is developed offline — and bare inline-code
+mentions of paths are not treated as links.  Links inside fenced code
+blocks are ignored.
+
+Usage::
+
+    python tools/docs_check.py        # exit 0 = clean, 1 = dead links
+    make docs-check                   # the same, as a build target
+
+``tests/test_docs_links.py`` runs this in tier-1, so a broken link
+fails the normal test suite too.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The documentation corpus: where links are *checked from*.  Any file
+#: in the repo can be a link *target*.
+DOC_GLOBS = ("*.md", "docs/*.md")
+
+#: ``[text](target)`` inline links; images share the syntax via ``![``.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+#: ATX headings (``# ...`` .. ``###### ...``).
+_HEADING_RE = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files() -> List[Path]:
+    files: List[Path] = []
+    for pattern in DOC_GLOBS:
+        files.extend(sorted(REPO_ROOT.glob(pattern)))
+    return files
+
+
+def strip_code_blocks(text: str) -> str:
+    """Blank out fenced code blocks, preserving line numbers."""
+    out: List[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        stripped = line.lstrip()
+        if stripped.startswith("```") or stripped.startswith("~~~"):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading (approximation, ASCII-focused)."""
+    # Inline code/emphasis markers render to text before slugification.
+    text = re.sub(r"[`*_]", "", heading)
+    # Markdown links in headings keep only their text.
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path, cache: Dict[Path, set]) -> set:
+    if path not in cache:
+        slugs: Dict[str, int] = {}
+        result = set()
+        text = strip_code_blocks(path.read_text(encoding="utf-8"))
+        for line in text.splitlines():
+            match = _HEADING_RE.match(line)
+            if not match:
+                continue
+            slug = github_slug(match.group(2))
+            n = slugs.get(slug, 0)
+            slugs[slug] = n + 1
+            result.add(slug if n == 0 else f"{slug}-{n}")
+        cache[path] = result
+    return cache[path]
+
+
+def check_file(path: Path, cache: Dict[Path, set]) -> List[Tuple[int, str, str]]:
+    """Return (line, link, problem) triples for every dead link in *path*."""
+    problems: List[Tuple[int, str, str]] = []
+    text = strip_code_blocks(path.read_text(encoding="utf-8"))
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            file_part, _, anchor = target.partition("#")
+            if file_part:
+                resolved = (path.parent / file_part).resolve()
+                if not resolved.exists():
+                    problems.append((lineno, target, "file not found"))
+                    continue
+                if not str(resolved).startswith(str(REPO_ROOT)):
+                    problems.append((lineno, target, "points outside the repo"))
+                    continue
+            else:
+                resolved = path
+            if anchor:
+                if resolved.suffix.lower() != ".md":
+                    continue  # anchors into non-Markdown targets: skip
+                if anchor.lower() not in anchors_of(resolved, cache):
+                    problems.append((lineno, target, "anchor not found"))
+    return problems
+
+
+def main(argv: List[str] | None = None) -> int:
+    cache: Dict[Path, set] = {}
+    total = 0
+    checked = 0
+    for path in doc_files():
+        checked += 1
+        for lineno, target, problem in check_file(path, cache):
+            rel = path.relative_to(REPO_ROOT)
+            print(f"{rel}:{lineno}: dead link ({problem}): {target}")
+            total += 1
+    if total:
+        print(f"docs-check: {total} dead link(s) across {checked} file(s)")
+        return 1
+    print(f"docs-check: OK ({checked} files, no dead links)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
