@@ -1,0 +1,117 @@
+"""E17 (extension) — the streaming gateway under offered-load sweep.
+
+The serving story for the learned firewall: packets arrive as a stream,
+an adaptive batcher feeds the switch's vectorised path, bounded per-shard
+queues apply backpressure.  We sweep the offered load across a fixed
+service capacity and report throughput, stream-time latency percentiles
+and the shed fraction — the classic load/latency/loss triptych.  Below
+saturation the gateway holds latency near the batcher deadline with no
+loss; past saturation it sheds the excess with exact drop accounting
+instead of collapsing.
+
+Acceptance (also asserted in tests/test_serve.py): the unconstrained
+soak sustains ≥ 80% of the offline ``process_batch`` replay throughput at
+batch 1024, and the batcher wait stays under the configured deadline.
+Timed section: the full soak at the acceptance configuration.
+"""
+
+import time
+
+from repro.eval.harness import replay_gateway, synthetic_firewall_ruleset
+from repro.eval.report import format_table
+from repro.serve import ServeConfig, StreamingGateway, retime
+
+#: Per-shard service capacity for the sweep (pkts/s of stream time).
+SERVICE_RATE = 25_000.0
+#: Offered loads as multiples of the service capacity.
+LOAD_FACTORS = [0.5, 0.9, 1.2, 2.0, 4.0]
+MAX_LATENCY = 0.005
+N_PACKETS = 30_000
+
+
+def _stream_packets(dataset):
+    packets = sorted(dataset.test_packets, key=lambda p: p.timestamp)
+    return (packets * (N_PACKETS // len(packets) + 1))[:N_PACKETS]
+
+
+def test_e17_serve_load_sweep(benchmark, inet):
+    packets = _stream_packets(inet)
+    rules = synthetic_firewall_ruleset()
+
+    # Offline baseline: one-shot batch replay at the soak batch size.
+    replay_gateway(rules, packets[:2048], batch_size=1024)  # warm
+    start = time.perf_counter()
+    replay_gateway(rules, packets, batch_size=1024)
+    offline_pps = len(packets) / (time.perf_counter() - start)
+
+    rows = []
+    outcomes = {}
+    for factor in LOAD_FACTORS:
+        offered_rate = factor * SERVICE_RATE
+        stream = list(retime(packets, rate=offered_rate, seed=int(10 * factor)))
+        gateway = StreamingGateway(
+            rules,
+            ServeConfig(
+                max_batch=1024,
+                max_latency=MAX_LATENCY,
+                queue_capacity=4096,
+                service_rate=SERVICE_RATE,
+                record_verdicts=False,
+            ),
+        )
+        result = gateway.run(stream)
+        assert result.offered == result.processed + result.shed == len(stream)
+        outcomes[factor] = result
+        rows.append(
+            {
+                "load": f"{factor:.1f}x",
+                "offered_pps": round(result.offered_rate),
+                "latency_p50_ms": round(1e3 * result.latency_p50, 3),
+                "latency_p99_ms": round(1e3 * result.latency_p99, 3),
+                "shed_fraction": round(result.shed_fraction, 4),
+            }
+        )
+
+    # Unconstrained soak: the wall-clock throughput number vs. offline.
+    soak_stream = list(retime(packets, rate=500_000.0, seed=1))
+    soak_gateway = StreamingGateway(
+        rules,
+        ServeConfig(
+            max_batch=1024, max_latency=MAX_LATENCY, record_verdicts=False
+        ),
+    )
+    soak_gateway.run(soak_stream)  # warm
+    soak = soak_gateway.run(soak_stream)
+    rows.append(
+        {
+            "load": "soak",
+            "offered_pps": round(soak.offered_rate),
+            "latency_p50_ms": round(1e3 * soak.latency_p50, 3),
+            "latency_p99_ms": round(1e3 * soak.latency_p99, 3),
+            "shed_fraction": round(soak.shed_fraction, 4),
+        }
+    )
+    print()
+    print(format_table(rows, title="E17: streaming gateway vs offered load"))
+    print(
+        f"  soak {soak.pkts_per_sec:,.0f} pkts/s wall "
+        f"vs offline replay {offline_pps:,.0f} pkts/s "
+        f"({soak.pkts_per_sec / offline_pps:.2f}x)"
+    )
+
+    # Shape: no loss below saturation; monotone shedding above it, and the
+    # overloaded latency stays bounded by queue + deadline (no collapse).
+    assert outcomes[0.5].shed == 0 and outcomes[0.9].shed == 0
+    assert outcomes[2.0].shed_fraction > 0.2
+    assert outcomes[4.0].shed_fraction > outcomes[2.0].shed_fraction
+    assert outcomes[0.9].latency_p99 >= outcomes[0.5].latency_p99
+    bound = 4096 / SERVICE_RATE + MAX_LATENCY + 0.1
+    assert outcomes[4.0].latency_p99 <= bound
+    # Acceptance: streaming overhead under 20% of the offline replay.
+    assert soak.pkts_per_sec >= 0.8 * offline_pps
+    assert soak.batcher_wait_p99 <= MAX_LATENCY + 1e-9
+
+    def run():
+        return soak_gateway.run(soak_stream)
+
+    benchmark(run)

@@ -9,6 +9,7 @@ Installed as the ``repro`` console script::
     repro simulate rules.json --pcap capture.pcap
     repro eval rules.json --pcap capture.pcap --labels labels.csv
     repro stats rules.json --synthetic inet --format table
+    repro serve rules.json --synthetic inet --rate 50000 --shards 4
 
 Label files are CSV with one ``index,category`` row per packet (category
 ``benign`` or any attack name); packets not listed default to benign.
@@ -204,8 +205,12 @@ def cmd_p4(args) -> int:
     return 0
 
 
-def _controller_for(rules) -> GatewayController:
-    capacity = max(4096, rules.resource_report()["ternary_entries"])
+def _controller_for(
+    rules, table_capacity: Optional[int] = None
+) -> GatewayController:
+    capacity = table_capacity or max(
+        4096, rules.resource_report()["ternary_entries"]
+    )
     return GatewayController.for_ruleset(rules, table_capacity=capacity)
 
 
@@ -214,7 +219,7 @@ def cmd_simulate(args) -> int:
         raise SystemExit("--batch-size must be >= 1")
     rules = load_ruleset(args.rules)
     packets, __ = _load_packets(args)
-    controller = _controller_for(rules)
+    controller = _controller_for(rules, args.table_capacity)
     controller.deploy(rules)
     controller.switch.process_trace(packets, batch_size=args.batch_size)
     stats = controller.switch.stats
@@ -249,7 +254,12 @@ def cmd_stats(args) -> int:
         packets, __ = _load_packets(args)
         registry = obs.Registry(enabled=True)
         with obs.use_registry(registry):
-            replay_gateway(rules, packets, batch_size=args.batch_size)
+            replay_gateway(
+                rules,
+                packets,
+                batch_size=args.batch_size,
+                table_capacity=args.table_capacity,
+            )
         snapshot = registry.snapshot()
     if args.save:
         obs.write_jsonl(snapshot, args.save)
@@ -264,17 +274,89 @@ def cmd_stats(args) -> int:
 
 
 def cmd_eval(args) -> int:
+    if args.batch_size is not None and args.batch_size < 1:
+        raise SystemExit("--batch-size must be >= 1")
     rules = load_ruleset(args.rules)
     packets, labels = _load_packets(args)
     if labels is None:
         raise SystemExit("evaluation requires --labels with --pcap")
-    controller = _controller_for(rules)
+    controller = _controller_for(rules, args.table_capacity)
     controller.deploy(rules)
-    verdicts = controller.switch.process_trace(packets)
+    verdicts = controller.switch.process_trace(packets, batch_size=args.batch_size)
     predictions = np.array([1 if v.dropped else 0 for v in verdicts])
     metrics = binary_metrics(labels, predictions)
     for key, value in metrics.row().items():
         print(f"{key:>10}: {value}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run a timed streaming soak and render the telemetry snapshot.
+
+    The serving counterpart of ``repro stats``: deploy the rule set on a
+    sharded :class:`~repro.serve.gateway.StreamingGateway`, feed it a
+    packet stream (seeded synthetic traffic at a configurable offered
+    load, or a streaming pcap), and report throughput, latency
+    percentiles, shed accounting and the full observability snapshot.
+    """
+    from repro import obs
+    from repro.serve import (
+        PcapSource,
+        ServeConfig,
+        StreamingGateway,
+        SyntheticSource,
+    )
+
+    rules = load_ruleset(args.rules)
+    if args.pcap:
+        source = PcapSource(
+            args.pcap,
+            rate=args.rate,
+            loop=args.loop,
+            burstiness=args.burstiness,
+            seed=args.seed,
+        )
+    else:
+        source = SyntheticSource(
+            rate=args.rate or 50_000.0,
+            n_packets=args.packets,
+            stack=args.synthetic or "inet",
+            burstiness=args.burstiness,
+            seed=args.seed,
+        )
+    config = ServeConfig(
+        n_shards=args.shards,
+        max_batch=args.max_batch,
+        max_latency=args.max_latency_ms / 1000.0,
+        queue_capacity=args.queue_capacity,
+        policy=args.policy,
+        service_rate=args.service_rate,
+        table_capacity=args.table_capacity,
+        hash_mode=args.hash_mode,
+        record_verdicts=False,
+    )
+    registry = obs.Registry(enabled=True)
+    with obs.use_registry(registry):
+        gateway = StreamingGateway(rules, config)
+        result = gateway.run(source)
+    print(result.summary())
+    for row in result.per_shard:
+        print(
+            f"  shard {row['shard']}: {row['processed']} processed, "
+            f"{row['shed']} shed, queue high-watermark "
+            f"{row['queue_high_watermark']}, verdicts {row['verdicts']}"
+        )
+    snapshot = registry.snapshot()
+    if args.save:
+        obs.write_jsonl(snapshot, args.save)
+        print(f"wrote {args.save}", file=sys.stderr)
+    if args.format == "jsonl":
+        sys.stdout.write(obs.to_jsonl(snapshot))
+    elif args.format == "prometheus":
+        sys.stdout.write(obs.to_prometheus(snapshot))
+    elif args.format == "table":
+        print()
+        print(obs.render_table(snapshot))
     return 0
 
 
@@ -368,6 +450,15 @@ def build_parser() -> argparse.ArgumentParser:
     p4.add_argument("--table-size", type=int, default=4096)
     p4.set_defaults(func=cmd_p4)
 
+    def add_table_capacity(p, default=None):
+        p.add_argument(
+            "--table-capacity",
+            type=int,
+            default=default,
+            help="firewall table capacity in ternary entries "
+            "(default: fit the rule set, at least 4096)",
+        )
+
     simulate = sub.add_parser("simulate", help="replay traffic through the switch")
     simulate.add_argument("rules", help="rules JSON")
     add_input(simulate)
@@ -378,12 +469,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay through the vectorized batch path in chunks of this "
         "size (default: scalar reference path)",
     )
+    add_table_capacity(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     evaluate = sub.add_parser("eval", help="score a rule set on labelled traffic")
     evaluate.add_argument("rules", help="rules JSON")
     add_input(evaluate)
+    evaluate.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="evaluate through the vectorized batch path in chunks of "
+        "this size (default: scalar reference path)",
+    )
+    add_table_capacity(evaluate)
     evaluate.set_defaults(func=cmd_eval)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run a timed streaming soak through the sharded gateway",
+    )
+    serve.add_argument("rules", help="rules JSON")
+    add_input(serve)
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="offered load in pkts/s (synthetic default 50000; a pcap "
+        "keeps its capture clock unless set)",
+    )
+    serve.add_argument(
+        "--packets",
+        type=int,
+        default=50_000,
+        help="synthetic stream length (default 50000)",
+    )
+    serve.add_argument(
+        "--burstiness",
+        type=float,
+        default=1.0,
+        help="arrival burst factor; 1.0 = Poisson (default)",
+    )
+    serve.add_argument(
+        "--loop",
+        type=int,
+        default=1,
+        help="read the pcap this many times (requires --rate)",
+    )
+    serve.add_argument(
+        "--shards", type=int, default=1, help="switch workers (default 1)"
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=1024,
+        help="adaptive batcher size trigger (default 1024)",
+    )
+    serve.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=5.0,
+        help="batcher deadline in milliseconds of stream time (default 5)",
+    )
+    serve.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=8192,
+        help="per-shard bounded queue capacity in packets (default 8192)",
+    )
+    serve.add_argument(
+        "--policy",
+        choices=["fail-open", "fail-closed"],
+        default="fail-closed",
+        help="what happens to shed packets (default fail-closed)",
+    )
+    serve.add_argument(
+        "--service-rate",
+        type=float,
+        default=None,
+        help="per-shard service capacity in pkts/s of stream time "
+        "(default: unconstrained — pure-throughput soak)",
+    )
+    serve.add_argument(
+        "--hash-mode",
+        choices=["bytes", "flow"],
+        default="bytes",
+        help="flow-to-shard hash (default: byte-region CRC)",
+    )
+    add_table_capacity(serve, default=4096)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--save", help="also write the telemetry snapshot to this JSONL file"
+    )
+    serve.add_argument(
+        "--format",
+        choices=["summary", "table", "jsonl", "prometheus"],
+        default="summary",
+        help="telemetry output beyond the soak summary (default: none)",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     stats = sub.add_parser(
         "stats",
@@ -397,6 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1024,
         help="vectorized replay chunk size (default 1024)",
     )
+    add_table_capacity(stats, default=4096)
     stats.add_argument(
         "--snapshot",
         help="render a previously saved JSONL snapshot instead of replaying",

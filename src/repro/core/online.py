@@ -123,6 +123,7 @@ class OnlineGateway:
         self._x: Deque[np.ndarray] = collections.deque(maxlen=window)
         self._y: Deque[int] = collections.deque(maxlen=window)
         self._pending: List[np.ndarray] = []
+        self._extractor = None  # lazy FeatureExtractor for observe_packets
         self.history: List[RetrainEvent] = []
 
     # -- lifecycle -----------------------------------------------------------
@@ -202,6 +203,30 @@ class OnlineGateway:
         if score > self.monitor.threshold:
             return self._retrain(reason="drift", drift_score=score)
         return None
+
+    def observe_packets(self, packets: Sequence) -> Optional[RetrainEvent]:
+        """Feed a raw packet batch using its ground-truth labels.
+
+        The streaming entry point (see
+        :class:`repro.serve.hooks.DriftRetrainHook`): features are
+        extracted from the packet bytes and the labels come from the
+        packets' annotations — the stand-in for the out-of-band feedback
+        feed a live deployment would have.  Returns the retrain event if
+        drift triggered one, else None.
+        """
+        if not len(packets):
+            return None
+        if self._extractor is None:
+            from repro.datasets.features import FeatureExtractor
+
+            self._extractor = FeatureExtractor(n_bytes=self.config.n_bytes)
+        x = self._extractor.transform(packets)
+        y = np.fromiter(
+            (1 if p.label.is_attack else 0 for p in packets),
+            dtype=np.int64,
+            count=len(packets),
+        )
+        return self.observe(x, y)
 
     def force_retrain(self) -> RetrainEvent:
         """Operator-initiated retraining on the current window."""

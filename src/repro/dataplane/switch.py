@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -128,6 +128,24 @@ class SwitchStats:
     @property
     def drop_rate(self) -> float:
         return self.dropped / self.received if self.received else 0.0
+
+    def add(self, other: "SwitchStats") -> "SwitchStats":
+        """Accumulate another stats block into this one (returns self)."""
+        for field in dataclasses.fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
+        return self
+
+    @classmethod
+    def aggregate(cls, stats: "Iterable[SwitchStats]") -> "SwitchStats":
+        """Sum of many stats blocks — e.g. across sharded switches."""
+        total = cls()
+        for block in stats:
+            total.add(block)
+        return total
 
 
 class Switch:

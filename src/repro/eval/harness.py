@@ -39,6 +39,7 @@ __all__ = [
     "compare_methods",
     "cross_validate",
     "replay_gateway",
+    "synthetic_firewall_ruleset",
     "MethodResult",
 ]
 
@@ -196,6 +197,36 @@ def replay_gateway(
                 packets, batch_size=batch_size
             )
     return verdicts, controller
+
+
+def synthetic_firewall_ruleset(
+    offsets: Tuple[int, ...] = (19, 34, 37, 48, 49, 63),
+    *,
+    n_rules: int = 32,
+    fields_per_rule: int = 2,
+    seed: int = 0,
+    default_action: str = "allow",
+):
+    """A deterministic random drop-rule set for load/soak experiments.
+
+    The serve soak and bench phases need a rule set with realistic
+    ternary expansion but *without* paying for detector training; this
+    builds one reproducibly: ``n_rules`` drop rules, each constraining
+    ``fields_per_rule`` of the given offsets to a random narrow range.
+    """
+    from repro.core.rules import ACTION_DROP, MatchField, Rule, RuleSet
+
+    rng = np.random.default_rng(seed)
+    rules = RuleSet(offsets, default_action=default_action)
+    for priority in range(n_rules):
+        chosen = rng.choice(len(offsets), size=fields_per_rule, replace=False)
+        fields = []
+        for position in sorted(int(c) for c in chosen):
+            lo = int(rng.integers(0, 200))
+            hi = min(255, lo + int(rng.integers(0, 56)))
+            fields.append(MatchField(offsets[position], lo, hi))
+        rules.add(Rule(tuple(fields), ACTION_DROP, priority=priority))
+    return rules
 
 
 def compare_methods(

@@ -67,34 +67,53 @@ def _read_exact(handle: BinaryIO, size: int) -> bytes:
     return data
 
 
-def iter_pcap(path: Union[str, Path]) -> Iterator[Packet]:
-    """Stream packets from a pcap file (labels are not stored in pcap)."""
-    with open(path, "rb") as handle:
-        magic_raw = handle.read(4)
-        if len(magic_raw) != 4:
-            raise PcapError("file too short for pcap global header")
-        for endian in ("<", ">"):
-            magic = struct.unpack(endian + "I", magic_raw)[0]
-            if magic in (MAGIC_MICROS, MAGIC_NANOS):
-                break
-        else:
-            raise PcapError(f"bad pcap magic {magic_raw!r}")
-        nanos = magic == MAGIC_NANOS
-        header = struct.Struct(endian + "HHiIII")
-        record = struct.Struct(endian + "IIII")
-        header.unpack(_read_exact(handle, header.size))  # version/zone/snaplen/linktype
-        divisor = 1e9 if nanos else 1e6
-        while True:
-            raw = handle.read(record.size)
-            if not raw:
-                return
-            if len(raw) != record.size:
-                raise PcapError("truncated pcap record header")
-            seconds, fraction, captured_len, __ = record.unpack(raw)
-            data = _read_exact(handle, captured_len)
-            yield Packet(data=data, timestamp=seconds + fraction / divisor)
+def _iter_stream(handle: BinaryIO) -> Iterator[Packet]:
+    """Stream packets off an open binary pcap stream, one record at a time."""
+    magic_raw = handle.read(4)
+    if len(magic_raw) != 4:
+        raise PcapError("file too short for pcap global header")
+    for endian in ("<", ">"):
+        magic = struct.unpack(endian + "I", magic_raw)[0]
+        if magic in (MAGIC_MICROS, MAGIC_NANOS):
+            break
+    else:
+        raise PcapError(f"bad pcap magic {magic_raw!r}")
+    nanos = magic == MAGIC_NANOS
+    header = struct.Struct(endian + "HHiIII")
+    record = struct.Struct(endian + "IIII")
+    header.unpack(_read_exact(handle, header.size))  # version/zone/snaplen/linktype
+    divisor = 1e9 if nanos else 1e6
+    while True:
+        raw = handle.read(record.size)
+        if not raw:
+            return
+        if len(raw) != record.size:
+            raise PcapError("truncated pcap record header")
+        seconds, fraction, captured_len, __ = record.unpack(raw)
+        data = _read_exact(handle, captured_len)
+        yield Packet(data=data, timestamp=seconds + fraction / divisor)
 
 
-def read_pcap(path: Union[str, Path]) -> List[Packet]:
-    """Read an entire pcap file into a list."""
-    return list(iter_pcap(path))
+def iter_pcap(source: Union[str, Path, BinaryIO]) -> Iterator[Packet]:
+    """Stream packets from a pcap file or open binary stream.
+
+    Never materialises the capture: exactly one record is resident at a
+    time, so arbitrarily large files (and non-seekable streams such as
+    pipes — pass the open handle) can feed the serving layer in bounded
+    memory.  A path argument is opened and closed by the iterator; an
+    already-open handle is left open for the caller.  Labels are not
+    stored in pcap.
+    """
+    if hasattr(source, "read"):
+        return _iter_stream(source)
+
+    def _from_path() -> Iterator[Packet]:
+        with open(source, "rb") as handle:
+            yield from _iter_stream(handle)
+
+    return _from_path()
+
+
+def read_pcap(source: Union[str, Path, BinaryIO]) -> List[Packet]:
+    """Read an entire pcap file into a list (see :func:`iter_pcap`)."""
+    return list(iter_pcap(source))

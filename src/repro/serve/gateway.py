@@ -1,0 +1,464 @@
+"""The streaming gateway event loop: sources → batcher → shards → verdicts.
+
+:class:`StreamingGateway` turns the offline pipeline into a long-lived,
+load-tolerant server.  The loop is a discrete-event simulation in
+*stream time* (packet timestamps are the arrival clock) wrapped around
+*real* classification work: every serviced batch goes through the same
+vectorised :meth:`~repro.dataplane.switch.Switch.process_batch` path
+the offline harness uses, so soak throughput is a wall-clock number
+directly comparable to ``replay_gateway`` — while queueing, deadlines,
+backpressure and shedding are exact, deterministic functions of the
+offered arrival process (no sleeping, no flaky timers).
+
+Per packet: hash to a shard (consistent flow hash — stateful tables stay
+per-flow correct), append to that shard's adaptive batcher; on a size or
+deadline trigger the batch moves to the shard's bounded queue, and the
+shard worker services queued batches at its configured ``service_rate``
+(``None`` = unconstrained, the pure-throughput soak mode).  When a
+queue is full the overflow is *shed* with explicit accounting — counted,
+given a policy verdict (``fail-open`` ⇒ allowed uninspected,
+``fail-closed`` ⇒ dropped), never silently lost.  A retrain hook runs
+between batches and may atomically swap the rule set on every shard.
+
+See docs/ARCHITECTURE.md (Serving) for the design discussion and
+docs/OBSERVABILITY.md for the instrument catalogue.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import time
+from typing import Callable, Dict, Iterable, List, Optional
+
+import numpy as np
+
+from repro import obs
+from repro.core.rules import RuleSet
+from repro.dataplane.switch import SwitchStats, Verdict
+from repro.net.packet import Packet
+from repro.serve.batcher import Batch
+from repro.serve.shard import Shard, ShardSet, flow_shard
+
+__all__ = [
+    "FAIL_CLOSED",
+    "FAIL_OPEN",
+    "ServeConfig",
+    "SoakResult",
+    "StreamingGateway",
+]
+
+#: Load-shedding policies: what happens to packets the queues cannot hold.
+FAIL_OPEN = "fail-open"      # shed traffic passes uninspected (availability)
+FAIL_CLOSED = "fail-closed"  # shed traffic is dropped (security)
+
+#: Retrain hook signature: (batch packets, their verdicts) → optional new
+#: rule set to install atomically across all shards.
+RetrainHook = Callable[[List[Packet], List[Verdict]], Optional[RuleSet]]
+
+
+@dataclasses.dataclass
+class ServeConfig:
+    """Static serving policy.
+
+    Attributes:
+        n_shards: switch workers behind the flow hash.
+        max_batch: adaptive batcher size trigger (also the largest
+            batch handed to ``process_batch``).
+        max_latency: batcher deadline trigger, seconds of stream time —
+            the bound the p99 batcher-wait assertion holds against.
+        queue_capacity: per-shard bounded queue capacity in packets;
+            must be at least ``max_batch`` so a full batch can ever be
+            admitted.
+        policy: :data:`FAIL_OPEN` or :data:`FAIL_CLOSED`.
+        service_rate: per-shard service capacity in pkts/s of stream
+            time; ``None`` models an unconstrained worker (queues never
+            build, nothing sheds — the pure-throughput soak mode).
+        table_capacity: per-shard firewall table capacity.
+        hash_mode: ``"bytes"`` or ``"flow"`` (see
+            :func:`repro.serve.shard.flow_shard`).
+        record_verdicts: keep the per-packet verdict list in arrival
+            order (tests / differential comparison); turn off for long
+            soaks to bound memory.
+    """
+
+    n_shards: int = 1
+    max_batch: int = 1024
+    max_latency: float = 0.005
+    queue_capacity: int = 8192
+    policy: str = FAIL_CLOSED
+    service_rate: Optional[float] = None
+    table_capacity: int = 4096
+    hash_mode: str = "bytes"
+    record_verdicts: bool = True
+
+    def __post_init__(self) -> None:
+        if self.policy not in (FAIL_OPEN, FAIL_CLOSED):
+            raise ValueError(f"unknown shed policy {self.policy!r}")
+        if self.queue_capacity < self.max_batch:
+            raise ValueError(
+                "queue_capacity must be >= max_batch "
+                f"({self.queue_capacity} < {self.max_batch})"
+            )
+        if self.service_rate is not None and self.service_rate <= 0:
+            raise ValueError("service_rate must be positive (or None)")
+
+
+@dataclasses.dataclass
+class SoakResult:
+    """Outcome of one streaming run.
+
+    Throughput numbers are wall-clock (real work); latency numbers are
+    stream time (deterministic functions of the arrival process).
+    """
+
+    offered: int
+    processed: int
+    shed: int
+    wall_seconds: float
+    process_seconds: float
+    duration: float                      # stream-time span of the run
+    batches: int
+    flush_reasons: Dict[str, int]
+    latency_p50: float
+    latency_p99: float
+    latency_mean: float
+    batcher_wait_p99: float
+    rule_swaps: int
+    stats: SwitchStats                   # aggregated across shards
+    per_shard: List[Dict[str, object]]
+    verdicts: Optional[List[Verdict]] = None
+
+    @property
+    def pkts_per_sec(self) -> float:
+        """End-to-end soak throughput (whole run wall-clock)."""
+        return self.processed / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def service_pkts_per_sec(self) -> float:
+        """Throughput of the classification work alone."""
+        return (
+            self.processed / self.process_seconds if self.process_seconds else 0.0
+        )
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def offered_rate(self) -> float:
+        """Offered load in pkts/s of stream time."""
+        return self.offered / self.duration if self.duration else 0.0
+
+    def summary(self) -> str:
+        lines = [
+            f"offered   {self.offered} pkts "
+            f"({self.offered_rate:,.0f} pkts/s stream time, "
+            f"{self.duration:.2f}s)",
+            f"processed {self.processed} pkts in {self.wall_seconds:.3f}s wall "
+            f"({self.pkts_per_sec:,.0f} pkts/s; classification only "
+            f"{self.service_pkts_per_sec:,.0f} pkts/s)",
+            f"shed      {self.shed} pkts ({100 * self.shed_fraction:.2f}%)",
+            f"verdicts  {self.stats.allowed} allowed / {self.stats.dropped} "
+            f"dropped / {self.stats.quarantined} quarantined",
+            f"batches   {self.batches} "
+            f"(triggers: {dict(sorted(self.flush_reasons.items()))})",
+            f"latency   p50 {1e3 * self.latency_p50:.3f}ms  "
+            f"p99 {1e3 * self.latency_p99:.3f}ms  "
+            f"batcher-wait p99 {1e3 * self.batcher_wait_p99:.3f}ms",
+        ]
+        if self.rule_swaps:
+            lines.append(f"swaps     {self.rule_swaps} atomic rule swaps")
+        return "\n".join(lines)
+
+
+class StreamingGateway:
+    """Long-lived serving loop over sharded gateway switches.
+
+    Example::
+
+        gateway = StreamingGateway(rules, ServeConfig(n_shards=4))
+        result = gateway.run(SyntheticSource(rate=50_000))
+        print(result.summary())
+
+    Args:
+        rules: the rule set deployed on every shard.
+        config: serving policy (defaults are the soak defaults).
+        retrain_hook: optional ``(packets, verdicts) -> RuleSet | None``
+            called after every serviced batch; a returned rule set is
+            installed atomically on all shards before any further batch
+            is processed (see :class:`repro.serve.hooks.DriftRetrainHook`).
+    """
+
+    def __init__(
+        self,
+        rules: RuleSet,
+        config: Optional[ServeConfig] = None,
+        *,
+        retrain_hook: Optional[RetrainHook] = None,
+    ):
+        self.config = config or ServeConfig()
+        self.shards = ShardSet(
+            rules,
+            n_shards=self.config.n_shards,
+            table_capacity=self.config.table_capacity,
+            max_batch=self.config.max_batch,
+            max_latency=self.config.max_latency,
+            queue_capacity=self.config.queue_capacity,
+        )
+        self.retrain_hook = retrain_hook
+        self._registry = obs.registry()
+        self._obs_on = self._registry.enabled
+        self._init_instruments()
+        self._reset_run_state()
+
+    def _init_instruments(self) -> None:
+        registry = self._registry
+        self._obs_offered = registry.counter(
+            "serve_offered_packets_total",
+            help="packets offered to the gateway by the source",
+        )
+        self._obs_batch_size = registry.histogram(
+            "serve_batch_size",
+            buckets=[float(2 ** i) for i in range(13)],
+            help="packets per flushed batch",
+        )
+        self._obs_batches = {
+            reason: registry.counter(
+                "serve_batches_total", {"reason": reason},
+                help="flushed batches by trigger",
+            )
+            for reason in ("full", "deadline", "drain")
+        }
+        self._obs_wait = registry.histogram(
+            "serve_batcher_wait_seconds", unit="s",
+            help="stream-time wait from packet arrival to batch flush",
+        )
+        self._obs_latency = registry.histogram(
+            "serve_e2e_latency_seconds", unit="s",
+            help="stream-time latency from arrival to verdict",
+        )
+        self._obs_swaps = registry.counter(
+            "serve_rule_swaps_total",
+            help="atomic rule-set swaps installed across all shards",
+        )
+        self._obs_depth = {}
+        self._obs_shed = {}
+        self._obs_shard_pkts = {}
+        for shard in self.shards:
+            label = {"shard": str(shard.index)}
+            self._obs_depth[shard.index] = registry.gauge(
+                "serve_queue_depth", label,
+                help="packets queued per shard awaiting service",
+            )
+            self._obs_shed[shard.index] = registry.counter(
+                "serve_shed_packets_total",
+                {**label, "policy": self.config.policy},
+                help="packets shed by the backpressure policy",
+            )
+            self._obs_shard_pkts[shard.index] = registry.counter(
+                "serve_shard_packets_total", label,
+                help="packets classified per shard",
+            )
+
+    def _reset_run_state(self) -> None:
+        # A SoakResult describes exactly one run: shard counters, switch
+        # stats and the queueing clock all start fresh so the accounting
+        # invariant (offered == processed + shed == stats.received + shed)
+        # holds per run.
+        self.shards.reset()
+        self._verdicts: List[Optional[Verdict]] = []
+        self._latencies: List[float] = []
+        self._waits: List[float] = []
+        self._offered = 0
+        self._batches = 0
+        self._flush_reasons: Dict[str, int] = {}
+        self._process_seconds = 0.0
+        self._next_deadline = math.inf
+        self._first_t: Optional[float] = None
+        self._last_t = 0.0
+
+    # -- the event loop ------------------------------------------------------
+
+    def run(self, source: Iterable[Packet]) -> SoakResult:
+        """Consume a source to exhaustion, then drain; returns the result."""
+        self._reset_run_state()
+        config = self.config
+        shards = self.shards.shards
+        n_shards = len(shards)
+        record = config.record_verdicts
+        hash_mode = config.hash_mode
+        wall_start = time.perf_counter()
+        with self._registry.span("serve.soak"):
+            for packet in source:
+                t = packet.timestamp
+                if self._first_t is None:
+                    self._first_t = t
+                self._last_t = t
+                if t >= self._next_deadline:
+                    self._flush_due(t)
+                index = self._offered
+                self._offered += 1
+                if record:
+                    self._verdicts.append(None)
+                shard = shards[
+                    flow_shard(packet, n_shards, mode=hash_mode)
+                    if n_shards > 1
+                    else 0
+                ]
+                batch = shard.batcher.add(packet, index)
+                if batch is not None:
+                    self._dispatch(shard, batch, t)
+                    self._recompute_deadline()
+                elif len(shard.batcher) == 1:
+                    deadline = shard.batcher.deadline
+                    if deadline < self._next_deadline:
+                        self._next_deadline = deadline
+            self._drain(self._last_t)
+        wall = time.perf_counter() - wall_start
+        return self._result(wall)
+
+    def _flush_due(self, now: float) -> None:
+        for shard in self.shards:
+            batch = shard.batcher.flush_due(now)
+            if batch is not None:
+                self._dispatch(shard, batch, now)
+            elif shard.queue.depth and shard.busy_until <= now:
+                self._service(shard, now)
+        self._recompute_deadline()
+
+    def _recompute_deadline(self) -> None:
+        self._next_deadline = min(
+            (shard.batcher.deadline for shard in self.shards), default=math.inf
+        )
+
+    def _drain(self, now: float) -> None:
+        """Graceful shutdown: flush every batcher, run every queue dry."""
+        with self._registry.span("serve.drain"):
+            for shard in self.shards:
+                batch = shard.batcher.drain(now)
+                if batch is not None:
+                    self._dispatch(shard, batch, now)
+            for shard in self.shards:
+                self._service(shard, math.inf)
+        self._next_deadline = math.inf
+
+    def _dispatch(self, shard: Shard, batch: Batch, now: float) -> None:
+        """Move a flushed batch into the shard queue, shedding overflow."""
+        self._batches += 1
+        self._flush_reasons[batch.reason] = (
+            self._flush_reasons.get(batch.reason, 0) + 1
+        )
+        waits = batch.waits()
+        self._waits.extend(waits)
+        if self._obs_on:
+            self._obs_batch_size.observe(float(len(batch)))
+            self._obs_batches[batch.reason].inc()
+            for wait in waits:
+                self._obs_wait.observe(wait)
+        # Service first: completions up to `now` free queue space before
+        # admission is decided, minimising spurious sheds.
+        self._service(shard, now)
+        admitted, shed = shard.queue.offer(batch)
+        if shed:
+            self._shed(shard, shard.queue.shed_tail(batch, shed))
+        if self._obs_on:
+            self._obs_depth[shard.index].set(shard.queue.depth)
+        self._service(shard, now)
+
+    def _shed(self, shard: Shard, refused) -> None:
+        """Explicit drop accounting for packets the queue refused."""
+        action = "allow" if self.config.policy == FAIL_OPEN else "drop"
+        verdict = Verdict(action, table=None, entry_id=None)
+        record = self.config.record_verdicts
+        for __, index in refused:
+            if record:
+                self._verdicts[index] = verdict
+        shard.shed += len(refused)
+        if self._obs_on:
+            self._obs_shed[shard.index].inc(len(refused))
+
+    def _service(self, shard: Shard, now: float) -> None:
+        """Run the shard worker forward to stream time ``now``."""
+        config = self.config
+        rate = config.service_rate
+        record = config.record_verdicts
+        queue = shard.queue
+        while queue.depth and shard.busy_until <= now:
+            batch = queue.pop()
+            start = max(shard.busy_until, batch.flush_time)
+            process_start = time.perf_counter()
+            verdicts = shard.switch.process_batch(batch.packets)
+            self._process_seconds += time.perf_counter() - process_start
+            if rate is not None:
+                shard.busy_until = start + len(batch) / rate
+                completion = shard.busy_until
+            else:
+                completion = start
+            self._latencies.extend(
+                completion - p.timestamp for p in batch.packets
+            )
+            shard.processed += len(batch)
+            shard.count_verdicts(verdicts)
+            if record:
+                out = self._verdicts
+                for index, verdict in zip(batch.indices, verdicts):
+                    out[index] = verdict
+            if self._obs_on:
+                self._obs_shard_pkts[shard.index].inc(len(batch))
+                self._obs_depth[shard.index].set(queue.depth)
+                for latency in (completion - p.timestamp for p in batch.packets):
+                    self._obs_latency.observe(latency)
+            if self.retrain_hook is not None:
+                new_rules = self.retrain_hook(batch.packets, verdicts)
+                if new_rules is not None:
+                    self.shards.install(new_rules)
+                    if self._obs_on:
+                        self._obs_swaps.inc()
+
+    # -- results -------------------------------------------------------------
+
+    def _result(self, wall: float) -> SoakResult:
+        if self._obs_on:
+            self._obs_offered.inc(self._offered)
+        latencies = np.asarray(self._latencies) if self._latencies else np.zeros(1)
+        waits = np.asarray(self._waits) if self._waits else np.zeros(1)
+        processed = sum(s.processed for s in self.shards)
+        shed = sum(s.shed for s in self.shards)
+        duration = (
+            self._last_t - self._first_t if self._first_t is not None else 0.0
+        )
+        per_shard = [
+            {
+                "shard": shard.index,
+                "processed": shard.processed,
+                "shed": shard.shed,
+                "queue_high_watermark": shard.queue.high_watermark,
+                "verdicts": dict(sorted(shard.verdict_counts.items())),
+            }
+            for shard in self.shards
+        ]
+        verdicts: Optional[List[Verdict]] = None
+        if self.config.record_verdicts:
+            assert all(v is not None for v in self._verdicts), (
+                "packet lost without a verdict — accounting bug"
+            )
+            verdicts = list(self._verdicts)
+        return SoakResult(
+            offered=self._offered,
+            processed=processed,
+            shed=shed,
+            wall_seconds=wall,
+            process_seconds=self._process_seconds,
+            duration=duration,
+            batches=self._batches,
+            flush_reasons=dict(self._flush_reasons),
+            latency_p50=float(np.percentile(latencies, 50)),
+            latency_p99=float(np.percentile(latencies, 99)),
+            latency_mean=float(latencies.mean()),
+            batcher_wait_p99=float(np.percentile(waits, 99)),
+            rule_swaps=self.shards.rule_swaps,
+            stats=self.shards.stats(),
+            per_shard=per_shard,
+            verdicts=verdicts,
+        )

@@ -1,0 +1,52 @@
+"""Live-loop hooks: drift-triggered retraining with atomic rule swaps.
+
+:class:`DriftRetrainHook` is the bridge between the streaming gateway
+and :class:`repro.core.online.OnlineGateway`: every serviced batch is
+fed to the online gateway's drift monitor (using the packets'
+ground-truth labels as the out-of-band feedback channel a real
+deployment would get from an analyst or honeypot feed), and when drift
+triggers a retrain the freshly generated rule set is handed back to
+:class:`~repro.serve.gateway.StreamingGateway`, which installs it on
+every shard *between* batches — the atomic-swap guarantee the
+mid-stream test pins down (no packet is ever matched against a
+half-installed rule set).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.online import OnlineGateway, RetrainEvent
+from repro.core.rules import RuleSet
+from repro.dataplane.switch import Verdict
+from repro.net.packet import Packet
+
+__all__ = ["DriftRetrainHook"]
+
+
+class DriftRetrainHook:
+    """Adapt an :class:`OnlineGateway` to the streaming retrain hook.
+
+    Args:
+        online: a bootstrapped online gateway (its detector provides
+            the rules; its drift monitor provides the trigger).
+
+    Attributes:
+        events: every :class:`RetrainEvent` raised during the stream.
+    """
+
+    def __init__(self, online: OnlineGateway):
+        if online.detector is None:
+            raise ValueError("online gateway must be bootstrapped first")
+        self.online = online
+        self.events: List[RetrainEvent] = []
+
+    def __call__(
+        self, packets: List[Packet], verdicts: List[Verdict]
+    ) -> Optional[RuleSet]:
+        event = self.online.observe_packets(packets)
+        if event is None:
+            return None
+        self.events.append(event)
+        assert self.online.detector is not None
+        return self.online.detector.generate_rules()

@@ -17,7 +17,9 @@ BENCH = REPO_ROOT / "tools" / "bench.py"
 #: trajectory is append-only, so historical records stay valid as-is.
 BASE_RECORD_KEYS = {"commit", "date", "mode", "metrics"}
 RECORD_KEYS = BASE_RECORD_KEYS | {"obs"}
-METRIC_GROUPS = {"trace_synthesis", "detector_fit", "batch_switch"}
+METRIC_GROUPS = {"trace_synthesis", "detector_fit", "batch_switch", "serve"}
+#: Phases added after the trajectory started; absent from old records.
+LEGACY_OPTIONAL_GROUPS = {"serve"}
 
 
 def run_bench(output: Path) -> subprocess.CompletedProcess:
@@ -52,6 +54,9 @@ def test_bench_appends_schema_valid_records(tmp_path):
     assert record["metrics"]["trace_synthesis"]["speedup"] > 1.0
     assert record["metrics"]["batch_switch"]["speedup"] > 1.0
     assert record["metrics"]["detector_fit"]["seconds"] > 0
+    serve = record["metrics"]["serve"]
+    assert serve["soak_vs_offline"] > 0
+    assert 0.0 <= serve["overload_shed_fraction"] <= 1.0
 
     # Telemetry snapshot rides along: per-phase bench spans + counters.
     obs_metrics = record["obs"]["metrics"]
@@ -82,4 +87,4 @@ def test_repo_trajectory_file_is_schema_valid():
     assert isinstance(history, list) and history
     for record in history:
         assert BASE_RECORD_KEYS <= set(record)
-        assert METRIC_GROUPS <= set(record["metrics"])
+        assert METRIC_GROUPS - LEGACY_OPTIONAL_GROUPS <= set(record["metrics"])

@@ -208,3 +208,127 @@ class TestSynth:
         out = capsys.readouterr().out
         accuracy = float(out.split("accuracy:")[1].split()[0])
         assert accuracy > 0.85
+
+
+class TestCapacityAndBatchFlags:
+    @pytest.fixture()
+    def rules_path(self, pcap_and_labels):
+        pcap, labels, root = pcap_and_labels
+        path = root / "rules_flags.json"
+        if not path.exists():
+            main(
+                ["train", "--pcap", pcap, "--labels", labels, "--rules", str(path)]
+            )
+        return path
+
+    def test_simulate_with_capacity_and_batch(
+        self, rules_path, pcap_and_labels, capsys
+    ):
+        pcap, __, ___ = pcap_and_labels
+        capsys.readouterr()
+        code = main(
+            [
+                "simulate", str(rules_path), "--pcap", pcap,
+                "--batch-size", "256", "--table-capacity", "8192",
+            ]
+        )
+        assert code == 0
+        assert "dropped" in capsys.readouterr().out
+
+    def test_eval_with_capacity_and_batch(
+        self, rules_path, pcap_and_labels, capsys
+    ):
+        pcap, labels, __ = pcap_and_labels
+        capsys.readouterr()
+        code = main(
+            [
+                "eval", str(rules_path), "--pcap", pcap, "--labels", labels,
+                "--batch-size", "512", "--table-capacity", "8192",
+            ]
+        )
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_eval_rejects_bad_batch_size(self, rules_path, pcap_and_labels):
+        pcap, labels, __ = pcap_and_labels
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "eval", str(rules_path), "--pcap", pcap,
+                    "--labels", labels, "--batch-size", "0",
+                ]
+            )
+
+    def test_too_small_capacity_fails_deploy(self, rules_path, pcap_and_labels):
+        pcap, __, ___ = pcap_and_labels
+        with pytest.raises(Exception):
+            main(
+                [
+                    "simulate", str(rules_path), "--pcap", pcap,
+                    "--table-capacity", "1",
+                ]
+            )
+
+
+class TestServe:
+    @pytest.fixture()
+    def rules_path(self, tmp_path):
+        from repro.core.serialize import save_ruleset
+        from repro.eval.harness import synthetic_firewall_ruleset
+
+        path = tmp_path / "serve_rules.json"
+        save_ruleset(synthetic_firewall_ruleset(n_rules=8, seed=3), path)
+        return path
+
+    def test_serve_synthetic_soak(self, rules_path, capsys):
+        code = main(
+            [
+                "serve", str(rules_path), "--synthetic", "inet",
+                "--packets", "3000", "--rate", "100000",
+                "--shards", "2", "--max-batch", "256",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "processed 3000 pkts" in out
+        assert "shard 0" in out and "shard 1" in out
+        assert "latency" in out
+
+    def test_serve_pcap_with_overload(self, rules_path, pcap_and_labels, capsys):
+        pcap, __, ___ = pcap_and_labels
+        code = main(
+            [
+                "serve", str(rules_path), "--pcap", pcap,
+                "--rate", "50000", "--service-rate", "5000",
+                "--queue-capacity", "1024", "--max-batch", "128",
+                "--policy", "fail-open",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shed" in out
+
+    def test_serve_table_format(self, rules_path, capsys):
+        code = main(
+            [
+                "serve", str(rules_path), "--synthetic", "inet",
+                "--packets", "1000", "--format", "table",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serve_offered_packets_total" in out
+
+    def test_serve_saves_snapshot(self, rules_path, tmp_path, capsys):
+        snapshot = tmp_path / "serve.jsonl"
+        code = main(
+            [
+                "serve", str(rules_path), "--synthetic", "inet",
+                "--packets", "1000", "--save", str(snapshot),
+            ]
+        )
+        assert code == 0
+        assert snapshot.exists()
+        lines = snapshot.read_text().strip().split("\n")
+        names = {json.loads(line)["name"] for line in lines}
+        assert "serve_offered_packets_total" in names

@@ -111,3 +111,44 @@ class TestWithGeneratedTraffic:
         write_pcap(path, packets)
         loaded = read_pcap(path)
         assert [p.data for p in loaded] == [p.data for p in packets]
+
+
+class TestStreamingRead:
+    """iter_pcap streams: open handles work and are left open."""
+
+    def test_iter_from_open_handle(self, tmp_path):
+        import io
+
+        path = tmp_path / "h.pcap"
+        packets = [Packet(b"ab", timestamp=1.0), Packet(b"cd", timestamp=2.0)]
+        write_pcap(path, packets)
+        stream = io.BytesIO(path.read_bytes())
+        loaded = list(iter_pcap(stream))
+        assert [p.data for p in loaded] == [b"ab", b"cd"]
+        assert not stream.closed  # caller owns the handle
+
+    def test_iter_is_lazy_over_handle(self, tmp_path):
+        import io
+
+        path = tmp_path / "lazy.pcap"
+        write_pcap(path, [Packet(bytes([i])) for i in range(10)])
+        stream = io.BytesIO(path.read_bytes())
+        iterator = iter_pcap(stream)
+        first = next(iterator)
+        assert first.data == b"\x00"
+        # only the consumed records have been read off the stream
+        assert stream.tell() < len(stream.getvalue())
+
+    def test_path_iteration_closes_file(self, tmp_path):
+        path = tmp_path / "p.pcap"
+        write_pcap(path, [Packet(b"x")])
+        iterator = iter_pcap(path)
+        assert [p.data for p in iterator] == [b"x"]
+
+    def test_partial_consumption_bounded(self, tmp_path):
+        # consuming one packet from a large file must not materialise it
+        path = tmp_path / "big.pcap"
+        write_pcap(path, (Packet(b"y" * 64) for __ in range(5000)))
+        iterator = iter_pcap(path)
+        assert next(iterator).data == b"y" * 64
+        iterator.close()

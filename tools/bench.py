@@ -148,6 +148,70 @@ def bench_batch_switch(quick: bool) -> dict:
     }
 
 
+def bench_serve(quick: bool) -> dict:
+    """Streaming-gateway soak vs. the offline batch replay baseline.
+
+    Three numbers matter (the E17 acceptance set): sustained soak
+    throughput as a fraction of the offline ``process_batch`` replay at
+    batch 1024, the stream-time latency percentiles under that load,
+    and the shed fraction once the offered load exceeds a constrained
+    service capacity (bounded queues, explicit drop accounting).
+    """
+    from repro.eval.harness import replay_gateway, synthetic_firewall_ruleset
+    from repro.serve import ServeConfig, StreamingGateway, retime
+
+    config = TraceConfig(**QUICK_TRACE)
+    with fastpath(True):
+        base = generate_trace(config)
+    target = 20_000 if quick else 200_000
+    packets = (base * (target // len(base) + 1))[:target]
+    rules = synthetic_firewall_ruleset()
+
+    # Offline baseline: one-shot batch replay (warm run measured).
+    replay_gateway(rules, packets[:2048], batch_size=1024)
+    start = time.perf_counter()
+    replay_gateway(rules, packets, batch_size=1024)
+    offline_seconds = time.perf_counter() - start
+    offline_pps = len(packets) / offline_seconds
+
+    # Soak: offered load high enough that the size trigger dominates;
+    # arrival re-timing happens up front so the wall clock measures the
+    # gateway, exactly like the offline baseline.
+    stamped = list(retime(packets, rate=500_000.0, seed=1))
+    gateway = StreamingGateway(
+        rules,
+        ServeConfig(max_batch=1024, max_latency=0.005, record_verdicts=False),
+    )
+    soak = gateway.run(stamped)
+
+    # Overload: halve the service capacity relative to the offered load
+    # and bound the queue — the shed fraction is the backpressure story.
+    offered_rate = 40_000.0
+    overload_gateway = StreamingGateway(
+        rules,
+        ServeConfig(
+            max_batch=1024,
+            max_latency=0.005,
+            queue_capacity=4096,
+            service_rate=offered_rate / 2,
+            record_verdicts=False,
+        ),
+    )
+    overload = overload_gateway.run(
+        list(retime(packets, rate=offered_rate, seed=2))
+    )
+    return {
+        "packets": len(packets),
+        "offline_pkts_per_sec": round(offline_pps, 1),
+        "soak_pkts_per_sec": round(soak.pkts_per_sec, 1),
+        "soak_vs_offline": round(soak.pkts_per_sec / offline_pps, 3),
+        "soak_latency_p50_ms": round(1e3 * soak.latency_p50, 3),
+        "soak_latency_p99_ms": round(1e3 * soak.latency_p99, 3),
+        "batcher_wait_p99_ms": round(1e3 * soak.batcher_wait_p99, 3),
+        "overload_shed_fraction": round(overload.shed_fraction, 4),
+    }
+
+
 def run(quick: bool) -> dict:
     record = {
         "commit": _commit(),
@@ -164,6 +228,7 @@ def run(quick: bool) -> dict:
             ("trace_synthesis", bench_trace_synthesis),
             ("detector_fit", bench_detector_fit),
             ("batch_switch", bench_batch_switch),
+            ("serve", bench_serve),
         ]:
             print(f"[bench] {name} ...", flush=True)
             start = time.perf_counter()
