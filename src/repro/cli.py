@@ -185,11 +185,64 @@ def cmd_cache(args) -> int:
     return 0
 
 
-def cmd_explain(args) -> int:
-    from repro.eval.interpret import explain_ruleset
+def _format_decision(record, controller) -> str:
+    """Render one DecisionRecord as an operator-readable match trace."""
+    lines = [
+        f"packet #{record.seq}  t={record.timestamp:.6f}s  "
+        f"verdict={record.verdict}",
+        "tables consulted: "
+        + (" -> ".join(record.tables) if record.tables else "(none)"),
+        "key bytes: "
+        + "  ".join(
+            f"b[{offset}]=0x{value:02x} ({value})"
+            for offset, value in zip(record.offsets, record.values)
+        ),
+    ]
+    if record.entry_id is None:
+        lines.append(
+            f"matched: no entry — default action of table "
+            f"{record.tables[-1] if record.tables else '?'!s} applied"
+        )
+        return "\n".join(lines)
+    lines.append(f"matched: table={record.table} entry={record.entry_id}")
+    try:
+        rule = controller.rule_for_entry(record.entry_id)
+    except KeyError:
+        lines.append("rule: (entry no longer installed)")
+        return "\n".join(lines)
+    lines.append(
+        f"rule: {rule}  (confidence {rule.confidence:.3f}, "
+        f"label {rule.label})"
+    )
+    if rule.provenance:
+        lines.append("tree path: " + " -> ".join(rule.provenance))
+    else:
+        lines.append("tree path: (hand-written rule — no distillation path)")
+    return "\n".join(lines)
 
+
+def cmd_explain(args) -> int:
     rules = load_ruleset(args.rules)
-    print(explain_ruleset(rules, stack=args.stack))
+    if args.index is None:
+        from repro.eval.interpret import explain_ruleset
+
+        print(explain_ruleset(rules, stack=args.stack))
+        return 0
+    # Packet-replay mode: run one packet through a deployed switch with a
+    # full-sampling flight recorder and print its provenance trace.
+    from repro import obs
+
+    packets, __ = _load_packets(args)
+    if not 0 <= args.index < len(packets):
+        raise SystemExit(
+            f"--index {args.index} out of range 0..{len(packets) - 1}"
+        )
+    controller = _controller_for(rules, args.table_capacity)
+    controller.deploy(rules)
+    recorder = obs.FlightRecorder(capacity=1, sample_rate=1.0)
+    controller.switch.attach_recorder(recorder)
+    controller.switch.process(packets[args.index], seq=args.index)
+    print(_format_decision(recorder.records()[0], controller))
     return 0
 
 
@@ -335,11 +388,42 @@ def cmd_serve(args) -> int:
         hash_mode=args.hash_mode,
         record_verdicts=False,
     )
+    recorder = None
+    engine = None
+    if args.flight_dump or args.alerts:
+        recorder = obs.FlightRecorder(
+            args.flight_capacity,
+            sample_rate=args.sample_rate,
+            seed=args.seed,
+        )
     registry = obs.Registry(enabled=True)
     with obs.use_registry(registry):
-        gateway = StreamingGateway(rules, config)
+        if args.alerts:
+            engine = obs.AlertEngine(
+                obs.default_serve_alerts(
+                    shed_rate=args.alert_shed_rate,
+                    batcher_wait_p99=config.max_latency,
+                ),
+                registry=registry,
+                recorder=recorder,
+                dump_path=args.flight_dump,
+            )
+        gateway = StreamingGateway(
+            rules, config, recorder=recorder, alert_engine=engine
+        )
         result = gateway.run(source)
     print(result.summary())
+    for alert in result.alerts:
+        print(f"  ALERT {alert.message}")
+    if recorder is not None and args.flight_dump:
+        recorder.dump(args.flight_dump)
+        stats = recorder.stats()
+        print(
+            f"wrote {args.flight_dump} ({stats['resident']} records: "
+            f"{stats['critical']} critical, {stats['permits']} sampled "
+            f"permits)",
+            file=sys.stderr,
+        )
     for row in result.per_shard:
         print(
             f"  shard {row['shard']}: {row['processed']} processed, "
@@ -399,7 +483,9 @@ def build_parser() -> argparse.ArgumentParser:
     rules.set_defaults(func=cmd_rules)
 
     explain = sub.add_parser(
-        "explain", help="operator-readable rule report with field names"
+        "explain",
+        help="operator-readable rule report, or a single packet's full "
+        "match trace back to its Stage-2 tree path (--index)",
     )
     explain.add_argument("rules", help="rules JSON")
     explain.add_argument(
@@ -407,6 +493,22 @@ def build_parser() -> argparse.ArgumentParser:
         default="inet",
         choices=["inet", "industrial", "zigbee", "ble"],
         help="header layout used to name byte offsets",
+    )
+    add_input(explain)
+    explain.add_argument(
+        "--index",
+        type=int,
+        default=None,
+        help="replay this packet (by trace index) and print its decision "
+        "provenance: tables consulted, matched entry, key bytes, rule, "
+        "and distillation tree path",
+    )
+    explain.add_argument(
+        "--table-capacity",
+        type=int,
+        default=None,
+        help="firewall table capacity for the replay "
+        "(default: fit the rule set, at least 4096)",
     )
     explain.set_defaults(func=cmd_explain)
 
@@ -558,6 +660,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_table_capacity(serve, default=4096)
     serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--alerts",
+        action="store_true",
+        help="evaluate the default SLO alert rules (shed rate, drift, "
+        "batcher-wait p99, table occupancy) periodically during the soak",
+    )
+    serve.add_argument(
+        "--alert-shed-rate",
+        type=float,
+        default=0.01,
+        help="shed-rate alert threshold as a fraction of offered packets "
+        "(default 0.01)",
+    )
+    serve.add_argument(
+        "--flight-dump",
+        help="attach a decision flight recorder and write its records to "
+        "this JSONL file (auto-dumped when an alert fires, and again at "
+        "the end of the run)",
+    )
+    serve.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=65536,
+        help="flight recorder ring capacity in records (default 65536)",
+    )
+    serve.add_argument(
+        "--sample-rate",
+        type=float,
+        default=0.01,
+        help="fraction of allow verdicts the flight recorder head-samples "
+        "(drops/sheds are always kept; default 0.01)",
+    )
     serve.add_argument(
         "--save", help="also write the telemetry snapshot to this JSONL file"
     )

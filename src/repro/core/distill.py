@@ -73,12 +73,19 @@ class Leaf:
         prediction: majority class at the leaf.
         probability: fraction of leaf samples in the majority class.
         samples: training samples that reached the leaf.
+        path: the root-to-leaf split decisions as human-readable
+            condition strings (``"b[f] <= t"`` / ``"b[f] > t"``, where
+            ``f`` indexes the tree's feature columns).  Carried through
+            rule generation as :attr:`repro.core.rules.Rule.provenance`
+            so an installed table entry can be explained back to the
+            Stage-2 tree decision that produced it.
     """
 
     bounds: Tuple[Tuple[int, Tuple[int, int]], ...]
     prediction: int
     probability: float
     samples: int
+    path: Tuple[str, ...] = ()
 
     def bounds_dict(self) -> Dict[int, Tuple[int, int]]:
         return dict(self.bounds)
@@ -341,11 +348,15 @@ class DecisionTree:
     # -- structure export --------------------------------------------------------
 
     def leaves(self) -> List[Leaf]:
-        """All leaves with their path hyper-rectangles."""
+        """All leaves with their path hyper-rectangles and split paths."""
         root = self._require_fitted()
         result: List[Leaf] = []
 
-        def visit(node: _Node, bounds: Dict[int, Tuple[int, int]]) -> None:
+        def visit(
+            node: _Node,
+            bounds: Dict[int, Tuple[int, int]],
+            path: Tuple[str, ...],
+        ) -> None:
             if node.is_leaf:
                 result.append(
                     Leaf(
@@ -353,6 +364,7 @@ class DecisionTree:
                         prediction=node.prediction,
                         probability=node.probability,
                         samples=node.samples,
+                        path=path,
                     )
                 )
                 return
@@ -360,12 +372,20 @@ class DecisionTree:
             lo, hi = bounds.get(feature, (0, self.max_value))  # type: ignore[arg-type]
             left_bounds = dict(bounds)
             left_bounds[feature] = (lo, min(hi, threshold))  # type: ignore[index]
-            visit(node.left, left_bounds)  # type: ignore[arg-type]
+            visit(
+                node.left,  # type: ignore[arg-type]
+                left_bounds,
+                path + (f"b[{feature}] <= {threshold}",),
+            )
             right_bounds = dict(bounds)
             right_bounds[feature] = (max(lo, threshold + 1), hi)  # type: ignore[index]
-            visit(node.right, right_bounds)  # type: ignore[arg-type]
+            visit(
+                node.right,  # type: ignore[arg-type]
+                right_bounds,
+                path + (f"b[{feature}] > {threshold}",),
+            )
 
-        visit(root, {})
+        visit(root, {}, ())
         return result
 
     def depth(self) -> int:

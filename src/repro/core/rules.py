@@ -92,6 +92,9 @@ class Rule:
         label: class id the rule encodes (0 = benign side, >0 = an attack
             class) — carries the multi-class prediction through to
             :meth:`RuleSet.predict_class`.
+        provenance: the Stage-2 tree path (root-to-leaf split condition
+            strings, see :attr:`repro.core.distill.Leaf.path`) the rule
+            distills from; empty for hand-written rules.
     """
 
     matches: Tuple[MatchField, ...]
@@ -99,6 +102,7 @@ class Rule:
     priority: int = 0
     confidence: float = 1.0
     label: int = 1
+    provenance: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.action not in KNOWN_ACTIONS:
@@ -363,6 +367,7 @@ def rules_from_leaves(
                     priority=leaf.samples,
                     confidence=leaf.probability,
                     label=leaf.prediction,
+                    provenance=tuple(getattr(leaf, "path", ())),
                 )
             )
         return ruleset
@@ -384,6 +389,7 @@ def rules_from_leaves(
                 priority=leaf.samples,  # busier leaves match first
                 confidence=leaf.probability,
                 label=0 if action == ACTION_ALLOW else 1,
+                provenance=tuple(getattr(leaf, "path", ())),
             )
         )
     return ruleset

@@ -34,6 +34,7 @@ def ruleset_to_dict(ruleset: RuleSet) -> Dict:
                 "priority": rule.priority,
                 "confidence": rule.confidence,
                 "label": rule.label,
+                "provenance": list(rule.provenance),
             }
             for rule in ruleset.rules
         ],
@@ -65,6 +66,8 @@ def ruleset_from_dict(data: Dict) -> RuleSet:
                 priority=int(entry.get("priority", 0)),
                 confidence=float(entry.get("confidence", 1.0)),
                 label=int(entry.get("label", 1)),
+                # absent in files written before provenance existed
+                provenance=tuple(entry.get("provenance", ())),
             )
         )
     return ruleset

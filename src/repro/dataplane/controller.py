@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.rules import RuleSet, TernaryEntry
+from repro.core.rules import Rule, RuleSet, TernaryEntry
 from repro.dataplane.switch import Switch, SwitchConfig
 from repro.dataplane.tables import TableFullError, TernaryTable
 
@@ -231,6 +231,31 @@ class GatewayController:
             counts.append(sum(entry_hits[cursor : cursor + width]))
             cursor += width
         return counts
+
+    def rule_for_entry(self, entry_id: int) -> Rule:
+        """The deployed rule whose ternary expansion installed ``entry_id``.
+
+        The inverse of the expansion :meth:`rule_hit_counts` folds over:
+        ``to_ternary`` emits each rule's entries contiguously in rule
+        order, so the entry's position in the install list locates the
+        originating rule — and through :attr:`Rule.provenance`, the
+        Stage-2 tree path it distills from.
+
+        Raises:
+            KeyError: when ``entry_id`` is not currently installed.
+        """
+        if self._deployed is not None:
+            try:
+                position = self._entry_ids.index(entry_id)
+            except ValueError:
+                position = -1
+            if position >= 0:
+                cursor = 0
+                for rule in self._deployed.rules:
+                    cursor += rule.ternary_entry_count()
+                    if position < cursor:
+                        return rule
+        raise KeyError(f"no installed entry {entry_id}")
 
     def undeploy(self) -> None:
         """Remove all firewall entries (default action still applies)."""

@@ -30,6 +30,14 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro import obs
+import repro.obs.registry  # noqa: F401  (module handle resolved below)
+import sys
+
+# The live registry module — the package attribute `repro.obs.registry`
+# is rebound to the registry() *function* by the package __init__, so a
+# dotted import can't name the module directly.
+_obs_state = sys.modules["repro.obs.registry"]
+from repro.obs.events import KIND_DECISION, DecisionRecord
 from repro.net.packet import Packet
 from repro.dataplane.tables import (
     ExactTable,
@@ -156,8 +164,25 @@ class Switch:
         self._pipeline: List[AnyTable] = []
         self._registers: Dict[str, Register] = {}
         self.stats = SwitchStats()
-        # Registry telemetry (no-ops when observability is disabled).
+        #: Optional :class:`repro.obs.FlightRecorder` capturing per-packet
+        #: :class:`DecisionRecord` provenance; ``None`` keeps both data
+        #: paths record-free.
+        self.recorder = None
+        self.recorder_shard: Optional[int] = None
+        self._seq = 0
+        self._names_cache: Optional[Tuple[str, ...]] = None
+        self._prefix_cache: Optional[Dict[Optional[str], Tuple[str, ...]]] = None
+        self._capture_obs()
+
+    def _capture_obs(self) -> None:
+        """(Re)resolve the active default registry and cache instruments.
+
+        Called from ``__init__`` and again from :meth:`_sync_obs` whenever
+        the registry generation moves, so a switch built before
+        ``use_registry(...)`` still reports into the scoped registry.
+        """
         registry = obs.registry()
+        self._obs_gen = _obs_state.generation()
         self._obs = registry
         self._obs_on = registry.enabled
         self._obs_verdicts = {
@@ -186,6 +211,16 @@ class Switch:
             help="wall-clock seconds per process_batch call",
         )
 
+    def _sync_obs(self) -> None:
+        # One int compare in the steady state; see registry._generation.
+        if _obs_state._generation != self._obs_gen:
+            self._capture_obs()
+
+    def attach_recorder(self, recorder, *, shard: Optional[int] = None) -> None:
+        """Attach (or detach, with ``None``) a decision flight recorder."""
+        self.recorder = recorder
+        self.recorder_shard = shard
+
     # -- configuration -----------------------------------------------------
 
     def add_table(self, table: AnyTable) -> None:
@@ -200,6 +235,27 @@ class Switch:
                 f"parser width {len(self.config.key_offsets)}"
             )
         self._pipeline.append(table)
+        self._names_cache = None
+        self._prefix_cache = None
+
+    def _pipeline_names(self) -> Tuple[str, ...]:
+        if self._names_cache is None:
+            self._names_cache = tuple(t.name for t in self._pipeline)
+        return self._names_cache
+
+    def _table_prefixes(self) -> Dict[Optional[str], Tuple[str, ...]]:
+        """``table name -> names of tables consulted up to and including it``.
+
+        ``None`` (no table decided the packet) maps to the full pipeline.
+        """
+        if self._prefix_cache is None:
+            names = self._pipeline_names()
+            prefixes: Dict[Optional[str], Tuple[str, ...]] = {
+                name: names[: i + 1] for i, name in enumerate(names)
+            }
+            prefixes[None] = names
+            self._prefix_cache = prefixes
+        return self._prefix_cache
 
     def table(self, name: str) -> AnyTable:
         """Look up a pipeline table by name."""
@@ -224,17 +280,29 @@ class Switch:
         """Extract the match key (the P4 parser's job)."""
         return packet.bytes_at(self.config.key_offsets)
 
-    def process(self, packet: Packet) -> Verdict:
-        """Run one packet through the pipeline and update statistics."""
+    def process(self, packet: Packet, *, seq: Optional[int] = None) -> Verdict:
+        """Run one packet through the pipeline and update statistics.
+
+        Args:
+            seq: sequence number stamped on the packet's
+                :class:`DecisionRecord` when a recorder is attached
+                (defaults to the switch's own running counter).
+        """
+        # _sync_obs inlined: this is a per-packet site, so skip the
+        # method-call overhead and do just the generation compare.
+        if _obs_state._generation != self._obs_gen:
+            self._capture_obs()
         self.stats.received += 1
         self.stats.bytes_received += len(packet.data)
         key = self.parse_key(packet)
         verdict = Verdict("allow")
-        for table in self._pipeline:
+        decided_at = len(self._pipeline) - 1
+        for position, table in enumerate(self._pipeline):
             result: MatchResult = table.lookup(key, packet_size=len(packet.data))
             action = result.action
             if action in TERMINAL_ACTIONS:
                 verdict = Verdict(action, table=table.name, entry_id=result.entry_id)
+                decided_at = position
                 break
         if verdict.dropped:
             self.stats.dropped += 1
@@ -250,18 +318,53 @@ class Switch:
             self._obs_bytes_received.inc(size)
             self._obs_verdicts[verdict.action].inc()
             self._obs_bytes[verdict.action].inc(size)
+        if self.recorder is not None:
+            if seq is None:
+                seq = self._seq
+                self._seq += 1
+            self._record_decision(packet, key, verdict, decided_at, seq)
         return verdict
 
-    def process_batch(self, packets: Sequence[Packet]) -> List[Verdict]:
+    def _record_decision(self, packet, key, verdict, decided_at, seq) -> None:
+        recorder = self.recorder
+        if verdict.action == "allow" and not recorder.admit_permit(seq):
+            recorder.note_sampled_out()
+            return
+        recorder.add(
+            DecisionRecord(
+                kind=KIND_DECISION,
+                seq=int(seq),
+                timestamp=packet.timestamp,
+                verdict=verdict.action,
+                shard=self.recorder_shard,
+                table=verdict.table,
+                entry_id=verdict.entry_id,
+                tables=self._pipeline_names()[: decided_at + 1],
+                offsets=tuple(self.config.key_offsets),
+                values=tuple(int(v) for v in key),
+            )
+        )
+
+    def process_batch(
+        self,
+        packets: Sequence[Packet],
+        *,
+        seqs: Optional[Sequence[int]] = None,
+    ) -> List[Verdict]:
         """Vectorised :meth:`process` over a whole batch of packets.
 
         Extracts all match keys as one ``(n, key_width)`` uint8 matrix,
         runs each table's ``lookup_batch`` on the packets still undecided
         when that table is reached (first-table-wins, like the scalar
         loop), and updates statistics and table counters in aggregate.
-        Verdicts, stats, and counters are identical to running
-        :meth:`process` packet by packet.
+        Verdicts, stats, counters, and decision records are identical to
+        running :meth:`process` packet by packet.
+
+        Args:
+            seqs: per-packet sequence numbers for decision records
+                (defaults to the switch's running counter).
         """
+        self._sync_obs()
         n = len(packets)
         if n == 0:
             return []
@@ -316,6 +419,16 @@ class Switch:
                 int(sizes.sum() - sizes[dropped].sum() - sizes[quarantined].sum())
             )
             self._obs_batch_seconds.observe(time.perf_counter() - start_time)
+        if self.recorder is not None:
+            if seqs is None:
+                seq_array = np.arange(self._seq, self._seq + n, dtype=np.int64)
+                self._seq += n
+            else:
+                seq_array = np.asarray(seqs, dtype=np.int64)
+            self._record_batch(
+                packets, keys, final_action, final_table, final_entry,
+                dropped | quarantined, seq_array,
+            )
         return [
             Verdict(
                 final_action[i],
@@ -324,6 +437,45 @@ class Switch:
             )
             for i in range(n)
         ]
+
+    def _record_batch(
+        self, packets, keys, final_action, final_table, final_entry,
+        critical, seq_array,
+    ) -> None:
+        """Batch-path decision capture, record-equal to the scalar path.
+
+        Admission is a pure hash of ``(recorder.seed, seq)``, so the
+        vectorised mask here selects exactly the permits the scalar
+        path's :meth:`~repro.obs.FlightRecorder.admit_permit` would.
+        """
+        recorder = self.recorder
+        permits = recorder.admit_permit_mask(seq_array) & ~critical
+        selected = np.flatnonzero(critical | permits)
+        recorder.note_sampled_out(
+            int(len(seq_array) - int(critical.sum()) - int(permits.sum()))
+        )
+        if not selected.size:
+            return
+        prefixes = self._table_prefixes()
+        offsets = tuple(self.config.key_offsets)
+        values = keys[selected].tolist()
+        for row, i in enumerate(selected):
+            table = final_table[i]
+            entry = int(final_entry[i])
+            recorder.add(
+                DecisionRecord(
+                    kind=KIND_DECISION,
+                    seq=int(seq_array[i]),
+                    timestamp=packets[i].timestamp,
+                    verdict=final_action[i],
+                    shard=self.recorder_shard,
+                    table=table,
+                    entry_id=entry if entry >= 0 else None,
+                    tables=prefixes[table],
+                    offsets=offsets,
+                    values=tuple(values[row]),
+                )
+            )
 
     def process_trace(
         self, packets: Sequence[Packet], *, batch_size: Optional[int] = None
@@ -335,6 +487,7 @@ class Switch:
                 :meth:`process_batch` in chunks of this size (the fast
                 path); ``None`` keeps the scalar reference path.
         """
+        self._sync_obs()
         with self._obs.span("switch.process_trace"):
             if batch_size is None:
                 return [self.process(packet) for packet in packets]
@@ -349,3 +502,4 @@ class Switch:
 
     def reset_stats(self) -> None:
         self.stats = SwitchStats()
+        self._seq = 0

@@ -16,10 +16,15 @@ enabled: ``table_lookups_total`` / ``table_hits_total`` /
 ``table_misses_total`` counters, a ``table_entries`` occupancy gauge,
 and — for the priority-ordered kinds (ternary/range) —
 ``table_shadow_hits_total``, counting lookups whose winning entry
-shadowed at least one other matching entry.  The registry instruments
-are captured at table construction time; with observability disabled
-(the default) they are shared no-ops and the shadow scan is skipped
-entirely, so the hot lookup paths pay one branch.
+shadowed at least one other matching entry, plus a static
+``table_capacity_entries`` gauge so occupancy alerts can be expressed
+as a ratio.  Instruments resolve the *active* default registry lazily:
+each table caches its handles and re-captures them whenever the
+registry generation changes (one int compare per lookup in the steady
+state), so a table built before ``use_registry(...)`` still reports
+into the scoped registry.  With observability disabled (the default)
+the handles are shared no-ops and the shadow scan is skipped entirely,
+so the hot lookup paths pay one branch.
 
 Every table has two lookup implementations with identical semantics:
 
@@ -39,6 +44,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs
+import repro.obs.registry  # noqa: F401  (module handle resolved below)
+import sys
+
+# See switch.py: the package rebinds `repro.obs.registry` to a function.
+_obs_state = sys.modules["repro.obs.registry"]
 
 __all__ = [
     "TableFullError",
@@ -142,10 +152,20 @@ class _BaseTable:
         self._next_id = 0
         #: lazily-built vectorised index; dropped on any entry mutation
         self._batch_cache: Optional[dict] = None
-        # Registry telemetry, captured once per table; no-ops when the
-        # current default registry is disabled (see module docstring).
+        self._capture_obs()
+
+    def _capture_obs(self) -> None:
+        """(Re)resolve the active default registry and cache instruments.
+
+        Called from ``__init__`` and from :meth:`_sync_obs` whenever the
+        registry generation moves, so tables built outside a
+        ``use_registry(...)`` scope still report into it (see module
+        docstring).
+        """
         registry = obs.registry()
+        self._obs_gen = _obs_state.generation()
         self._obs_on = registry.enabled
+        name = self.name
         labels = {"table": name}
         self._obs_lookups = registry.counter(
             "table_lookups_total", labels,
@@ -167,6 +187,22 @@ class _BaseTable:
         self._obs_entries = registry.gauge(
             "table_entries", labels, help="installed entries in the table"
         )
+        capacity = registry.gauge(
+            "table_capacity_entries", labels,
+            help="configured max_entries for the table (static; pairs "
+            "with table_entries for occupancy-ratio alerts)",
+        )
+        if self._obs_on:
+            capacity.set(self.max_entries)
+            try:
+                self._obs_entries.set(len(self))
+            except (AttributeError, NotImplementedError):
+                pass  # first capture runs before subclass storage exists
+
+    def _sync_obs(self) -> None:
+        # One int compare in the steady state; see registry._generation.
+        if _obs_state._generation != self._obs_gen:
+            self._capture_obs()
 
     def __len__(self) -> int:
         raise NotImplementedError
@@ -185,6 +221,10 @@ class _BaseTable:
         return self._next_id
 
     def _check_key(self, key: Sequence[int]) -> Tuple[int, ...]:
+        # _sync_obs inlined: first call on every scalar lookup/add path,
+        # so skip the method-call overhead and do just the compare.
+        if _obs_state._generation != self._obs_gen:
+            self._capture_obs()
         key = tuple(int(b) for b in key)
         if len(key) != self.key_width:
             raise ValueError(
@@ -217,11 +257,13 @@ class _BaseTable:
         choke point where ``table_entries`` can be kept current.
         """
         self._batch_cache = None
+        self._sync_obs()
         if self._obs_on:
             self._obs_entries.set(len(self))
 
     def _check_batch_keys(self, keys: np.ndarray) -> np.ndarray:
         """Validate and normalise an ``(n, key_width)`` key matrix."""
+        self._sync_obs()  # first call on every lookup_batch path
         keys = np.asarray(keys)
         if keys.ndim != 2 or keys.shape[1] != self.key_width:
             raise ValueError(

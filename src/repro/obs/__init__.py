@@ -24,8 +24,30 @@ Recording is **off by default** (set ``REPRO_OBS=1`` or install an
 enabled registry) and the disabled mode is near-free: instrumented code
 receives shared no-op instruments, so hot loops pay one empty method
 call.  ``repro stats`` and ``make bench`` enable it for you.
+
+Beyond aggregates, the package carries the *decision provenance* layer:
+structured per-packet events (:mod:`repro.obs.events`), the bounded
+verdict-biased :class:`FlightRecorder` (:mod:`repro.obs.flight`), and
+the declarative SLO :class:`AlertEngine` (:mod:`repro.obs.alerts`) —
+see the "Decision provenance" sections of ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.alerts import (
+    AlertEngine,
+    AlertRule,
+    default_serve_alerts,
+    histogram_quantile,
+)
+from repro.obs.events import (
+    EVENT_KINDS,
+    AlertEvent,
+    DecisionRecord,
+    event_from_dict,
+    event_to_dict,
+    is_critical,
+    read_events,
+    write_events,
+)
 from repro.obs.export import (
     from_jsonl,
     read_jsonl,
@@ -34,6 +56,7 @@ from repro.obs.export import (
     to_prometheus,
     write_jsonl,
 )
+from repro.obs.flight import FlightRecorder
 from repro.obs.instruments import (
     Counter,
     Gauge,
@@ -55,7 +78,13 @@ from repro.obs.registry import (
 
 __all__ = [
     "ENV_VAR",
+    "EVENT_KINDS",
+    "AlertEngine",
+    "AlertEvent",
+    "AlertRule",
     "Counter",
+    "DecisionRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "NullInstrument",
@@ -63,9 +92,15 @@ __all__ = [
     "Span",
     "Timer",
     "default_buckets",
+    "default_serve_alerts",
     "enabled",
     "env_enabled",
+    "event_from_dict",
+    "event_to_dict",
     "from_jsonl",
+    "histogram_quantile",
+    "is_critical",
+    "read_events",
     "read_jsonl",
     "registry",
     "render_table",
@@ -73,5 +108,6 @@ __all__ = [
     "to_jsonl",
     "to_prometheus",
     "use_registry",
+    "write_events",
     "write_jsonl",
 ]

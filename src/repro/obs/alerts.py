@@ -1,0 +1,301 @@
+"""Declarative SLO threshold rules evaluated against registry snapshots.
+
+An :class:`AlertRule` names a metric, an aggregation, and a threshold;
+an :class:`AlertEngine` evaluates a rule list against
+:meth:`repro.obs.registry.Registry.snapshot` output, edge-triggers an
+:class:`~repro.obs.events.AlertEvent` when a rule crosses its threshold
+(one event per excursion, re-armed when the value recovers), feeds the
+event into the flight recorder, bumps ``alerts_fired_total``, and —
+when configured with a dump path — writes the flight recorder to disk
+so the records explaining the excursion are preserved at the moment it
+fired.
+
+The streaming gateway evaluates an engine periodically in stream time
+during soaks (``repro serve --alerts``); nothing here is serving-
+specific, though — any snapshot source works.
+
+The default serve rule set (:func:`default_serve_alerts`) covers the
+four SLOs the roadmap calls out: shed rate, drift score, batcher-wait
+p99, and firewall table occupancy.  The alert-name catalogue lives in
+docs/OBSERVABILITY.md and is enforced by ``tools/docs_check.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import sys
+
+from repro.obs import registry  # noqa: F401  (module handle resolved below)
+
+# The live registry module — the package __init__ rebinds the package
+# attribute `registry` to the accessor function, so name the module via
+# sys.modules to stay unambiguous regardless of import order.
+_registry_mod = sys.modules["repro.obs.registry"]
+from repro.obs.events import AlertEvent
+
+__all__ = [
+    "AlertRule",
+    "AlertEngine",
+    "default_serve_alerts",
+    "histogram_quantile",
+]
+
+
+def histogram_quantile(
+    edges: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Prometheus-style quantile estimate from cumulative bucket counts.
+
+    Args:
+        edges: ``le``-inclusive bucket upper edges (ascending).
+        counts: per-bucket observation counts; one extra trailing count
+            is the +Inf overflow bucket.
+        q: quantile in ``[0, 1]``.
+
+    Linear interpolation inside the winning bucket (lower edge 0 for the
+    first); observations in the overflow bucket clamp to the last finite
+    edge, as ``histogram_quantile`` does.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    cumulative = 0.0
+    for i, edge in enumerate(edges):
+        cumulative += counts[i]
+        if cumulative >= rank:
+            lo = edges[i - 1] if i else 0.0
+            in_bucket = counts[i]
+            if in_bucket == 0:
+                return float(edge)
+            fraction = (rank - (cumulative - in_bucket)) / in_bucket
+            return float(lo + (edge - lo) * min(max(fraction, 0.0), 1.0))
+    return float(edges[-1]) if edges else 0.0
+
+
+@dataclasses.dataclass(frozen=True)
+class AlertRule:
+    """One declarative threshold rule over the metric registry.
+
+    Attributes:
+        name: alert identifier (``alerts_fired_total{alert=name}``).
+        metric: metric name to evaluate.  Series whose labels are a
+            superset of ``labels`` are summed (counters/gauges) or
+            bucket-merged (histograms).
+        threshold: the SLO boundary.
+        op: ``">"`` (fire above) or ``"<"`` (fire below).
+        stat: ``"value"`` for counters/gauges; ``"p50"``/``"p90"``/
+            ``"p99"``/``"mean"`` for histograms.
+        denominator: when set, the rule value is
+            ``sum(metric) / sum(denominator)`` — ratio SLOs like shed
+            rate or table occupancy.  A zero denominator never fires.
+        labels: label filter applied to both metric and denominator.
+        description: one line for dumps and docs.
+    """
+
+    name: str
+    metric: str
+    threshold: float
+    op: str = ">"
+    stat: str = "value"
+    denominator: Optional[str] = None
+    labels: Optional[Tuple[Tuple[str, str], ...]] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.op not in (">", "<"):
+            raise ValueError(f"unknown comparison {self.op!r}")
+        if self.stat not in ("value", "mean", "p50", "p90", "p99"):
+            raise ValueError(f"unknown stat {self.stat!r}")
+
+    def _matches(self, series: dict) -> bool:
+        labels = series.get("labels", {})
+        return all(labels.get(k) == v for k, v in (self.labels or ()))
+
+    def _aggregate(self, series_list: List[dict]) -> Optional[float]:
+        matched = [s for s in series_list if self._matches(s)]
+        if not matched:
+            return None
+        if matched[0].get("type") == "histogram":
+            edges = matched[0]["buckets"]
+            counts = [0] * (len(edges) + 1)
+            total = 0.0
+            n = 0
+            for series in matched:
+                for i, count in enumerate(series["counts"]):
+                    counts[i] += count
+                total += series["sum"]
+                n += series["count"]
+            if self.stat == "mean":
+                return total / n if n else 0.0
+            q = {"p50": 0.5, "p90": 0.9, "p99": 0.99}.get(self.stat)
+            if q is None:
+                raise ValueError(
+                    f"stat {self.stat!r} is not defined for histograms"
+                )
+            return histogram_quantile(edges, counts, q)
+        return float(sum(s.get("value", 0.0) for s in matched))
+
+    def evaluate(self, snapshot: dict) -> Optional[float]:
+        """The rule's current value, or ``None`` when not computable."""
+        by_name: Dict[str, List[dict]] = {}
+        for series in snapshot.get("metrics", []):
+            by_name.setdefault(series["name"], []).append(series)
+        value = self._aggregate(by_name.get(self.metric, []))
+        if value is None:
+            return None
+        if self.denominator is not None:
+            den = self._aggregate(by_name.get(self.denominator, []))
+            if not den:
+                return None
+            value = value / den
+        return value
+
+    def fired(self, value: float) -> bool:
+        return value > self.threshold if self.op == ">" else value < self.threshold
+
+
+class AlertEngine:
+    """Evaluate alert rules, emit events, and dump the flight recorder.
+
+    Args:
+        rules: the declarative rule list.
+        registry: snapshot source; ``None`` resolves the active default
+            registry at each evaluation (lazy, like the dataset cache).
+        recorder: optional :class:`~repro.obs.flight.FlightRecorder`
+            that alert events are appended to.
+        dump_path: when set, the recorder is dumped here every time at
+            least one rule fires (overwritten — last excursion wins).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[AlertRule],
+        *,
+        registry=None,
+        recorder=None,
+        dump_path=None,
+    ):
+        names = [rule.name for rule in rules]
+        if len(names) != len(set(names)):
+            raise ValueError("alert rule names must be unique")
+        self.rules = list(rules)
+        self._registry = registry
+        self.recorder = recorder
+        self.dump_path = dump_path
+        self.events: List[AlertEvent] = []
+        self._active: set = set()
+        self.evaluations = 0
+        self.dumps = 0
+
+    @property
+    def active(self) -> set:
+        """Names of rules currently over threshold."""
+        return set(self._active)
+
+    def evaluate(self, now: float = 0.0) -> List[AlertEvent]:
+        """One evaluation pass; returns the alerts that newly fired."""
+        registry = self._registry or _registry_mod.registry()
+        snapshot = registry.snapshot()
+        self.evaluations += 1
+        fired: List[AlertEvent] = []
+        for rule in self.rules:
+            value = rule.evaluate(snapshot)
+            if value is None or not rule.fired(value):
+                self._active.discard(rule.name)
+                continue
+            if rule.name in self._active:
+                continue  # still in the same excursion — edge trigger
+            self._active.add(rule.name)
+            event = AlertEvent(
+                name=rule.name,
+                value=float(value),
+                threshold=rule.threshold,
+                comparison=rule.op,
+                timestamp=now,
+                message=(
+                    f"{rule.name}: {rule.metric}"
+                    + (f"/{rule.denominator}" if rule.denominator else "")
+                    + f" {rule.stat} = {value:.6g} {rule.op} {rule.threshold:g}"
+                ),
+            )
+            self.events.append(event)
+            fired.append(event)
+            registry.counter(
+                "alerts_fired_total", {"alert": rule.name},
+                help="SLO alert rules fired (one per threshold excursion)",
+            ).inc()
+            if self.recorder is not None:
+                self.recorder.add(event)
+        if fired and self.recorder is not None and self.dump_path is not None:
+            self.recorder.dump(self.dump_path)
+            self.dumps += 1
+        return fired
+
+    def finalize(self) -> None:
+        """Refresh the dump at end of run if any rule fired during it.
+
+        The dump written at firing time captures the ring as the
+        excursion *began*; for a long overload, records accumulated
+        after that moment (e.g. every subsequent shed) would be lost to
+        the stale file.  Callers (the gateway, the CLI) invoke this once
+        after the run so the file on disk explains the full excursion.
+        """
+        if self.events and self.recorder is not None and self.dump_path is not None:
+            self.recorder.dump(self.dump_path)
+            self.dumps += 1
+
+
+def default_serve_alerts(
+    *,
+    shed_rate: float = 0.01,
+    drift_score: float = 0.25,
+    batcher_wait_p99: Optional[float] = None,
+    table_occupancy: float = 0.9,
+) -> List[AlertRule]:
+    """The standard SLO rule set for gateway soaks.
+
+    Args:
+        shed_rate: maximum tolerated shed fraction of offered packets.
+        drift_score: maximum tolerated online drift score.
+        batcher_wait_p99: p99 batcher-wait bound in seconds of stream
+            time (pass the batcher deadline; ``None`` skips the rule).
+        table_occupancy: maximum firewall-table fill fraction.
+    """
+    rules = [
+        AlertRule(
+            "shed_rate_high",
+            metric="serve_shed_packets_total",
+            denominator="serve_offered_packets_total",
+            threshold=shed_rate,
+            description="fraction of offered packets shed by backpressure",
+        ),
+        AlertRule(
+            "drift_score_high",
+            metric="online_drift_score",
+            threshold=drift_score,
+            description="latest mean total-variation drift score",
+        ),
+        AlertRule(
+            "table_occupancy_high",
+            metric="table_entries",
+            denominator="table_capacity_entries",
+            threshold=table_occupancy,
+            description="installed entries vs. configured table capacity",
+        ),
+    ]
+    if batcher_wait_p99 is not None:
+        rules.append(
+            AlertRule(
+                "batcher_wait_p99_high",
+                metric="serve_batcher_wait_seconds",
+                stat="p99",
+                threshold=batcher_wait_p99,
+                description="p99 stream-time wait from arrival to flush",
+            )
+        )
+    return rules

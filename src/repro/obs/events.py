@@ -1,0 +1,167 @@
+"""Structured provenance events: per-packet decisions, sheds, and alerts.
+
+Metrics (``repro.obs.registry``) aggregate; events explain.  This module
+defines the typed records that flow through the decision-provenance
+stream — the software analogue of INT-style postcards from a real data
+plane:
+
+* :class:`DecisionRecord` — one packet's full match trace: which tables
+  the pipeline consulted, which entry won, the byte offsets/values the
+  parser extracted, the final verdict, the shard that served it and the
+  stream timestamp.  Emitted by both switch data paths (scalar and
+  batch) and by the gateway's backpressure path (shed packets).
+* :class:`AlertEvent` — an SLO threshold rule firing (see
+  :mod:`repro.obs.alerts`).
+
+Events are plain dataclasses with a lossless dict/JSONL representation
+so a flight-recorder dump written in one process can be replayed and
+explained in another (``repro explain``).  The event-kind catalogue is
+documented in docs/OBSERVABILITY.md and enforced by
+``tools/docs_check.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = [
+    "KIND_DECISION",
+    "KIND_SHED",
+    "KIND_ALERT",
+    "EVENT_KINDS",
+    "DecisionRecord",
+    "AlertEvent",
+    "is_critical",
+    "event_to_dict",
+    "event_from_dict",
+    "write_events",
+    "read_events",
+]
+
+# Event kinds (the catalogue docs/OBSERVABILITY.md documents).  Declared
+# as module constants so the docs check can scan them.
+KIND_DECISION = "decision"   # a packet decided by the switch pipeline
+KIND_SHED = "shed"           # a packet refused by gateway backpressure
+KIND_ALERT = "alert"         # an SLO alert rule fired
+
+EVENT_KINDS = (KIND_DECISION, KIND_SHED, KIND_ALERT)
+
+
+@dataclasses.dataclass
+class DecisionRecord:
+    """Provenance for one packet's verdict.
+
+    Attributes:
+        kind: :data:`KIND_DECISION` (pipeline verdict) or
+            :data:`KIND_SHED` (backpressure policy verdict — the packet
+            never reached a switch, so the match fields are empty).
+        seq: packet sequence number within the run (arrival index for
+            gateway runs, trace index for replays).
+        timestamp: the packet's stream timestamp (capture clock).
+        verdict: final action (``drop`` / ``allow`` / ``quarantine``).
+        shard: serving shard index, ``None`` outside the gateway.
+        table: name of the table whose entry decided the packet
+            (``None`` when the default action applied).
+        entry_id: id of the matched entry in ``table`` (the rule id the
+            controller installed; ``None`` on default-action verdicts).
+        tables: every table the pipeline consulted, in order, up to and
+            including the deciding one.
+        offsets: the byte offsets the parser extracted (key order).
+        values: the byte values at those offsets for this packet.
+    """
+
+    kind: str
+    seq: int
+    timestamp: float
+    verdict: str
+    shard: Optional[int] = None
+    table: Optional[str] = None
+    entry_id: Optional[int] = None
+    tables: Tuple[str, ...] = ()
+    offsets: Tuple[int, ...] = ()
+    values: Tuple[int, ...] = ()
+
+
+@dataclasses.dataclass
+class AlertEvent:
+    """One SLO alert rule crossing its threshold.
+
+    Attributes:
+        name: alert rule name (see ``default_serve_alerts``).
+        value: the evaluated metric value at firing time.
+        threshold: the rule's threshold.
+        comparison: the rule's comparison operator (``">"`` / ``"<"``).
+        timestamp: stream time of the evaluation that fired.
+        message: human-readable one-liner for logs and dumps.
+    """
+
+    name: str
+    value: float
+    threshold: float
+    comparison: str
+    timestamp: float
+    message: str = ""
+    kind: str = KIND_ALERT
+
+
+Event = Union[DecisionRecord, AlertEvent]
+
+#: Verdicts whose records the flight recorder must never head-sample.
+_CRITICAL_VERDICTS = frozenset({"drop", "quarantine"})
+
+
+def is_critical(event: Event) -> bool:
+    """Whether the flight recorder must retain this event preferentially.
+
+    Sheds, alerts, and non-allow verdicts are *critical*: they are never
+    head-sampled and never evicted before a permit (allow) record of
+    equal or younger age.
+    """
+    if event.kind != KIND_DECISION:
+        return True
+    return event.verdict in _CRITICAL_VERDICTS
+
+
+def event_to_dict(event: Event) -> Dict[str, object]:
+    """Lossless plain-dict view (JSON-compatible)."""
+    return dataclasses.asdict(event)
+
+
+def event_from_dict(data: Dict[str, object]) -> Event:
+    """Inverse of :func:`event_to_dict`.
+
+    Raises:
+        ValueError: on an unknown event kind.
+    """
+    kind = data.get("kind")
+    if kind == KIND_ALERT:
+        return AlertEvent(**data)
+    if kind in (KIND_DECISION, KIND_SHED):
+        payload = dict(data)
+        for field in ("tables", "offsets", "values"):
+            payload[field] = tuple(payload.get(field) or ())
+        return DecisionRecord(**payload)
+    raise ValueError(f"unknown event kind {kind!r}")
+
+
+def write_events(events: Iterable[Event], path: Union[str, Path]) -> Path:
+    """Dump events as JSONL (one event per line); returns the path."""
+    path = Path(path)
+    lines = [
+        json.dumps(event_to_dict(event), sort_keys=True, separators=(",", ":"))
+        for event in events
+    ]
+    path.write_text("\n".join(lines) + ("\n" if lines else ""), encoding="utf-8")
+    return path
+
+
+def read_events(path: Union[str, Path]) -> List[Event]:
+    """Load a JSONL event dump written by :func:`write_events`."""
+    events: List[Event] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        if line.strip():
+            events.append(event_from_dict(json.loads(line)))
+    return events

@@ -70,9 +70,29 @@ def _prom_name(name: str) -> str:
     return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
 
 
+def _prom_escape_label(value: str) -> str:
+    """Escape a label *value* per the 0.0.4 text format.
+
+    Inside label-value double quotes, backslash, the quote itself, and
+    newline must be escaped (in that order — backslash first, or the
+    other escapes get double-escaped).
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _prom_escape_help(text: str) -> str:
+    """Escape ``# HELP`` text (backslash and newline only, per 0.0.4)."""
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
 def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
     parts = [
-        f'{_prom_name(k)}="{v}"'
+        f'{_prom_name(k)}="{_prom_escape_label(v)}"'
         for k, v in sorted(labels.items())
     ]
     if extra:
@@ -96,7 +116,7 @@ def to_prometheus(snapshot: Snapshot) -> str:
         series = by_name[name]
         kind = series[0]["type"]
         prom = _prom_name(name)
-        help_text = series[0].get("help") or name
+        help_text = _prom_escape_help(series[0].get("help") or name)
         out.append(f"# HELP {prom} {help_text}")
         out.append(f"# TYPE {prom} {kind}")
         for metric in series:

@@ -41,6 +41,7 @@ __all__ = [
     "registry",
     "set_registry",
     "use_registry",
+    "generation",
     "env_enabled",
     "enabled",
 ]
@@ -221,6 +222,18 @@ class Registry:
 _default: Optional[Registry] = None
 _default_lock = threading.Lock()
 
+#: Bumped on every :func:`set_registry`.  Long-lived instrumented objects
+#: (tables, switches) cache their instrument handles and compare this
+#: integer at hot-path entry points — an unchanged generation means the
+#: cached handles still belong to the active default registry, so the
+#: steady-state cost of lazy resolution is one int compare per call.
+_generation = 0
+
+
+def generation() -> int:
+    """Monotonic counter identifying the current default registry."""
+    return _generation
+
 
 def registry() -> Registry:
     """The process-wide default registry (created lazily from the env)."""
@@ -235,14 +248,18 @@ def registry() -> Registry:
 def set_registry(new: Registry) -> Registry:
     """Swap the default registry; returns the previous one.
 
-    Instrumented objects capture the default registry *when constructed*
-    (tables, switches) or per call (cache, online) — swap before building
-    whatever you want observed.
+    Instrumented objects resolve the active default registry lazily —
+    at call time for short-lived helpers (cache, online) and at run
+    entry for the dataplane objects (tables, switches), which re-capture
+    their instruments whenever the registry generation changes.  Swapping
+    mid-run therefore takes effect on the next lookup/process call; no
+    reconstruction is needed.
     """
-    global _default
+    global _default, _generation
     with _default_lock:
         old = _default if _default is not None else Registry()
         _default = new
+        _generation += 1
     return old
 
 

@@ -34,6 +34,12 @@ from typing import Callable, Dict, Iterable, List, Optional
 import numpy as np
 
 from repro import obs
+import repro.obs.registry  # noqa: F401  (module handle resolved below)
+import sys
+
+# See dataplane/switch.py: the obs package rebinds `registry` to a function.
+_obs_state = sys.modules["repro.obs.registry"]
+from repro.obs.events import KIND_SHED, DecisionRecord
 from repro.core.rules import RuleSet
 from repro.dataplane.switch import SwitchStats, Verdict
 from repro.net.packet import Packet
@@ -128,6 +134,8 @@ class SoakResult:
     stats: SwitchStats                   # aggregated across shards
     per_shard: List[Dict[str, object]]
     verdicts: Optional[List[Verdict]] = None
+    #: SLO alert events fired during the run (empty without an engine).
+    alerts: List[object] = dataclasses.field(default_factory=list)
 
     @property
     def pkts_per_sec(self) -> float:
@@ -169,6 +177,11 @@ class SoakResult:
         ]
         if self.rule_swaps:
             lines.append(f"swaps     {self.rule_swaps} atomic rule swaps")
+        if self.alerts:
+            lines.append(
+                f"alerts    {len(self.alerts)} fired: "
+                + ", ".join(sorted({a.name for a in self.alerts}))
+            )
         return "\n".join(lines)
 
 
@@ -188,6 +201,16 @@ class StreamingGateway:
             called after every serviced batch; a returned rule set is
             installed atomically on all shards before any further batch
             is processed (see :class:`repro.serve.hooks.DriftRetrainHook`).
+        recorder: optional :class:`repro.obs.FlightRecorder` attached to
+            every shard switch; captures per-packet decision records
+            (seq = arrival index) and a shed record for every packet the
+            backpressure policy refuses.
+        alert_engine: optional :class:`repro.obs.AlertEngine` evaluated
+            every ``alert_interval`` seconds of stream time during the
+            run (and once at the end); fired events land in
+            :attr:`SoakResult.alerts` and, via the engine, in the flight
+            recorder and its auto-dump.
+        alert_interval: stream-time seconds between alert evaluations.
     """
 
     def __init__(
@@ -196,7 +219,12 @@ class StreamingGateway:
         config: Optional[ServeConfig] = None,
         *,
         retrain_hook: Optional[RetrainHook] = None,
+        recorder=None,
+        alert_engine=None,
+        alert_interval: float = 0.5,
     ):
+        if alert_interval <= 0:
+            raise ValueError("alert_interval must be positive")
         self.config = config or ServeConfig()
         self.shards = ShardSet(
             rules,
@@ -207,10 +235,35 @@ class StreamingGateway:
             queue_capacity=self.config.queue_capacity,
         )
         self.retrain_hook = retrain_hook
+        self.recorder = recorder
+        self.alert_engine = alert_engine
+        self.alert_interval = alert_interval
+        self._attach_recorder()
+        self._capture_obs()
+        self._reset_run_state()
+
+    def _capture_obs(self) -> None:
         self._registry = obs.registry()
+        self._obs_gen = _obs_state.generation()
         self._obs_on = self._registry.enabled
         self._init_instruments()
-        self._reset_run_state()
+
+    def _sync_obs(self) -> None:
+        # One int compare per run; see registry._generation.
+        if _obs_state._generation != self._obs_gen:
+            self._capture_obs()
+
+    def _attach_recorder(self) -> None:
+        """(Re)attach the flight recorder on every shard switch.
+
+        Called at construction and after every atomic rule install —
+        a changed-offsets install rebuilds shard controllers, which
+        discards the previous switches (and their recorder hookup).
+        """
+        if self.recorder is None:
+            return
+        for shard in self.shards:
+            shard.switch.attach_recorder(self.recorder, shard=shard.index)
 
     def _init_instruments(self) -> None:
         registry = self._registry
@@ -271,10 +324,13 @@ class StreamingGateway:
         self._latencies: List[float] = []
         self._waits: List[float] = []
         self._offered = 0
+        self._offered_reported = 0
         self._batches = 0
         self._flush_reasons: Dict[str, int] = {}
         self._process_seconds = 0.0
         self._next_deadline = math.inf
+        self._next_alert_t = math.inf
+        self._alerts: List[object] = []
         self._first_t: Optional[float] = None
         self._last_t = 0.0
 
@@ -282,6 +338,7 @@ class StreamingGateway:
 
     def run(self, source: Iterable[Packet]) -> SoakResult:
         """Consume a source to exhaustion, then drain; returns the result."""
+        self._sync_obs()
         self._reset_run_state()
         config = self.config
         shards = self.shards.shards
@@ -294,9 +351,14 @@ class StreamingGateway:
                 t = packet.timestamp
                 if self._first_t is None:
                     self._first_t = t
+                    if self.alert_engine is not None:
+                        self._next_alert_t = t + self.alert_interval
                 self._last_t = t
                 if t >= self._next_deadline:
                     self._flush_due(t)
+                if t >= self._next_alert_t:
+                    self._evaluate_alerts(t)
+                    self._next_alert_t = t + self.alert_interval
                 index = self._offered
                 self._offered += 1
                 if record:
@@ -315,8 +377,25 @@ class StreamingGateway:
                     if deadline < self._next_deadline:
                         self._next_deadline = deadline
             self._drain(self._last_t)
+            if self.alert_engine is not None:
+                self._evaluate_alerts(self._last_t)
+                self.alert_engine.finalize()
         wall = time.perf_counter() - wall_start
         return self._result(wall)
+
+    def _evaluate_alerts(self, now: float) -> None:
+        """One stream-time alert evaluation against current counters.
+
+        Ratio rules (shed rate) need the offered denominator current
+        *mid-run*, so the offered counter is synced incrementally here
+        rather than only at run end.
+        """
+        if self._obs_on:
+            delta = self._offered - self._offered_reported
+            if delta:
+                self._obs_offered.inc(delta)
+                self._offered_reported = self._offered
+        self._alerts.extend(self.alert_engine.evaluate(now))
 
     def _flush_due(self, now: float) -> None:
         for shard in self.shards:
@@ -371,9 +450,22 @@ class StreamingGateway:
         action = "allow" if self.config.policy == FAIL_OPEN else "drop"
         verdict = Verdict(action, table=None, entry_id=None)
         record = self.config.record_verdicts
-        for __, index in refused:
+        recorder = self.recorder
+        for packet, index in refused:
             if record:
                 self._verdicts[index] = verdict
+            if recorder is not None:
+                # Shed records are critical: never sampled, never evicted
+                # before a permit — the dump holds every shed packet.
+                recorder.add(
+                    DecisionRecord(
+                        kind=KIND_SHED,
+                        seq=index,
+                        timestamp=packet.timestamp,
+                        verdict=action,
+                        shard=shard.index,
+                    )
+                )
         shard.shed += len(refused)
         if self._obs_on:
             self._obs_shed[shard.index].inc(len(refused))
@@ -388,7 +480,9 @@ class StreamingGateway:
             batch = queue.pop()
             start = max(shard.busy_until, batch.flush_time)
             process_start = time.perf_counter()
-            verdicts = shard.switch.process_batch(batch.packets)
+            verdicts = shard.switch.process_batch(
+                batch.packets, seqs=batch.indices
+            )
             self._process_seconds += time.perf_counter() - process_start
             if rate is not None:
                 shard.busy_until = start + len(batch) / rate
@@ -413,6 +507,7 @@ class StreamingGateway:
                 new_rules = self.retrain_hook(batch.packets, verdicts)
                 if new_rules is not None:
                     self.shards.install(new_rules)
+                    self._attach_recorder()
                     if self._obs_on:
                         self._obs_swaps.inc()
 
@@ -420,7 +515,8 @@ class StreamingGateway:
 
     def _result(self, wall: float) -> SoakResult:
         if self._obs_on:
-            self._obs_offered.inc(self._offered)
+            self._obs_offered.inc(self._offered - self._offered_reported)
+            self._offered_reported = self._offered
         latencies = np.asarray(self._latencies) if self._latencies else np.zeros(1)
         waits = np.asarray(self._waits) if self._waits else np.zeros(1)
         processed = sum(s.processed for s in self.shards)
@@ -461,4 +557,5 @@ class StreamingGateway:
             stats=self.shards.stats(),
             per_shard=per_shard,
             verdicts=verdicts,
+            alerts=list(self._alerts),
         )

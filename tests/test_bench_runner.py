@@ -17,9 +17,15 @@ BENCH = REPO_ROOT / "tools" / "bench.py"
 #: trajectory is append-only, so historical records stay valid as-is.
 BASE_RECORD_KEYS = {"commit", "date", "mode", "metrics"}
 RECORD_KEYS = BASE_RECORD_KEYS | {"obs"}
-METRIC_GROUPS = {"trace_synthesis", "detector_fit", "batch_switch", "serve"}
+METRIC_GROUPS = {
+    "trace_synthesis",
+    "detector_fit",
+    "batch_switch",
+    "serve",
+    "flight_recorder",
+}
 #: Phases added after the trajectory started; absent from old records.
-LEGACY_OPTIONAL_GROUPS = {"serve"}
+LEGACY_OPTIONAL_GROUPS = {"serve", "flight_recorder"}
 
 
 def run_bench(output: Path) -> subprocess.CompletedProcess:
@@ -57,6 +63,9 @@ def test_bench_appends_schema_valid_records(tmp_path):
     serve = record["metrics"]["serve"]
     assert serve["soak_vs_offline"] > 0
     assert 0.0 <= serve["overload_shed_fraction"] <= 1.0
+    flight = record["metrics"]["flight_recorder"]
+    assert flight["disabled_seconds"] > 0 and flight["enabled_seconds"] > 0
+    assert flight["resident_records"] > 0
 
     # Telemetry snapshot rides along: per-phase bench spans + counters.
     obs_metrics = record["obs"]["metrics"]

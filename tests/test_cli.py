@@ -153,6 +153,60 @@ class TestExplainAndOptimize:
         assert "Deployed firewall rules" in out
         assert "DROP when" in out or "QUARANTINE when" in out
 
+    def test_explain_packet_index_walks_provenance(
+        self, pcap_and_labels, tmp_path, capsys
+    ):
+        """`repro explain --index` on a dropped packet prints the full
+        chain: matched rule, key byte offsets/values, and the Stage-2
+        tree path the rule distilled from."""
+        from repro.core.serialize import load_ruleset
+        from repro.dataplane import GatewayController
+        from repro.net.pcap import read_pcap
+
+        pcap, labels, __ = pcap_and_labels
+        rules_path = tmp_path / "rexp.json"
+        main(["train", "--pcap", pcap, "--labels", labels, "--rules", str(rules_path)])
+        # find a packet the deployed rules drop
+        rules = load_ruleset(rules_path)
+        controller = GatewayController.for_ruleset(rules, table_capacity=65536)
+        controller.deploy(rules)
+        packets = read_pcap(pcap)
+        drop_index = next(
+            i
+            for i, packet in enumerate(packets)
+            if controller.switch.process(packet).action == "drop"
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "explain", str(rules_path), "--pcap", pcap,
+                "--index", str(drop_index),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"packet #{drop_index}" in out
+        assert "verdict=drop" in out
+        assert "key bytes: b[" in out
+        assert "matched: table=" in out and "entry=" in out
+        assert "rule: " in out and "confidence" in out
+        assert "tree path: b[" in out  # trained rules carry provenance
+
+    def test_explain_index_out_of_range(self, pcap_and_labels, tmp_path):
+        from repro.core.serialize import save_ruleset
+        from repro.eval.harness import synthetic_firewall_ruleset
+
+        pcap, __, ___ = pcap_and_labels
+        rules_path = tmp_path / "roor.json"
+        save_ruleset(synthetic_firewall_ruleset(n_rules=4, seed=3), rules_path)
+        with pytest.raises(SystemExit, match="out of range"):
+            main(
+                [
+                    "explain", str(rules_path), "--pcap", pcap,
+                    "--index", "999999",
+                ]
+            )
+
     def test_train_with_optimize_flag(self, pcap_and_labels, tmp_path, capsys):
         pcap, labels, __ = pcap_and_labels
         rules_path = tmp_path / "ro.json"
@@ -318,6 +372,34 @@ class TestServe:
         assert code == 0
         out = capsys.readouterr().out
         assert "serve_offered_packets_total" in out
+
+    def test_serve_alerts_fire_and_dump_flight(self, rules_path, tmp_path, capsys):
+        """Over-offered soak: shed-rate alert fires and the flight dump
+        holds a record for every shed packet."""
+        from repro.obs.events import KIND_SHED, read_events
+
+        dump = tmp_path / "flight.jsonl"
+        code = main(
+            [
+                "serve", str(rules_path), "--synthetic", "inet",
+                "--packets", "4000", "--rate", "100000",
+                "--service-rate", "10000", "--queue-capacity", "512",
+                "--max-batch", "256",
+                "--alerts", "--flight-dump", str(dump),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALERT shed_rate_high" in out
+        assert "alerts" in out
+        shed = int(
+            next(line for line in out.splitlines() if "shed" in line).split()[1]
+        )
+        assert shed > 0
+        shed_records = [
+            e for e in read_events(dump) if e.kind == KIND_SHED
+        ]
+        assert len(shed_records) == shed
 
     def test_serve_saves_snapshot(self, rules_path, tmp_path, capsys):
         snapshot = tmp_path / "serve.jsonl"

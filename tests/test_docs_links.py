@@ -1,12 +1,15 @@
 """Documentation health checks, run as part of tier-1.
 
-Two guarantees:
+Three guarantees:
 
 * every intra-repo Markdown link resolves (``tools/docs_check.py`` —
-  the same check ``make docs-check`` runs), and
+  the same check ``make docs-check`` runs, which also covers the
+  event-kind and alert-name catalogues),
 * every metric and span name registered anywhere in the source appears
   in ``docs/OBSERVABILITY.md``, so the instrument catalogue cannot
-  silently drift from the code.
+  silently drift from the code, and
+* every event kind (``repro/obs/events.py``) and alert rule name
+  (``repro/obs/alerts.py``) appears there too.
 """
 
 from __future__ import annotations
@@ -71,4 +74,36 @@ def test_observability_doc_covers_every_registered_name():
     assert not undocumented_spans, (
         f"spans used in code but missing from "
         f"docs/OBSERVABILITY.md: {undocumented_spans}"
+    )
+
+
+# ``KIND_X = "x"`` constants and first (name) arguments of AlertRule
+# constructions — the provenance/alerting half of the catalogue.
+_EVENT_KIND = re.compile(r'^KIND_[A-Z_]+\s*=\s*"([a-z_]+)"', re.M)
+_ALERT_NAME = re.compile(r'AlertRule\(\s*"([a-z0-9_]+)"')
+
+
+def test_observability_doc_covers_events_and_alerts():
+    doc = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    obs_dir = REPO_ROOT / "src" / "repro" / "obs"
+    kinds = set(
+        _EVENT_KIND.findall((obs_dir / "events.py").read_text(encoding="utf-8"))
+    )
+    alerts = set()
+    for path in sorted((REPO_ROOT / "src").rglob("*.py")):
+        alerts.update(_ALERT_NAME.findall(path.read_text(encoding="utf-8")))
+
+    # The scans must actually see the declarations they guard.
+    assert {"decision", "shed", "alert"} <= kinds
+    assert "shed_rate_high" in alerts
+
+    undocumented_kinds = sorted(name for name in kinds if name not in doc)
+    assert not undocumented_kinds, (
+        f"event kinds declared in code but missing from "
+        f"docs/OBSERVABILITY.md: {undocumented_kinds}"
+    )
+    undocumented_alerts = sorted(name for name in alerts if name not in doc)
+    assert not undocumented_alerts, (
+        f"alert rules declared in code but missing from "
+        f"docs/OBSERVABILITY.md: {undocumented_alerts}"
     )

@@ -1,0 +1,139 @@
+"""Tests for the rule-provenance chain: tree path → rule → table entry.
+
+The chain the `repro explain` CLI walks: ``DecisionTree.leaves()``
+records each leaf's root-to-leaf split conditions (``Leaf.path``),
+``rules_from_leaves`` carries them as ``Rule.provenance``,
+serialisation round-trips them (with backward compatibility for rule
+files written before the field existed), and
+``GatewayController.rule_for_entry`` maps an installed ternary entry id
+back to the originating rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.distill import DecisionTree
+from repro.core.rules import ACTION_DROP, MatchField, Rule, RuleSet, rules_from_leaves
+from repro.core.serialize import ruleset_from_dict, ruleset_to_dict
+from repro.dataplane import GatewayController
+
+
+def _conjunction_tree(rng):
+    """depth-2 tree for y = (b0 > 100) & (b2 <= 49)."""
+    x = rng.integers(0, 256, size=(800, 3)).astype(np.int64)
+    y = ((x[:, 0] > 100) & (x[:, 2] <= 49)).astype(np.int64)
+    return DecisionTree(max_depth=2).fit(x, y)
+
+
+class TestLeafPath:
+    def test_paths_are_split_conditions(self, rng):
+        tree = _conjunction_tree(rng)
+        leaves = tree.leaves()
+        assert all(leaf.path for leaf in leaves)  # no empty paths at depth 2
+        for leaf in leaves:
+            for condition in leaf.path:
+                assert (" <= " in condition) != (" > " in condition)
+                assert condition.startswith("b[")
+
+    def test_sibling_leaves_differ_in_last_condition(self, rng):
+        tree = _conjunction_tree(rng)
+        paths = [leaf.path for leaf in tree.leaves()]
+        assert len(set(paths)) == len(paths)  # all root-to-leaf paths unique
+
+    def test_attack_leaf_path_reflects_learned_rule(self, rng):
+        tree = _conjunction_tree(rng)
+        attack = [leaf for leaf in tree.leaves() if leaf.prediction == 1]
+        assert attack
+        conditions = " and ".join(attack[0].path)
+        # the learned conjunction tests both features somewhere on the path
+        assert "b[0]" in conditions and "b[2]" in conditions
+
+    def test_stump_has_single_condition_paths(self, rng):
+        x = rng.integers(0, 256, size=(400, 2)).astype(np.int64)
+        y = (x[:, 1] > 100).astype(np.int64)
+        tree = DecisionTree(max_depth=1).fit(x, y)
+        paths = sorted(leaf.path for leaf in tree.leaves())
+        assert paths == [("b[1] <= 100",), ("b[1] > 100",)]
+
+
+class TestRuleProvenance:
+    def test_rules_carry_leaf_paths(self, rng):
+        tree = _conjunction_tree(rng)
+        offsets = (10, 20, 30)
+        ruleset = rules_from_leaves(tree.leaves(), offsets)
+        assert ruleset.rules
+        attack_paths = {
+            leaf.path for leaf in tree.leaves() if leaf.prediction == 1
+        }
+        for rule in ruleset.rules:
+            assert rule.provenance in attack_paths
+
+    def test_hand_written_rule_has_empty_provenance(self):
+        rule = Rule((MatchField(0, 1, 1),), ACTION_DROP)
+        assert rule.provenance == ()
+
+    def test_serialize_round_trip(self, rng):
+        tree = _conjunction_tree(rng)
+        ruleset = rules_from_leaves(tree.leaves(), (10, 20, 30))
+        restored = ruleset_from_dict(ruleset_to_dict(ruleset))
+        assert [r.provenance for r in restored.rules] == [
+            r.provenance for r in ruleset.rules
+        ]
+        assert any(r.provenance for r in restored.rules)
+
+    def test_pre_provenance_files_load_with_empty_path(self, rng):
+        tree = _conjunction_tree(rng)
+        ruleset = rules_from_leaves(tree.leaves(), (10, 20, 30))
+        data = ruleset_to_dict(ruleset)
+        for entry in data["rules"]:
+            del entry["provenance"]  # as written before the field existed
+        restored = ruleset_from_dict(data)
+        assert all(r.provenance == () for r in restored.rules)
+
+
+class TestRuleForEntry:
+    def _deployed(self):
+        ruleset = RuleSet(
+            (0, 1),
+            rules=(
+                Rule((MatchField(0, 1, 1),), ACTION_DROP, provenance=("b[0] > 0",)),
+                # range 2..5 expands to multiple ternary entries
+                Rule((MatchField(1, 2, 5),), ACTION_DROP, provenance=("b[1] > 1",)),
+            ),
+        )
+        controller = GatewayController.for_ruleset(ruleset)
+        controller.deploy(ruleset)
+        return controller, ruleset
+
+    def test_every_installed_entry_maps_to_its_rule(self):
+        controller, ruleset = self._deployed()
+        cursor = 0
+        counts = [rule.ternary_entry_count() for rule in ruleset.rules]
+        assert counts[1] > 1  # the range rule really expands
+        for rule, count in zip(ruleset.rules, counts):
+            for entry_id in controller._entry_ids[cursor : cursor + count]:
+                assert controller.rule_for_entry(entry_id) is rule
+            cursor += count
+
+    def test_unknown_entry_raises(self):
+        controller, __ = self._deployed()
+        with pytest.raises(KeyError, match="no installed entry"):
+            controller.rule_for_entry(999_999)
+
+    def test_undeployed_controller_raises(self):
+        controller, __ = self._deployed()
+        controller.undeploy()
+        with pytest.raises(KeyError):
+            controller.rule_for_entry(1)
+
+    def test_verdict_entry_resolves_through_provenance(self):
+        """End to end: a dropped packet's entry id explains itself."""
+        from repro.net.packet import Packet
+
+        controller, __ = self._deployed()
+        verdict = controller.switch.process(Packet(bytes((1, 0))))
+        assert verdict.action == "drop"
+        rule = controller.rule_for_entry(verdict.entry_id)
+        assert rule.provenance == ("b[0] > 0",)

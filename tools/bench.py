@@ -1,8 +1,9 @@
 #!/usr/bin/env python
 """Project benchmark runner with a persisted perf trajectory.
 
-Times the three perf-critical paths — trace synthesis, detector
-training, and the batch switch data path — and *appends* one record to
+Times the perf-critical paths — trace synthesis, detector training,
+the batch switch data path, the streaming-gateway soak, and the
+flight-recorder provenance overhead — and *appends* one record to
 ``BENCH_perf.json`` so the numbers form a trajectory across commits
 rather than a single snapshot:
 
@@ -148,6 +149,57 @@ def bench_batch_switch(quick: bool) -> dict:
     }
 
 
+def bench_flight_recorder(quick: bool) -> dict:
+    """Decision-provenance overhead: recorder-attached vs detached.
+
+    Times the batch data path at batch 1024 with and without a
+    :class:`repro.obs.FlightRecorder` attached (1 % allow sampling,
+    the serve default) so the trajectory shows what enabling flight
+    recording costs.  The perf-marked acceptance test holds the
+    overhead at ≤15 %; this records the measured figure per commit.
+    """
+    config = TraceConfig(**QUICK_TRACE)
+    with fastpath(True):
+        base = generate_trace(config)
+    target = 20_000 if quick else 200_000
+    packets = (base * (target // len(base) + 1))[:target]
+    offsets = (19, 34, 37, 48, 49, 63)
+    rng = np.random.default_rng(0)
+
+    def build() -> Switch:
+        switch = Switch(SwitchConfig(key_offsets=offsets))
+        table = TernaryTable("fw", len(offsets), max_entries=1024)
+        for i in range(100):
+            value = tuple(int(v) for v in rng.integers(0, 256, size=len(offsets)))
+            table.add(value, (255,) * len(offsets), "drop", priority=i)
+        switch.add_table(table)
+        return switch
+
+    def timed(switch: Switch) -> float:
+        switch.process_trace(packets[:4096], batch_size=1024)  # warm
+        switch.reset_stats()
+        start = time.perf_counter()
+        switch.process_trace(packets, batch_size=1024)
+        return time.perf_counter() - start
+
+    disabled_seconds = timed(build())
+    recorded = build()
+    recorder = obs.FlightRecorder(65536, sample_rate=0.01, seed=0)
+    recorded.attach_recorder(recorder)
+    enabled_seconds = timed(recorded)
+    stats = recorder.stats()
+    return {
+        "packets": len(packets),
+        "disabled_seconds": round(disabled_seconds, 4),
+        "enabled_seconds": round(enabled_seconds, 4),
+        "overhead_fraction": round(
+            (enabled_seconds - disabled_seconds) / disabled_seconds, 4
+        ),
+        "resident_records": stats["resident"],
+        "sampled_out": stats["sampled_out"],
+    }
+
+
 def bench_serve(quick: bool) -> dict:
     """Streaming-gateway soak vs. the offline batch replay baseline.
 
@@ -229,6 +281,7 @@ def run(quick: bool) -> dict:
             ("detector_fit", bench_detector_fit),
             ("batch_switch", bench_batch_switch),
             ("serve", bench_serve),
+            ("flight_recorder", bench_flight_recorder),
         ]:
             print(f"[bench] {name} ...", flush=True)
             start = time.perf_counter()

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Markdown link linter for the repo's documentation.
+"""Markdown link + catalogue linter for the repo's documentation.
 
 Checks every intra-repo link in the Markdown corpus (top-level ``*.md``
 plus ``docs/*.md``) and fails on:
@@ -10,7 +10,12 @@ plus ``docs/*.md``) and fails on:
 * **dead anchors** — ``[text](#section)`` or ``[text](FILE.md#section)``
   where no heading in the target file slugifies to ``section``
   (GitHub-style slugification: lowercase, spaces → ``-``, punctuation
-  stripped, duplicate slugs suffixed ``-1``, ``-2``, ...).
+  stripped, duplicate slugs suffixed ``-1``, ``-2``, ...);
+* **catalogue drift** — every event kind declared in
+  ``src/repro/obs/events.py`` and every alert rule name declared in
+  ``src/repro/obs/alerts.py`` must appear in ``docs/OBSERVABILITY.md``
+  (the metric/span half of the catalogue is enforced by
+  ``tests/test_docs_links.py``, which needs the full source scan).
 
 External links (``http(s)://``, ``mailto:``) are deliberately not
 fetched — this repo is developed offline — and bare inline-code
@@ -125,6 +130,40 @@ def check_file(path: Path, cache: Dict[Path, set]) -> List[Tuple[int, str, str]]
     return problems
 
 
+#: ``KIND_X = "x"`` module constants — the event-kind catalogue.
+_EVENT_KIND_RE = re.compile(r'^KIND_[A-Z_]+\s*=\s*"([a-z_]+)"', re.M)
+#: First (positional ``name``) argument of every ``AlertRule(...)``.
+_ALERT_NAME_RE = re.compile(r'AlertRule\(\s*"([a-z0-9_]+)"')
+
+
+def catalogue_problems() -> List[str]:
+    """Event kinds / alert names missing from docs/OBSERVABILITY.md."""
+    doc = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    events = _EVENT_KIND_RE.findall(
+        (REPO_ROOT / "src" / "repro" / "obs" / "events.py").read_text(
+            encoding="utf-8"
+        )
+    )
+    alerts = _ALERT_NAME_RE.findall(
+        (REPO_ROOT / "src" / "repro" / "obs" / "alerts.py").read_text(
+            encoding="utf-8"
+        )
+    )
+    problems: List[str] = []
+    # The scans must actually see the declarations they guard.
+    if "decision" not in events:
+        problems.append("event-kind scan found no KIND_* constants")
+    if "shed_rate_high" not in alerts:
+        problems.append("alert-name scan found no AlertRule names")
+    for kind in sorted(set(events)):
+        if kind not in doc:
+            problems.append(f"event kind {kind!r} missing from OBSERVABILITY.md")
+    for name in sorted(set(alerts)):
+        if name not in doc:
+            problems.append(f"alert name {name!r} missing from OBSERVABILITY.md")
+    return problems
+
+
 def main(argv: List[str] | None = None) -> int:
     cache: Dict[Path, set] = {}
     total = 0
@@ -135,10 +174,13 @@ def main(argv: List[str] | None = None) -> int:
             rel = path.relative_to(REPO_ROOT)
             print(f"{rel}:{lineno}: dead link ({problem}): {target}")
             total += 1
+    for problem in catalogue_problems():
+        print(f"docs/OBSERVABILITY.md: catalogue drift: {problem}")
+        total += 1
     if total:
-        print(f"docs-check: {total} dead link(s) across {checked} file(s)")
+        print(f"docs-check: {total} problem(s) across {checked} file(s)")
         return 1
-    print(f"docs-check: OK ({checked} files, no dead links)")
+    print(f"docs-check: OK ({checked} files, no dead links, catalogue current)")
     return 0
 
 
