@@ -8,6 +8,9 @@ test:
 
 # Tier-1: the quick signal — skips the heavier differential/property
 # suites (marked `slow`); slow-test timings surface via --durations.
+# The compiled-vs-oracle differential suite is deliberately NOT
+# slow-marked, so it runs here: a compiled-path divergence is a
+# correctness bug, not a perf nicety.
 test-fast:
 	$(PYTHON) -m pytest tests/ -m "not slow" --durations=10
 

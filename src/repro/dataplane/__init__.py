@@ -8,6 +8,12 @@ sets produced by :mod:`repro.core` at runtime.
 """
 
 from repro.dataplane.bmv2 import generate_bmv2_config
+from repro.dataplane.compiled import (
+    CompiledClassifier,
+    CompiledTable,
+    CompileReport,
+    compile_table,
+)
 from repro.dataplane.controller import DeploymentReport, GatewayController, UpdateReport
 from repro.dataplane.p4gen import generate_p4_program
 from repro.dataplane.queueing import EgressQueue, QueueResult, simulate_queue
@@ -32,6 +38,10 @@ __all__ = [
     "RangeTable",
     "LpmTable",
     "TableFullError",
+    "CompiledClassifier",
+    "CompiledTable",
+    "CompileReport",
+    "compile_table",
     "GatewayController",
     "DeploymentReport",
     "UpdateReport",

@@ -1,0 +1,488 @@
+"""Compiled per-byte LUT-bitmap classification (the DPDK-ACL trick).
+
+The vectorised ``lookup_batch`` paths in :mod:`repro.dataplane.tables`
+still broadcast every key against every installed entry — an
+O(entries × packets) mask-and-compare per table.  This module compiles
+an installed rule set into **per-selected-byte 256-slot lookup tables
+whose values are entry bitmasks**, so classifying a batch becomes one
+``np.take`` gather per key byte plus a bitwise-AND intersection:
+
+* Entries are laid out in *match order* — the exact order the scalar
+  reference path scans them (ternary/range: priority descending, then
+  insertion order; LPM: prefix length descending; exact: any order,
+  at most one entry can match a key).
+* Entry ``e`` owns bit ``e % 64`` of uint64 word ``e // 64``; a table
+  with ``E`` entries packs into ``W = ceil(E / 64)`` words.
+* For key byte position ``j`` the compiler precomputes
+  ``lut[j][b]`` — the bitmask of every entry that *could* match byte
+  value ``b`` at position ``j`` (value/mask test for ternary and LPM,
+  closed interval test for range, equality for exact).
+* A key matches entry ``e`` iff **all** of its bytes are allowed by
+  ``e``, so the surviving-entry mask of a key is the AND over its
+  bytes' LUT slots, and the winner is the **lowest set bit** (first
+  entry in match order) — bit-identical to the scalar scan, including
+  the equal-priority insertion-order tie-break.
+
+Per batch the cost is ``key_width`` gathers of ``(n, W)`` words plus
+the intersections and one find-first-set pass — independent of the
+entry count except through ``W`` (64 entries per word).
+
+The compiled path is a pure acceleration: results are emitted as the
+same :class:`~repro.dataplane.tables.BatchMatchResult` the vectorised
+path produces and funnelled through the table's own
+``_count_batch`` / shadow accounting, so verdicts, direct counters,
+aggregate telemetry, and :class:`~repro.obs.events.DecisionRecord`
+entry ids are indistinguishable from the scalar and vectorised
+oracles.  ``tests/test_compiled_differential.py`` and the hypothesis
+suite in ``tests/test_tables_property.py`` lock that equivalence.
+
+Lifecycle (see docs/ARCHITECTURE.md, "Compiled classification"):
+:meth:`repro.dataplane.switch.Switch.compile` (or the
+``REPRO_COMPILED=1`` environment gate) opts a switch in; every entry
+install/remove bumps the owning table's ``generation``, which marks
+the program stale; the next ``process_batch`` recompiles lazily, and
+``ShardSet.install`` rule swaps in :mod:`repro.serve` recompile
+eagerly so the swap stays atomic between batches.  A table kind the
+compiler does not understand falls back to its ``lookup_batch``
+(counted by ``compiled_fallbacks_total``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+import repro.obs.registry  # noqa: F401  (module handle resolved below)
+
+# See switch.py: the package rebinds `repro.obs.registry` to a function.
+_obs_state = sys.modules["repro.obs.registry"]
+
+from repro.dataplane.tables import (
+    BatchMatchResult,
+    ExactTable,
+    LpmTable,
+    RangeTable,
+    TernaryTable,
+)
+
+__all__ = [
+    "ENV_VAR",
+    "CompileReport",
+    "CompiledTable",
+    "CompiledClassifier",
+    "compile_table",
+    "env_enabled",
+]
+
+#: Environment gate: any value except 0/false/no/off opts new switches in.
+ENV_VAR = "REPRO_COMPILED"
+
+_BYTES = np.arange(256, dtype=np.uint8)
+
+#: Per-byte popcount, for the shadow-hit accounting on a uint8 view of
+#: the surviving words (kept alongside ``np.bitwise_count`` so the
+#: counting path has no numpy>=2 requirement baked into correctness).
+_POPCOUNT8 = np.array(
+    [bin(b).count("1") for b in range(256)], dtype=np.uint8
+)
+
+
+def env_enabled() -> bool:
+    """Whether ``REPRO_COMPILED`` opts new switches into compilation."""
+    value = os.environ.get(ENV_VAR, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+@dataclasses.dataclass
+class CompileReport:
+    """What one :meth:`CompiledClassifier.compile` pass produced."""
+
+    generation: int
+    tables: int
+    compiled_tables: int
+    entries: int
+    words: int
+    seconds: float
+
+    def __str__(self) -> str:
+        return (
+            f"gen {self.generation}: {self.compiled_tables}/{self.tables} "
+            f"tables, {self.entries} entries in {self.words} words, "
+            f"{self.seconds * 1e3:.2f} ms"
+        )
+
+
+def _pack_words(allowed: np.ndarray, words: int) -> np.ndarray:
+    """Pack an ``(256, E)`` allowed matrix into ``(256, W)`` uint64 words.
+
+    Bit ``e % 64`` of word ``e // 64`` is set where ``allowed[:, e]``
+    is true.  Packed via little-endian bit and byte order so entry 0 is
+    the least significant bit of word 0 — the find-first-set resolve in
+    :meth:`CompiledTable.classify` depends on exactly this layout.
+    """
+    packed = np.packbits(allowed, axis=1, bitorder="little")
+    padded = np.zeros((256, words * 8), dtype=np.uint8)
+    padded[:, : packed.shape[1]] = packed
+    return padded.view("<u8").reshape(256, words)
+
+
+@dataclasses.dataclass
+class CompiledTable:
+    """One table's rule set, compiled to per-byte LUT bitmaps.
+
+    Attributes:
+        key_width: bytes per key (LUT count).
+        entries: installed entry count at compile time.
+        words: uint64 words per bitmask (``ceil(entries / 64)``).
+        luts: ``(key_width, 256, words)`` uint64 — per-byte entry masks.
+        entry_ids: ``(words * 64,)`` int64 — match-order entry ids,
+            padded with ``-1`` past ``entries``.
+        priorities: ``(words * 64,)`` int64 — match-order priorities
+            (zero for the priority-less exact/LPM kinds), zero-padded.
+        entry_actions: match-order action names.
+        shadowed: whether multi-match keys count as shadow hits (the
+            priority-ordered ternary/range kinds, mirroring the
+            oracle paths' ``table_shadow_hits_total`` accounting).
+    """
+
+    key_width: int
+    entries: int
+    words: int
+    luts: np.ndarray
+    entry_ids: np.ndarray
+    priorities: np.ndarray
+    entry_actions: Tuple[str, ...]
+    shadowed: bool
+
+    @classmethod
+    def from_match_order(
+        cls,
+        key_width: int,
+        allowed: np.ndarray,
+        entry_ids: Sequence[int],
+        priorities: Sequence[int],
+        actions: Sequence[str],
+        *,
+        shadowed: bool,
+    ) -> "CompiledTable":
+        """Build from an ``(E, key_width, 256)`` allowed-byte matrix."""
+        count = len(entry_ids)
+        words = max(1, -(-count // 64))
+        luts = np.zeros((key_width, 256, words), dtype=np.uint64)
+        if count:
+            for j in range(key_width):
+                luts[j] = _pack_words(allowed[:, j, :].T, words)
+        padded_ids = np.full(words * 64, -1, dtype=np.int64)
+        padded_ids[:count] = np.asarray(entry_ids, dtype=np.int64)
+        padded_pri = np.zeros(words * 64, dtype=np.int64)
+        padded_pri[:count] = np.asarray(priorities, dtype=np.int64)
+        return cls(
+            key_width=key_width,
+            entries=count,
+            words=words,
+            luts=luts,
+            entry_ids=padded_ids,
+            priorities=padded_pri,
+            entry_actions=tuple(actions),
+            shadowed=shadowed,
+        )
+
+    def classify(
+        self, keys: np.ndarray, *, count_shadows: bool = False
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, int]:
+        """Resolve a normalised ``(n, key_width)`` key matrix.
+
+        Returns ``(hit, slot, entry_id, priority, shadow_hits)`` where
+        ``slot`` is the match-order index of the winning entry (0 on
+        miss — callers must mask with ``hit``).
+        """
+        n = len(keys)
+        if self.entries == 0 or n == 0:
+            zeros = np.zeros(n, dtype=np.int64)
+            return (
+                np.zeros(n, dtype=bool),
+                zeros,
+                np.full(n, -1, dtype=np.int64),
+                zeros.copy(),
+                0,
+            )
+        # One gather per selected byte, intersected into survivor masks.
+        survivors = self.luts[0][keys[:, 0]]
+        for j in range(1, self.key_width):
+            survivors &= self.luts[j][keys[:, j]]
+        nonzero = survivors != 0
+        hit = nonzero.any(axis=1)
+        # First entry in match order == lowest set bit overall: locate
+        # the first nonzero word, then its least significant set bit.
+        first_word = nonzero.argmax(axis=1)
+        row_words = survivors[np.arange(n), first_word]
+        isolated = row_words & (~row_words + np.uint64(1))
+        # log2 of an exact power of two (or of the miss placeholder 1)
+        # is exact in float64 up to 2**63.
+        isolated = np.where(hit, isolated, np.uint64(1))
+        bit = np.log2(isolated.astype(np.float64)).astype(np.int64)
+        slot = first_word * 64 + bit
+        entry_id = np.where(hit, self.entry_ids[slot], -1)
+        priority = np.where(hit, self.priorities[slot], 0)
+        shadow_hits = 0
+        if count_shadows and self.shadowed:
+            matches = (
+                _POPCOUNT8[survivors.view(np.uint8)]
+                .reshape(n, -1)
+                .sum(axis=1, dtype=np.int64)
+            )
+            shadow_hits = int((matches >= 2).sum())
+        return hit, slot, entry_id, priority, shadow_hits
+
+
+def _allowed_value_mask(
+    values: np.ndarray, masks: np.ndarray
+) -> np.ndarray:
+    """``(E, width, 256)`` allowed bytes for value/mask entries."""
+    wide_masks = masks[:, :, None]
+    return (_BYTES[None, None, :] & wide_masks) == (
+        (values & masks)[:, :, None]
+    )
+
+
+def compile_table(table) -> Optional[CompiledTable]:
+    """Compile one table to LUT bitmaps; ``None`` for unknown kinds."""
+    width = table.key_width
+    if isinstance(table, TernaryTable):
+        records = table.entries()  # already in match order
+        if not records:
+            return CompiledTable.from_match_order(
+                width, np.zeros((0, width, 256), dtype=bool),
+                [], [], [], shadowed=True,
+            )
+        values = np.array([r.value for r in records], dtype=np.uint8)
+        masks = np.array([r.mask for r in records], dtype=np.uint8)
+        return CompiledTable.from_match_order(
+            width,
+            _allowed_value_mask(values.reshape(-1, width),
+                                masks.reshape(-1, width)),
+            [r.entry_id for r in records],
+            [r.priority for r in records],
+            [r.action for r in records],
+            shadowed=True,
+        )
+    if isinstance(table, RangeTable):
+        records = table._entries  # priority-sorted match order
+        bounds = np.array(
+            [r.ranges for r in records], dtype=np.int64
+        ).reshape(len(records), width, 2)
+        wide = _BYTES.astype(np.int64)[None, None, :]
+        allowed = (wide >= bounds[:, :, 0:1]) & (wide <= bounds[:, :, 1:2])
+        return CompiledTable.from_match_order(
+            width,
+            allowed,
+            [r.entry_id for r in records],
+            [r.priority for r in records],
+            [r.action for r in records],
+            shadowed=True,
+        )
+    if isinstance(table, ExactTable):
+        items = list(table._entries.items())
+        values = np.array(
+            [key for key, __ in items], dtype=np.uint8
+        ).reshape(len(items), width)
+        masks = np.full_like(values, 0xFF)
+        return CompiledTable.from_match_order(
+            width,
+            _allowed_value_mask(values, masks),
+            [eid for __, (eid, __a) in items],
+            [0] * len(items),
+            [action for __, (__e, action) in items],
+            shadowed=False,
+        )
+    if isinstance(table, LpmTable):
+        total_bits = 8 * width
+        values: List[Tuple[int, ...]] = []
+        masks_list: List[np.ndarray] = []
+        ids: List[int] = []
+        actions: List[str] = []
+        # Longest prefix first == match order (one match per length max).
+        for prefix_len in sorted(table._by_length, reverse=True):
+            mask = table._prefix_mask(prefix_len)
+            for value, (entry_id, action) in table._by_length[prefix_len].items():
+                full = (
+                    (value << (total_bits - prefix_len)) if prefix_len else 0
+                ).to_bytes(width, "big")
+                values.append(tuple(full))
+                masks_list.append(mask)
+                ids.append(entry_id)
+                actions.append(action)
+        value_matrix = np.array(values, dtype=np.uint8).reshape(len(ids), width)
+        mask_matrix = (
+            np.array(masks_list, dtype=np.uint8).reshape(len(ids), width)
+            if ids
+            else np.zeros((0, width), dtype=np.uint8)
+        )
+        return CompiledTable.from_match_order(
+            width,
+            _allowed_value_mask(value_matrix, mask_matrix),
+            ids,
+            [0] * len(ids),
+            actions,
+            shadowed=False,
+        )
+    return None
+
+
+class CompiledClassifier:
+    """Compiled programs for a switch pipeline, with staleness tracking.
+
+    Holds one :class:`CompiledTable` per compilable pipeline table,
+    keyed by table identity, plus the table ``generation`` captured at
+    compile time.  :meth:`stale` is a cheap per-batch check (one int
+    compare per table); any entry install/remove moves a generation
+    and invalidates the whole program.
+
+    Telemetry (``docs/OBSERVABILITY.md``, "Compiled classification"):
+    ``compiled_compile_seconds`` / ``compiled_generation`` /
+    ``compiled_tables`` / ``compiled_entries`` on each compile,
+    ``compiled_batches_total`` per compiled batch lookup,
+    ``compiled_fallbacks_total`` when an uncompilable table falls back
+    to its vectorised path, and ``compiled_recompiles_total`` when a
+    stale program is rebuilt.
+    """
+
+    def __init__(self) -> None:
+        self.generation = 0
+        self._programs: Dict[int, Optional[CompiledTable]] = {}
+        self._signature: Tuple[Tuple[int, int], ...] = ()
+        self._capture_obs()
+
+    def _capture_obs(self) -> None:
+        registry = obs.registry()
+        self._obs_gen = _obs_state.generation()
+        self._obs_on = registry.enabled
+        self._obs_compile_seconds = registry.histogram(
+            "compiled_compile_seconds", unit="s",
+            help="wall-clock seconds per rule-set compile pass",
+        )
+        self._obs_generation = registry.gauge(
+            "compiled_generation",
+            help="active compiled-program generation (bumps per compile)",
+        )
+        self._obs_tables = registry.gauge(
+            "compiled_tables",
+            help="pipeline tables covered by the active compiled program",
+        )
+        self._obs_entries = registry.gauge(
+            "compiled_entries",
+            help="total entries baked into the active compiled program",
+        )
+        self._obs_batches = registry.counter(
+            "compiled_batches_total",
+            help="table batch lookups served by the compiled LUT path",
+        )
+        self._obs_fallbacks = registry.counter(
+            "compiled_fallbacks_total",
+            help="batch lookups that fell back to the vectorised path "
+            "(table kind not compiled)",
+        )
+        self._obs_recompiles = registry.counter(
+            "compiled_recompiles_total",
+            help="stale-program rebuilds triggered by entry churn",
+        )
+
+    def _sync_obs(self) -> None:
+        if _obs_state._generation != self._obs_gen:
+            self._capture_obs()
+
+    def compile(self, tables: Sequence) -> CompileReport:
+        """(Re)compile every table; returns a :class:`CompileReport`."""
+        self._sync_obs()
+        start = time.perf_counter()
+        programs: Dict[int, Optional[CompiledTable]] = {}
+        entries = 0
+        words = 0
+        compiled = 0
+        for table in tables:
+            program = compile_table(table)
+            programs[id(table)] = program
+            if program is not None:
+                compiled += 1
+                entries += program.entries
+                words += program.words
+        seconds = time.perf_counter() - start
+        self._programs = programs
+        self._signature = tuple(
+            (id(table), table.generation) for table in tables
+        )
+        self.generation += 1
+        if self._obs_on:
+            self._obs_compile_seconds.observe(seconds)
+            self._obs_generation.set(self.generation)
+            self._obs_tables.set(compiled)
+            self._obs_entries.set(entries)
+        return CompileReport(
+            generation=self.generation,
+            tables=len(programs),
+            compiled_tables=compiled,
+            entries=entries,
+            words=words,
+            seconds=seconds,
+        )
+
+    def stale(self, tables: Sequence) -> bool:
+        """Whether any pipeline table mutated since the last compile."""
+        return self._signature != tuple(
+            (id(table), table.generation) for table in tables
+        )
+
+    def refresh(self, tables: Sequence) -> Optional[CompileReport]:
+        """Recompile iff stale; returns the report when it did."""
+        if not self.stale(tables):
+            return None
+        self._sync_obs()
+        if self._obs_on and self._signature:
+            self._obs_recompiles.inc()
+        return self.compile(tables)
+
+    def program_for(self, table) -> Optional[CompiledTable]:
+        """The compiled form of ``table`` (``None`` = fallback)."""
+        return self._programs.get(id(table))
+
+    def lookup_batch(
+        self, table, keys: np.ndarray, packet_sizes: Optional[np.ndarray] = None
+    ) -> BatchMatchResult:
+        """Drop-in for ``table.lookup_batch`` via the compiled program.
+
+        Validates inputs with the table's own helpers and funnels the
+        result through ``table._count_batch``, so direct counters and
+        aggregate telemetry stay bit-identical to the oracle paths.
+        """
+        program = self._programs.get(id(table))
+        if program is None:
+            self._sync_obs()
+            if self._obs_on:
+                self._obs_fallbacks.inc()
+            return table.lookup_batch(keys, packet_sizes=packet_sizes)
+        keys = table._check_batch_keys(keys)
+        sizes = table._batch_sizes(len(keys), packet_sizes)
+        if program.entries == 0:
+            return table._miss_batch(len(keys), sizes)
+        hit, slot, entry_id, priority, shadow_hits = program.classify(
+            keys, count_shadows=table._obs_on
+        )
+        if self._obs_on:
+            self._obs_batches.inc()
+        if table._obs_on and shadow_hits:
+            table._obs_shadow.inc(shadow_hits)
+        result = BatchMatchResult(
+            hit=hit,
+            entry_id=entry_id,
+            action_code=np.where(hit, slot + 1, 0),
+            actions=(table.default_action,) + program.entry_actions,
+            priority=priority,
+        )
+        table._count_batch(result, sizes)
+        return result

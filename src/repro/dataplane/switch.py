@@ -19,6 +19,15 @@ Two data paths share these semantics:
   implementations, decided-packet masking preserving the scalar path's
   first-table-wins semantics bit for bit.  ``tests/test_batch_differential.py``
   holds the two paths equal on randomized rule sets and traces.
+
+A third, opt-in acceleration rides on the batch path:
+:meth:`Switch.compile` (or ``REPRO_COMPILED=1``) compiles the installed
+rule sets into per-byte LUT bitmaps (:mod:`repro.dataplane.compiled`)
+and ``process_batch`` then classifies via table gathers and bitwise
+intersections instead of entry broadcasts.  Entry churn invalidates the
+program (lazy recompile on the next batch); verdicts, counters, and
+decision records remain bit-identical to both oracle paths
+(``tests/test_compiled_differential.py``).
 """
 
 from __future__ import annotations
@@ -39,6 +48,8 @@ import sys
 _obs_state = sys.modules["repro.obs.registry"]
 from repro.obs.events import KIND_DECISION, DecisionRecord
 from repro.net.packet import Packet
+from repro.dataplane import compiled as compiled_mod
+from repro.dataplane.compiled import CompiledClassifier, CompileReport
 from repro.dataplane.tables import (
     ExactTable,
     LpmTable,
@@ -172,6 +183,11 @@ class Switch:
         self._seq = 0
         self._names_cache: Optional[Tuple[str, ...]] = None
         self._prefix_cache: Optional[Dict[Optional[str], Tuple[str, ...]]] = None
+        #: LUT-bitmap program (see :mod:`repro.dataplane.compiled`);
+        #: built lazily once enabled via :meth:`compile` or the
+        #: ``REPRO_COMPILED`` environment gate.
+        self._compiled: Optional[CompiledClassifier] = None
+        self._compiled_enabled = compiled_mod.env_enabled()
         self._capture_obs()
 
     def _capture_obs(self) -> None:
@@ -274,6 +290,44 @@ class Switch:
             self._registers[name] = Register(name, size)
         return self._registers[name]
 
+    # -- compiled classification ---------------------------------------------
+
+    @property
+    def compiled_enabled(self) -> bool:
+        """Whether :meth:`process_batch` uses the compiled LUT path."""
+        return self._compiled_enabled
+
+    @property
+    def compiled_generation(self) -> int:
+        """Active compiled-program generation (0 = never compiled)."""
+        return self._compiled.generation if self._compiled is not None else 0
+
+    def compile(self) -> CompileReport:
+        """Opt in to compiled classification and build the program now.
+
+        Installs/removes on any pipeline table invalidate the program;
+        the next :meth:`process_batch` recompiles lazily (callers that
+        must keep compile cost out of the batch path — e.g. the serve
+        layer's atomic rule swaps — call :meth:`compile` again eagerly
+        after mutating entries).
+        """
+        self._compiled_enabled = True
+        if self._compiled is None:
+            self._compiled = CompiledClassifier()
+        return self._compiled.compile(self._pipeline)
+
+    def uncompile(self) -> None:
+        """Drop the compiled program and return to the vectorised path."""
+        self._compiled_enabled = False
+        self._compiled = None
+
+    def _compiled_program(self) -> CompiledClassifier:
+        """The current program, rebuilt first if any table mutated."""
+        if self._compiled is None:
+            self._compiled = CompiledClassifier()
+        self._compiled.refresh(self._pipeline)
+        return self._compiled
+
     # -- data path -----------------------------------------------------------
 
     def parse_key(self, packet: Packet) -> Tuple[int, ...]:
@@ -357,8 +411,11 @@ class Switch:
         runs each table's ``lookup_batch`` on the packets still undecided
         when that table is reached (first-table-wins, like the scalar
         loop), and updates statistics and table counters in aggregate.
-        Verdicts, stats, counters, and decision records are identical to
-        running :meth:`process` packet by packet.
+        With compiled classification enabled (:meth:`compile` /
+        ``REPRO_COMPILED``), per-table matching goes through the LUT
+        program instead of ``lookup_batch``.  Either way verdicts,
+        stats, counters, and decision records are identical to running
+        :meth:`process` packet by packet.
 
         Args:
             seqs: per-packet sequence numbers for decision records
@@ -376,6 +433,7 @@ class Switch:
         self.stats.bytes_received += int(sizes.sum())
         keys = Packet.batch_keys(packets, self.config.key_offsets)
 
+        program = self._compiled_program() if self._compiled_enabled else None
         final_action = np.full(n, "allow", dtype=object)
         final_table = np.full(n, None, dtype=object)
         final_entry = np.full(n, -1, dtype=np.int64)
@@ -383,9 +441,14 @@ class Switch:
         for table in self._pipeline:
             if not pending.size:
                 break
-            result = table.lookup_batch(
-                keys[pending], packet_sizes=sizes[pending]
-            )
+            if program is not None:
+                result = program.lookup_batch(
+                    table, keys[pending], packet_sizes=sizes[pending]
+                )
+            else:
+                result = table.lookup_batch(
+                    keys[pending], packet_sizes=sizes[pending]
+                )
             terminal_codes = [
                 code
                 for code, action in enumerate(result.actions)

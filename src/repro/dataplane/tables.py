@@ -150,6 +150,11 @@ class _BaseTable:
         self.counters: Dict[int, _Counter] = {}
         self.default_counter = _Counter()
         self._next_id = 0
+        #: monotone entry-mutation counter — every install/remove bumps
+        #: it, so cached derivations (the per-table batch index here,
+        #: the LUT programs in :mod:`repro.dataplane.compiled`) can
+        #: detect staleness with one int compare.
+        self.generation = 0
         #: lazily-built vectorised index; dropped on any entry mutation
         self._batch_cache: Optional[dict] = None
         self._capture_obs()
@@ -254,8 +259,10 @@ class _BaseTable:
         """Drop the vectorised index (and refresh the occupancy gauge).
 
         Called after every entry mutation, which makes it the single
-        choke point where ``table_entries`` can be kept current.
+        choke point where ``table_entries`` can be kept current and
+        where :attr:`generation` advances.
         """
+        self.generation += 1
         self._batch_cache = None
         self._sync_obs()
         if self._obs_on:
@@ -418,7 +425,23 @@ class _TernaryEntryRecord:
 
 
 class TernaryTable(_BaseTable):
-    """TCAM-style value/mask match with priorities."""
+    """TCAM-style value/mask match with priorities.
+
+    Overlap resolution is part of the table's contract, not an
+    implementation accident, because three independent implementations
+    (the scalar scan here, the broadcast ``lookup_batch``, and the LUT
+    program in :mod:`repro.dataplane.compiled`) must agree bit for bit:
+
+    * the highest ``priority`` wins among matching entries;
+    * **equal priorities tie-break by insertion order** — the earliest
+      ``add`` wins, the P4Runtime convention.  The tie-break follows
+      the per-table ``add`` sequence (``_order``), *not* entry ids, and
+      survives interleaved removes: re-adding an entry puts it at the
+      back of its priority band.
+
+    ``tests/test_tables.py::TestTernaryTieBreak`` locks this contract
+    across all three paths.
+    """
 
     def __init__(self, name: str, key_width: int, **kwargs):
         super().__init__(name, key_width, **kwargs)

@@ -86,6 +86,10 @@ class ServeConfig:
         record_verdicts: keep the per-packet verdict list in arrival
             order (tests / differential comparison); turn off for long
             soaks to bound memory.
+        compiled: opt every shard switch into the compiled LUT-bitmap
+            classification path, recompiled eagerly on rule swaps
+            (see :mod:`repro.dataplane.compiled`); ``None`` defers to
+            the ``REPRO_COMPILED`` environment gate.
     """
 
     n_shards: int = 1
@@ -97,6 +101,7 @@ class ServeConfig:
     table_capacity: int = 4096
     hash_mode: str = "bytes"
     record_verdicts: bool = True
+    compiled: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.policy not in (FAIL_OPEN, FAIL_CLOSED):
@@ -233,6 +238,7 @@ class StreamingGateway:
             max_batch=self.config.max_batch,
             max_latency=self.config.max_latency,
             queue_capacity=self.config.queue_capacity,
+            compiled=self.config.compiled,
         )
         self.retrain_hook = retrain_hook
         self.recorder = recorder

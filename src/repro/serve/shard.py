@@ -35,6 +35,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 import collections
 
 from repro.core.rules import RuleSet
+from repro.dataplane import compiled as compiled_mod
 from repro.dataplane.controller import GatewayController
 from repro.dataplane.switch import SwitchStats
 from repro.net.packet import Packet
@@ -186,6 +187,10 @@ class ShardSet:
         max_batch / max_latency / queue_capacity: per-shard policy
             (queue capacity is per shard, so total buffering scales
             with the shard count, as it would across real workers).
+        compiled: compile every shard's switch to the LUT-bitmap
+            classification path (:mod:`repro.dataplane.compiled`) and
+            keep it current across rule swaps; ``None`` defers to the
+            ``REPRO_COMPILED`` environment gate.
     """
 
     def __init__(
@@ -197,10 +202,14 @@ class ShardSet:
         max_batch: int = 1024,
         max_latency: float = 0.005,
         queue_capacity: int = 8192,
+        compiled: Optional[bool] = None,
     ):
         if n_shards < 1:
             raise ValueError("n_shards must be >= 1")
         self.table_capacity = table_capacity
+        self.compiled = (
+            compiled_mod.env_enabled() if compiled is None else bool(compiled)
+        )
         self._build_args = dict(
             max_batch=max_batch,
             max_latency=max_latency,
@@ -223,6 +232,8 @@ class ShardSet:
             rules, table_capacity=self.table_capacity
         )
         controller.deploy(rules)
+        if self.compiled:
+            controller.switch.compile()
         return controller
 
     def __len__(self) -> int:
@@ -248,9 +259,15 @@ class ShardSet:
         for shard in self.shards:
             if same_offsets:
                 shard.controller.update(rules)
+                # Eager recompile-on-swap: entry churn invalidated the
+                # LUT program, so rebuild it here — between batches —
+                # rather than letting the next batch pay the compile.
+                if self.compiled:
+                    shard.switch.compile()
             else:
                 # A parser change retires the old switch; keep its
                 # counts so aggregate stats survive the swap.
+                # (_deployed_controller compiles the fresh switch.)
                 self._retired.append(shard.switch.stats)
                 shard.controller = self._deployed_controller(rules)
         self.rules = rules

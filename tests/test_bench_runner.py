@@ -21,11 +21,12 @@ METRIC_GROUPS = {
     "trace_synthesis",
     "detector_fit",
     "batch_switch",
+    "compiled_switch",
     "serve",
     "flight_recorder",
 }
 #: Phases added after the trajectory started; absent from old records.
-LEGACY_OPTIONAL_GROUPS = {"serve", "flight_recorder"}
+LEGACY_OPTIONAL_GROUPS = {"serve", "flight_recorder", "compiled_switch"}
 
 
 def run_bench(output: Path) -> subprocess.CompletedProcess:
@@ -60,6 +61,12 @@ def test_bench_appends_schema_valid_records(tmp_path):
     assert record["metrics"]["trace_synthesis"]["speedup"] > 1.0
     assert record["metrics"]["batch_switch"]["speedup"] > 1.0
     assert record["metrics"]["detector_fit"]["seconds"] > 0
+    compiled = record["metrics"]["compiled_switch"]
+    assert compiled["entries"] > 0 and compiled["bitmask_words"] >= 1
+    assert compiled["compile_seconds"] >= 0
+    # Smoke bound only (quick mode, shared runners); the perf-marked
+    # ≥5x guard lives in tests/test_compiled_differential.py.
+    assert compiled["speedup"] > 1.0
     serve = record["metrics"]["serve"]
     assert serve["soak_vs_offline"] > 0
     assert 0.0 <= serve["overload_shed_fraction"] <= 1.0

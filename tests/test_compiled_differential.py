@@ -1,0 +1,425 @@
+"""Differential harness: compiled LUT-bitmap path vs both oracle paths.
+
+``tests/test_batch_differential.py`` holds ``process_batch`` equal to
+the scalar ``process``; this suite extends the lock to the third
+implementation, the compiled per-byte LUT-bitmap classifier
+(:mod:`repro.dataplane.compiled`).  Every randomized rule set and trace
+is replayed through **three** identically configured instances — scalar
+reference, vectorised batch, and compiled batch — and every observable
+must agree bit for bit: per-packet verdicts (action, table, entry id),
+aggregate switch stats, per-entry/default table counters, and
+:class:`~repro.obs.events.DecisionRecord` provenance.
+
+Deterministic corners cover what the strategies only sample: empty and
+default-only tables, overlapping ternary priorities (including the
+equal-priority insertion-order tie-break), entry counts crossing the
+64-bit bitmask word boundary, compile invalidation on install/remove,
+the ``REPRO_COMPILED`` environment gate, the uncompilable-table
+fallback, and mid-stream atomic rule swaps in a 3-shard gateway soak.
+
+The perf-marked acceptance test at the bottom holds the compiled path
+at ≥5x over the vectorised ``process_batch`` at batch 1024 on the
+E10/E14-style 1000-entry firewall fill.
+"""
+
+import dataclasses
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import obs
+from repro.dataplane import Switch, SwitchConfig
+from repro.dataplane.compiled import CompiledClassifier, env_enabled
+from repro.dataplane.switch import Verdict
+from repro.dataplane.tables import ExactTable, TernaryTable
+from repro.net.packet import Packet
+from repro.obs.events import event_to_dict
+from tests.test_batch_differential import (
+    TABLE_KINDS,
+    assert_switches_equal,
+    assert_tables_equal,
+    build_switch,
+    build_table,
+    packet_traces,
+    scalar_lookup_series,
+    switch_specs,
+    table_specs,
+)
+
+
+def build_compiled_switch(offsets, table_spec_list) -> Switch:
+    """A third identically configured instance, compiled."""
+    switch = build_switch(offsets, table_spec_list)
+    switch.compile()
+    return switch
+
+
+class TestSingleTableCompiledDifferential:
+    """Compiled lookup vs scalar and vectorised, per table kind."""
+
+    @pytest.mark.parametrize("kind", TABLE_KINDS)
+    @settings(max_examples=100, deadline=None)
+    @given(data=st.data())
+    def test_compiled_matches_both_oracles(self, kind, data):
+        width = data.draw(st.integers(1, 4), label="key_width")
+        spec = data.draw(table_specs(width, kind=kind), label="table")
+        count = data.draw(st.integers(0, 30), label="n_keys")
+        keys = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(st.integers(0, 255), min_size=width, max_size=width),
+                    min_size=count,
+                    max_size=count,
+                ),
+                label="keys",
+            ),
+            dtype=np.uint8,
+        ).reshape(count, width)
+        sizes = np.arange(count, dtype=np.int64) * 3 + 1
+
+        table_scalar = build_table(spec, width, "t")
+        table_batch = build_table(spec, width, "t")
+        table_compiled = build_table(spec, width, "t")
+        program = CompiledClassifier()
+        program.compile([table_compiled])
+
+        reference = scalar_lookup_series(table_scalar, keys, sizes)
+        vectorised = table_batch.lookup_batch(keys, packet_sizes=sizes)
+        compiled = program.lookup_batch(
+            table_compiled, keys, packet_sizes=sizes
+        )
+
+        for row, result in enumerate(reference):
+            expected_id = result.entry_id if result.entry_id is not None else -1
+            for batch in (vectorised, compiled):
+                assert bool(batch.hit[row]) == result.hit
+                assert int(batch.entry_id[row]) == expected_id
+                assert batch.actions[batch.action_code[row]] == result.action
+                assert int(batch.priority[row]) == result.priority
+        assert_tables_equal(table_scalar, table_compiled)
+        assert_tables_equal(table_batch, table_compiled)
+
+
+class TestPipelineCompiledDifferential:
+    """Whole-switch three-way differential on randomized pipelines."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(spec=switch_specs(), packets=packet_traces)
+    def test_compiled_process_batch_matches_both_paths(self, spec, packets):
+        offsets, table_spec_list = spec
+        switch_scalar = build_switch(offsets, table_spec_list)
+        switch_batch = build_switch(offsets, table_spec_list)
+        switch_compiled = build_compiled_switch(offsets, table_spec_list)
+
+        reference = [switch_scalar.process(packet) for packet in packets]
+        vectorised = switch_batch.process_batch(packets)
+        compiled = switch_compiled.process_batch(packets)
+
+        assert compiled == reference
+        assert compiled == vectorised
+        assert_switches_equal(switch_scalar, switch_compiled)
+        assert_switches_equal(switch_batch, switch_compiled)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        spec=switch_specs(),
+        packets=packet_traces,
+        batch_size=st.integers(1, 17),
+    )
+    def test_compiled_trace_chunking_matches_scalar(
+        self, spec, packets, batch_size
+    ):
+        offsets, table_spec_list = spec
+        switch_scalar = build_switch(offsets, table_spec_list)
+        switch_compiled = build_compiled_switch(offsets, table_spec_list)
+
+        reference = switch_scalar.process_trace(packets)
+        chunked = switch_compiled.process_trace(packets, batch_size=batch_size)
+
+        assert chunked == reference
+        assert_switches_equal(switch_scalar, switch_compiled)
+
+
+def _firewall_switch(entries: int = 20, *, compile: bool = False) -> Switch:
+    """Small deterministic ternary firewall with overlapping priorities."""
+    rng = np.random.default_rng(7)
+    switch = Switch(SwitchConfig(key_offsets=(0, 1, 2)))
+    table = TernaryTable("fw", 3, max_entries=max(64, entries))
+    for i in range(entries):
+        value = tuple(int(v) for v in rng.integers(0, 8, size=3))
+        mask = tuple(int(v) for v in rng.choice([0, 0xF0, 0xFF], size=3))
+        table.add(value, mask, "drop" if i % 2 else "quarantine",
+                  priority=i % 4)
+    switch.add_table(table)
+    if compile:
+        switch.compile()
+    return switch
+
+
+def _mixed_packets(n: int, seed: int = 3):
+    rng = np.random.default_rng(seed)
+    return [
+        Packet(
+            bytes(rng.integers(0, 8, size=12, dtype=np.uint8)),
+            timestamp=float(i) * 1e-4,
+        )
+        for i in range(n)
+    ]
+
+
+class TestDecisionRecordParity:
+    """Flight-recorder provenance must be path-independent."""
+
+    def test_records_identical_to_scalar_oracle(self):
+        packets = _mixed_packets(256)
+        scalar = _firewall_switch()
+        compiled = _firewall_switch(compile=True)
+        rec_scalar = obs.FlightRecorder(4096, sample_rate=1.0, seed=0)
+        rec_compiled = obs.FlightRecorder(4096, sample_rate=1.0, seed=0)
+        scalar.attach_recorder(rec_scalar)
+        compiled.attach_recorder(rec_compiled)
+
+        reference = [scalar.process(p) for p in packets]
+        got = compiled.process_trace(packets, batch_size=64)
+
+        assert got == reference
+        records_scalar = [event_to_dict(r) for r in rec_scalar.records()]
+        records_compiled = [event_to_dict(r) for r in rec_compiled.records()]
+        assert records_compiled == records_scalar
+        # The records carry real winning-entry provenance, not misses.
+        assert any(r["entry_id"] is not None for r in records_compiled)
+
+
+class TestDeterministicEdges:
+    """Corners the strategies only sample."""
+
+    @pytest.mark.parametrize("kind", TABLE_KINDS)
+    def test_empty_table_default_only(self, kind):
+        spec = {"kind": kind, "default": "drop", "entries": []}
+        table_scalar = build_table(spec, 2, "t")
+        table_compiled = build_table(spec, 2, "t")
+        program = CompiledClassifier()
+        program.compile([table_compiled])
+        keys = np.array([[0, 0], [255, 255]], dtype=np.uint8)
+        reference = scalar_lookup_series(
+            table_scalar, keys, np.array([5, 9], dtype=np.int64)
+        )
+        batch = program.lookup_batch(
+            table_compiled, keys, packet_sizes=np.array([5, 9])
+        )
+        assert not batch.hit.any()
+        assert [batch.actions[c] for c in batch.action_code] == ["drop", "drop"]
+        assert [r.action for r in reference] == ["drop", "drop"]
+        assert_tables_equal(table_scalar, table_compiled)
+
+    def test_empty_pipeline(self):
+        switch = Switch(SwitchConfig(key_offsets=(0, 1)))
+        switch.compile()
+        verdicts = switch.process_batch([Packet(b"ab"), Packet(b"")])
+        assert all(v == Verdict("allow") for v in verdicts)
+
+    def test_word_boundary_crossing(self):
+        """Entries 63/64/65 — winners on both sides of the uint64 seam."""
+        def build(compile):
+            switch = Switch(SwitchConfig(key_offsets=(0,)))
+            table = ExactTable("t", 1, max_entries=256)
+            for b in range(130):
+                table.add((b,), "drop" if b % 2 else "quarantine")
+            switch.add_table(table)
+            if compile:
+                switch.compile()
+            return switch
+
+        packets = [Packet(bytes([b])) for b in (0, 63, 64, 65, 127, 128, 129, 200)]
+        scalar, compiled = build(False), build(True)
+        reference = [scalar.process(p) for p in packets]
+        assert compiled.process_batch(packets) == reference
+        assert_switches_equal(scalar, compiled)
+
+    def test_overlapping_ternary_priorities(self):
+        """Higher priority beats earlier insertion; compiled agrees."""
+        def build(compile):
+            switch = Switch(SwitchConfig(key_offsets=(0, 1)))
+            table = TernaryTable("fw", 2)
+            table.add((1, 0), (255, 0), "quarantine", priority=1)
+            table.add((1, 2), (255, 255), "drop", priority=5)
+            table.add((0, 2), (0, 255), "allow", priority=3)
+            switch.add_table(table)
+            if compile:
+                switch.compile()
+            return switch
+
+        packets = [Packet(bytes(k)) for k in ((1, 2), (1, 7), (9, 2), (9, 9))]
+        scalar, compiled = build(False), build(True)
+        reference = [scalar.process(p) for p in packets]
+        got = compiled.process_batch(packets)
+        assert got == reference
+        assert [v.action for v in got] == ["drop", "quarantine", "allow", "allow"]
+        assert_switches_equal(scalar, compiled)
+
+    def test_install_remove_invalidates_and_recompiles(self):
+        switch = _firewall_switch(compile=True)
+        packets = _mixed_packets(64)
+        oracle = _firewall_switch()
+        assert switch.process_batch(packets) == [oracle.process(p) for p in packets]
+        generation = switch.compiled_generation
+
+        entry = switch.table("fw").add((2, 2, 2), (255, 255, 255), "drop",
+                                       priority=9)
+        oracle.table("fw").add((2, 2, 2), (255, 255, 255), "drop", priority=9)
+        assert switch.process_batch(packets) == [oracle.process(p) for p in packets]
+        assert switch.compiled_generation == generation + 1
+
+        switch.table("fw").remove(entry)
+        oracle.table("fw").remove(entry)
+        assert switch.process_batch(packets) == [oracle.process(p) for p in packets]
+        assert switch.compiled_generation == generation + 2
+
+    def test_default_action_change_visible_without_recompile(self):
+        """The controller mutates ``default_action`` in place."""
+        switch = _firewall_switch(entries=1, compile=True)
+        miss = [Packet(bytes((7, 7, 7)))]
+        assert switch.process_batch(miss)[0].action == "allow"
+        generation = switch.compiled_generation
+        switch.table("fw").default_action = "quarantine"
+        assert switch.process_batch(miss)[0].action == "quarantine"
+        assert switch.compiled_generation == generation
+
+    def test_env_gate_opts_new_switches_in(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED", "1")
+        assert env_enabled()
+        gated = _firewall_switch()  # fresh Switch reads the gate
+        assert gated.compiled_enabled
+        monkeypatch.setenv("REPRO_COMPILED", "0")
+        assert not env_enabled()
+        assert not _firewall_switch().compiled_enabled
+        oracle = _firewall_switch()
+        packets = _mixed_packets(32)
+        assert gated.process_batch(packets) == [oracle.process(p) for p in packets]
+        assert gated.compiled_generation >= 1  # lazily compiled on first batch
+
+    def test_uncompile_returns_to_vectorised_path(self):
+        switch = _firewall_switch(compile=True)
+        switch.uncompile()
+        assert not switch.compiled_enabled
+        oracle = _firewall_switch()
+        packets = _mixed_packets(48)
+        assert switch.process_batch(packets) == [oracle.process(p) for p in packets]
+        assert switch.compiled_generation == 0
+
+    def test_uncompilable_table_falls_back_to_vectorised(self):
+        """A table the compiler never saw routes to its own lookup_batch."""
+        compiled_table = ExactTable("known", 1)
+        compiled_table.add((1,), "drop")
+        stranger = ExactTable("stranger", 1)
+        stranger.add((2,), "drop")
+        program = CompiledClassifier()
+        program.compile([compiled_table])
+        keys = np.array([[1], [2]], dtype=np.uint8)
+        result = program.lookup_batch(stranger, keys)
+        assert list(result.hit) == [False, True]
+        assert program.program_for(stranger) is None
+
+
+def _soak(compiled: bool):
+    """3-shard gateway soak with one mid-stream atomic rule swap."""
+    from repro.eval.harness import synthetic_firewall_ruleset
+    from repro.serve import ServeConfig, StreamingGateway, retime
+
+    rules = synthetic_firewall_ruleset(n_rules=24, seed=1)
+    swapped = synthetic_firewall_ruleset(n_rules=40, seed=2)
+    rng = np.random.default_rng(11)
+    base = [
+        Packet(bytes(rng.integers(0, 256, size=70, dtype=np.uint8)))
+        for __ in range(3000)
+    ]
+    stamped = list(retime(base, rate=200_000.0, seed=4))
+
+    state = {"batches": 0}
+
+    def retrain_hook(packets, verdicts):
+        state["batches"] += 1
+        return swapped if state["batches"] == 4 else None
+
+    gateway = StreamingGateway(
+        rules,
+        ServeConfig(
+            n_shards=3, max_batch=256, max_latency=0.005,
+            record_verdicts=True, compiled=compiled,
+        ),
+        retrain_hook=retrain_hook,
+    )
+    result = gateway.run(stamped)
+    return gateway, result
+
+
+class TestGatewaySwapSoak:
+    """Mid-stream rule swaps in a 3-shard gateway: compiled == oracle."""
+
+    def test_compiled_soak_identical_to_vectorised(self):
+        gateway_ref, result_ref = _soak(compiled=False)
+        gateway_cmp, result_cmp = _soak(compiled=True)
+
+        assert result_ref.rule_swaps >= 1
+        assert result_cmp.rule_swaps == result_ref.rule_swaps
+        assert result_cmp.verdicts == result_ref.verdicts
+        assert dataclasses.asdict(result_cmp.stats) == dataclasses.asdict(
+            result_ref.stats
+        )
+        for shard_ref, shard_cmp in zip(gateway_ref.shards, gateway_cmp.shards):
+            assert shard_cmp.verdict_counts == shard_ref.verdict_counts
+            assert shard_cmp.processed == shard_ref.processed
+        # Every shard recompiled eagerly on the swap: generation 1 from
+        # the initial deploy-time compile, +1 per installed swap.
+        for shard in gateway_cmp.shards:
+            assert shard.switch.compiled_enabled
+            assert shard.switch.compiled_generation == 1 + result_cmp.rule_swaps
+        for shard in gateway_ref.shards:
+            assert not shard.switch.compiled_enabled
+
+
+@pytest.mark.perf
+def test_compiled_speedup_at_batch_1024():
+    """Acceptance guard: ≥5x over ``process_batch`` on the E10/E14 fill.
+
+    Same shape as the ``compiled_switch`` bench phase: 1000 exact-mask
+    ternary entries over the six learned offsets, replayed at the
+    gateway batch size.  Best-of-three on both sides to shave scheduler
+    noise.
+    """
+    offsets = (19, 34, 37, 48, 49, 63)
+
+    def build() -> Switch:
+        rng = np.random.default_rng(0)
+        switch = Switch(SwitchConfig(key_offsets=offsets))
+        table = TernaryTable("fw", len(offsets), max_entries=2048)
+        for i in range(1000):
+            value = tuple(int(v) for v in rng.integers(0, 256, size=len(offsets)))
+            table.add(value, (255,) * len(offsets), "drop", priority=i)
+        switch.add_table(table)
+        return switch
+
+    rng = np.random.default_rng(1)
+    packets = [
+        Packet(bytes(rng.integers(0, 256, size=80, dtype=np.uint8)))
+        for __ in range(1024)
+    ] * 20
+
+    def timed(switch: Switch) -> float:
+        switch.process_trace(packets[:2048], batch_size=1024)  # warm
+        best = float("inf")
+        for __ in range(3):
+            start = time.perf_counter()
+            switch.process_trace(packets, batch_size=1024)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    baseline = timed(build())
+    compiled = build()
+    compiled.compile()
+    accelerated = timed(compiled)
+    speedup = baseline / accelerated
+    assert speedup >= 5.0, f"compiled speedup {speedup:.2f}x < 5x"

@@ -115,6 +115,73 @@ class TestTernaryTable:
             table.add((2,), (255,), "drop")
 
 
+class TestTernaryTieBreak:
+    """Regression lock for the equal-priority tie-break contract.
+
+    Equal-priority overlapping entries resolve by **insertion order**
+    (earliest ``add`` wins, the P4Runtime convention) — and the
+    tie-break tracks the add *sequence*, so removing and re-installing
+    an entry demotes it to the back of its priority band.  All three
+    implementations — scalar scan, vectorised ``lookup_batch``, and the
+    compiled LUT program — must resolve ties identically; a compiler
+    that ordered entries by id or by specificity instead would silently
+    change verdicts here.
+    """
+
+    @staticmethod
+    def _all_paths(table):
+        """(action, entry_id) per path for the always-matching key (7,)."""
+        import numpy as np
+
+        from repro.dataplane.compiled import CompiledClassifier
+
+        scalar = table.lookup((7,))
+        batch = table.lookup_batch(np.array([[7]], dtype=np.uint8))
+        program = CompiledClassifier()
+        program.compile([table])
+        compiled = program.lookup_batch(table, np.array([[7]], dtype=np.uint8))
+        results = {
+            "scalar": (scalar.action, scalar.entry_id),
+            "batch": (
+                batch.actions[batch.action_code[0]],
+                int(batch.entry_id[0]) if batch.hit[0] else None,
+            ),
+            "compiled": (
+                compiled.actions[compiled.action_code[0]],
+                int(compiled.entry_id[0]) if compiled.hit[0] else None,
+            ),
+        }
+        assert results["batch"] == results["scalar"]
+        assert results["compiled"] == results["scalar"]
+        return results["scalar"]
+
+    def test_earliest_insertion_wins_on_all_paths(self):
+        table = TernaryTable("t", 1)
+        first = table.add((0,), (0,), "drop", priority=2)
+        table.add((0,), (0,), "allow", priority=2)
+        table.add((0,), (0,), "quarantine", priority=2)
+        assert self._all_paths(table) == ("drop", first)
+
+    def test_higher_priority_still_beats_earlier_insertion(self):
+        table = TernaryTable("t", 1)
+        table.add((0,), (0,), "drop", priority=1)
+        winner = table.add((0,), (0,), "allow", priority=3)
+        assert self._all_paths(table) == ("allow", winner)
+
+    def test_reinstall_moves_entry_to_back_of_its_band(self):
+        """Remove + re-add demotes: the tie-break is add order, not id."""
+        table = TernaryTable("t", 1)
+        first = table.add((0,), (0,), "drop", priority=1)
+        table.add((0,), (0,), "allow", priority=1)
+        assert self._all_paths(table) == ("drop", first)
+        table.remove(first)
+        reinstalled = table.add((0,), (0,), "drop", priority=1)
+        # The surviving "allow" entry is now the earliest insertion.
+        action, entry_id = self._all_paths(table)
+        assert action == "allow"
+        assert entry_id != reinstalled
+
+
 class TestRangeTable:
     def test_range_match(self):
         table = RangeTable("t", 2)

@@ -2,8 +2,9 @@
 """Project benchmark runner with a persisted perf trajectory.
 
 Times the perf-critical paths — trace synthesis, detector training,
-the batch switch data path, the streaming-gateway soak, and the
-flight-recorder provenance overhead — and *appends* one record to
+the batch switch data path, the compiled LUT-bitmap classifier, the
+streaming-gateway soak, and the flight-recorder provenance overhead —
+and *appends* one record to
 ``BENCH_perf.json`` so the numbers form a trajectory across commits
 rather than a single snapshot:
 
@@ -149,6 +150,58 @@ def bench_batch_switch(quick: bool) -> dict:
     }
 
 
+def bench_compiled_switch(quick: bool) -> dict:
+    """Compiled LUT-bitmap path vs the vectorised ``process_batch``.
+
+    Same E10-style firewall fill as ``bench_batch_switch`` but at the
+    experiment's largest table (1000 exact-mask ternary entries in full
+    mode), replayed at the gateway batch size (1024).  Reports the
+    compile cost and the speedup the per-byte gather + bitmask
+    intersection buys over the broadcast matcher; the perf-marked
+    acceptance test holds the speedup at ≥5x.
+    """
+    config = TraceConfig(**QUICK_TRACE)
+    with fastpath(True):
+        packets = generate_trace(config)
+    target = 20_000 if quick else 200_000
+    packets = (packets * (target // len(packets) + 1))[:target]
+    entries = 100 if quick else 1000
+    offsets = (19, 34, 37, 48, 49, 63)
+
+    def build() -> Switch:
+        rng = np.random.default_rng(0)
+        switch = Switch(SwitchConfig(key_offsets=offsets))
+        table = TernaryTable("fw", len(offsets), max_entries=2048)
+        for i in range(entries):
+            value = tuple(int(v) for v in rng.integers(0, 256, size=len(offsets)))
+            table.add(value, (255,) * len(offsets), "drop", priority=i)
+        switch.add_table(table)
+        return switch
+
+    def timed(switch: Switch) -> float:
+        switch.process_trace(packets[:4096], batch_size=1024)  # warm
+        switch.reset_stats()
+        start = time.perf_counter()
+        switch.process_trace(packets, batch_size=1024)
+        return time.perf_counter() - start
+
+    batch_seconds = timed(build())
+    compiled = build()
+    start = time.perf_counter()
+    report = compiled.compile()
+    compile_seconds = time.perf_counter() - start
+    compiled_seconds = timed(compiled)
+    return {
+        "packets": len(packets),
+        "entries": report.entries,
+        "bitmask_words": report.words,
+        "compile_seconds": round(compile_seconds, 4),
+        "batch_pkts_per_sec": round(len(packets) / batch_seconds, 1),
+        "compiled_pkts_per_sec": round(len(packets) / compiled_seconds, 1),
+        "speedup": round(batch_seconds / compiled_seconds, 2),
+    }
+
+
 def bench_flight_recorder(quick: bool) -> dict:
     """Decision-provenance overhead: recorder-attached vs detached.
 
@@ -280,6 +333,7 @@ def run(quick: bool) -> dict:
             ("trace_synthesis", bench_trace_synthesis),
             ("detector_fit", bench_detector_fit),
             ("batch_switch", bench_batch_switch),
+            ("compiled_switch", bench_compiled_switch),
             ("serve", bench_serve),
             ("flight_recorder", bench_flight_recorder),
         ]:
