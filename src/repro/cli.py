@@ -377,8 +377,9 @@ def cmd_serve(args) -> int:
             burstiness=args.burstiness,
             seed=args.seed,
         )
+    n_shards = args.workers if args.workers is not None else args.shards
     config = ServeConfig(
-        n_shards=args.shards,
+        n_shards=n_shards,
         max_batch=args.max_batch,
         max_latency=args.max_latency_ms / 1000.0,
         queue_capacity=args.queue_capacity,
@@ -387,6 +388,8 @@ def cmd_serve(args) -> int:
         table_capacity=args.table_capacity,
         hash_mode=args.hash_mode,
         record_verdicts=False,
+        executor=args.executor,
+        ring_slots=args.ring_slots,
     )
     recorder = None
     engine = None
@@ -620,6 +623,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--shards", type=int, default=1, help="switch workers (default 1)"
+    )
+    serve.add_argument(
+        "--executor",
+        choices=["inline", "process"],
+        default="inline",
+        help="classification backend: in-process (default) or one worker "
+        "process per shard over shared-memory frame rings",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker/shard count; overrides --shards (pairs with "
+        "--executor process)",
+    )
+    serve.add_argument(
+        "--ring-slots",
+        type=int,
+        default=8,
+        help="frame/result ring depth per worker for --executor process "
+        "(default 8)",
     )
     serve.add_argument(
         "--max-batch",

@@ -425,13 +425,56 @@ class Switch:
         n = len(packets)
         if n == 0:
             return []
-        start_time = time.perf_counter() if self._obs_on else 0.0
         sizes = np.fromiter(
             (len(p.data) for p in packets), dtype=np.int64, count=n
         )
+        keys = Packet.batch_keys(packets, self.config.key_offsets)
+        timestamps = None
+        if self.recorder is not None:
+            timestamps = np.fromiter(
+                (p.timestamp for p in packets), dtype=np.float64, count=n
+            )
+        final_action, final_table, final_entry = self.classify_arrays(
+            keys, sizes, timestamps=timestamps, seqs=seqs
+        )
+        return [
+            Verdict(
+                final_action[i],
+                table=final_table[i],
+                entry_id=int(final_entry[i]) if final_entry[i] >= 0 else None,
+            )
+            for i in range(n)
+        ]
+
+    def classify_arrays(
+        self,
+        keys: np.ndarray,
+        sizes: np.ndarray,
+        *,
+        timestamps: Optional[np.ndarray] = None,
+        seqs: Optional[Sequence[int]] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Classify a pre-extracted ``(n, key_width)`` key matrix.
+
+        The array core of :meth:`process_batch`, shared with the
+        process-parallel serve backend (whose workers receive key
+        matrices over shared memory, never Packet objects).  Updates
+        stats, observability counters, and — when a recorder is
+        attached — decision records exactly as :meth:`process_batch`
+        does.  Returns ``(action, table, entry_id)`` arrays (object,
+        object, int64; no-table/no-entry encoded as ``None``/``-1``).
+
+        Args:
+            timestamps: per-packet stream timestamps, required only
+                when a recorder is attached (stamped on records).
+            seqs: per-packet sequence numbers for decision records
+                (defaults to the switch's running counter).
+        """
+        self._sync_obs()
+        n = keys.shape[0]
+        start_time = time.perf_counter() if self._obs_on else 0.0
         self.stats.received += n
         self.stats.bytes_received += int(sizes.sum())
-        keys = Packet.batch_keys(packets, self.config.key_offsets)
 
         program = self._compiled_program() if self._compiled_enabled else None
         final_action = np.full(n, "allow", dtype=object)
@@ -488,21 +531,18 @@ class Switch:
                 self._seq += n
             else:
                 seq_array = np.asarray(seqs, dtype=np.int64)
+            if timestamps is None:
+                raise ValueError(
+                    "classify_arrays needs timestamps when a recorder is attached"
+                )
             self._record_batch(
-                packets, keys, final_action, final_table, final_entry,
+                timestamps, keys, final_action, final_table, final_entry,
                 dropped | quarantined, seq_array,
             )
-        return [
-            Verdict(
-                final_action[i],
-                table=final_table[i],
-                entry_id=int(final_entry[i]) if final_entry[i] >= 0 else None,
-            )
-            for i in range(n)
-        ]
+        return final_action, final_table, final_entry
 
     def _record_batch(
-        self, packets, keys, final_action, final_table, final_entry,
+        self, timestamps, keys, final_action, final_table, final_entry,
         critical, seq_array,
     ) -> None:
         """Batch-path decision capture, record-equal to the scalar path.
@@ -529,7 +569,7 @@ class Switch:
                 DecisionRecord(
                     kind=KIND_DECISION,
                     seq=int(seq_array[i]),
-                    timestamp=packets[i].timestamp,
+                    timestamp=float(timestamps[i]),
                     verdict=final_action[i],
                     shard=self.recorder_shard,
                     table=table,

@@ -43,6 +43,7 @@ from repro.serve.gateway import (
 )
 from repro.serve.hooks import DriftRetrainHook
 from repro.serve.shard import BoundedQueue, Shard, ShardSet, flow_shard
+from repro.serve.workers import ProcessExecutor, WorkerDiedError
 from repro.serve.sources import (
     IterableSource,
     PcapSource,
@@ -59,8 +60,10 @@ __all__ = [
     "FAIL_OPEN",
     "IterableSource",
     "PcapSource",
+    "ProcessExecutor",
     "ServeConfig",
     "Shard",
+    "WorkerDiedError",
     "ShardSet",
     "SoakResult",
     "StreamingGateway",

@@ -26,6 +26,7 @@ docs/OBSERVABILITY.md for the instrument catalogue.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import math
 import time
@@ -39,12 +40,18 @@ import sys
 
 # See dataplane/switch.py: the obs package rebinds `registry` to a function.
 _obs_state = sys.modules["repro.obs.registry"]
-from repro.obs.events import KIND_SHED, DecisionRecord
+from repro.obs.events import KIND_SHED, DecisionRecord, event_from_dict
 from repro.core.rules import RuleSet
 from repro.dataplane.switch import SwitchStats, Verdict
 from repro.net.packet import Packet
 from repro.serve.batcher import Batch
 from repro.serve.shard import Shard, ShardSet, flow_shard
+from repro.serve.workers import (
+    CODE_ACTIONS,
+    BatchResult,
+    ProcessExecutor,
+    WorkerDiedError,
+)
 
 __all__ = [
     "FAIL_CLOSED",
@@ -89,7 +96,24 @@ class ServeConfig:
         compiled: opt every shard switch into the compiled LUT-bitmap
             classification path, recompiled eagerly on rule swaps
             (see :mod:`repro.dataplane.compiled`); ``None`` defers to
-            the ``REPRO_COMPILED`` environment gate.
+            the ``REPRO_COMPILED`` environment gate — except under
+            ``executor="process"``, where ``None`` means *on* (workers
+            compile by default; the parent's shard switches only keep
+            accounting and never classify).
+        executor: ``"inline"`` (classify in the event-loop process, the
+            historical behaviour) or ``"process"`` (one worker process
+            per shard fed over shared-memory frame rings — see
+            :mod:`repro.serve.workers`).  Verdicts, shed accounting and
+            aggregated stats are backend-identical.
+        ring_slots: frame/result ring depth per worker (process
+            backend).  A full frame ring blocks the submitter in wall
+            clock (accounted, never shed) — stream-time shedding stays
+            with the bounded queues, identical to inline.
+        worker_timeout: seconds a worker may stay silent (startup,
+            result, swap ack) before the gateway declares it dead and
+            fails its shard closed.
+        start_method: multiprocessing start method for workers
+            (``None`` picks ``fork`` when available, else ``spawn``).
     """
 
     n_shards: int = 1
@@ -102,6 +126,10 @@ class ServeConfig:
     hash_mode: str = "bytes"
     record_verdicts: bool = True
     compiled: Optional[bool] = None
+    executor: str = "inline"
+    ring_slots: int = 8
+    worker_timeout: float = 30.0
+    start_method: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.policy not in (FAIL_OPEN, FAIL_CLOSED):
@@ -113,6 +141,12 @@ class ServeConfig:
             )
         if self.service_rate is not None and self.service_rate <= 0:
             raise ValueError("service_rate must be positive (or None)")
+        if self.executor not in ("inline", "process"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.ring_slots < 1:
+            raise ValueError("ring_slots must be >= 1")
+        if self.worker_timeout <= 0:
+            raise ValueError("worker_timeout must be positive")
 
 
 @dataclasses.dataclass
@@ -141,6 +175,11 @@ class SoakResult:
     verdicts: Optional[List[Verdict]] = None
     #: SLO alert events fired during the run (empty without an engine).
     alerts: List[object] = dataclasses.field(default_factory=list)
+    #: p99 wall-clock seconds per serviced batch (classification only).
+    batch_seconds_p99: float = 0.0
+    #: shard workers that died mid-run (process backend; their traffic
+    #: failed closed).
+    worker_failures: int = 0
 
     @property
     def pkts_per_sec(self) -> float:
@@ -182,6 +221,11 @@ class SoakResult:
         ]
         if self.rule_swaps:
             lines.append(f"swaps     {self.rule_swaps} atomic rule swaps")
+        if self.worker_failures:
+            lines.append(
+                f"workers   {self.worker_failures} died "
+                "(their traffic failed closed)"
+            )
         if self.alerts:
             lines.append(
                 f"alerts    {len(self.alerts)} fired: "
@@ -231,6 +275,10 @@ class StreamingGateway:
         if alert_interval <= 0:
             raise ValueError("alert_interval must be positive")
         self.config = config or ServeConfig()
+        # Process backend: the parent's shard switches never classify
+        # (workers do, compiled by default), so skip compiling them —
+        # they only carry batchers, queues, and aggregated stats.
+        process_mode = self.config.executor == "process"
         self.shards = ShardSet(
             rules,
             n_shards=self.config.n_shards,
@@ -238,8 +286,9 @@ class StreamingGateway:
             max_batch=self.config.max_batch,
             max_latency=self.config.max_latency,
             queue_capacity=self.config.queue_capacity,
-            compiled=self.config.compiled,
+            compiled=False if process_mode else self.config.compiled,
         )
+        self._executor: Optional[ProcessExecutor] = None
         self.retrain_hook = retrain_hook
         self.recorder = recorder
         self.alert_engine = alert_engine
@@ -319,6 +368,74 @@ class StreamingGateway:
                 "serve_shard_packets_total", label,
                 help="packets classified per shard",
             )
+        if self.config.executor == "process":
+            self._init_parallel_instruments(registry)
+
+    def _init_parallel_instruments(self, registry) -> None:
+        """Process-backend instruments + parent-side switch mirrors.
+
+        Worker processes bump their own (invisible) registries, so the
+        parent re-emits the documented ``switch_*`` series from reaped
+        verdict arrays — ``repro stats`` and alert rules see the same
+        counters either backend.
+        """
+        self._obs_parallel_workers = registry.gauge(
+            "parallel_workers",
+            help="live shard worker processes (process backend)",
+        )
+        self._obs_worker_batches = {
+            shard.index: registry.counter(
+                "worker_batches_total", {"shard": str(shard.index)},
+                help="batches classified per worker process",
+            )
+            for shard in self.shards
+        }
+        self._obs_worker_batch_seconds = registry.histogram(
+            "worker_batch_seconds", unit="s",
+            help="wall-clock seconds per worker-classified batch",
+        )
+        self._obs_worker_failures = registry.counter(
+            "worker_failures_total",
+            help="shard workers that died mid-run (traffic failed closed)",
+        )
+        self._obs_ring_full_waits = registry.counter(
+            "parallel_ring_full_waits_total",
+            help="submits that blocked on a full frame ring",
+        )
+        self._obs_ring_full_wait_seconds = registry.counter(
+            "parallel_ring_full_wait_seconds", unit="s",
+            help="wall-clock seconds spent blocked on full frame rings",
+        )
+        self._obs_swap_barrier = registry.histogram(
+            "parallel_swap_barrier_seconds", unit="s",
+            help="wall-clock seconds per cross-worker rule-swap barrier",
+        )
+        self._obs_records_dropped = registry.counter(
+            "worker_records_dropped_total",
+            help="decision records dropped by the result-ring budget",
+        )
+        self._obs_sw_verdicts = {
+            action: registry.counter(
+                "switch_packets_total", {"verdict": action},
+                help="packets by final pipeline verdict",
+            )
+            for action in CODE_ACTIONS
+        }
+        self._obs_sw_bytes = {
+            action: registry.counter(
+                "switch_bytes_total", {"verdict": action}, unit="bytes",
+                help="payload bytes by final pipeline verdict",
+            )
+            for action in CODE_ACTIONS
+        }
+        self._obs_sw_received = registry.counter(
+            "switch_packets_received_total",
+            help="packets entering the pipeline",
+        )
+        self._obs_sw_bytes_received = registry.counter(
+            "switch_bytes_received_total", unit="bytes",
+            help="payload bytes entering the pipeline",
+        )
 
     def _reset_run_state(self) -> None:
         # A SoakResult describes exactly one run: shard counters, switch
@@ -339,6 +456,17 @@ class StreamingGateway:
         self._alerts: List[object] = []
         self._first_t: Optional[float] = None
         self._last_t = 0.0
+        self._batch_seconds: List[float] = []
+        # Process-backend state: per-shard FIFOs of submitted-but-unreaped
+        # batches, dead-worker bookkeeping, and the current parser offsets
+        # (cached so submits don't chase the rules object through swaps).
+        self._pending: List[object] = [
+            collections.deque() for _ in self.shards
+        ]
+        self._dead: set = set()
+        self._worker_failures = 0
+        self._offsets = tuple(self.shards.rules.offsets)
+        self._lockstep = self.retrain_hook is not None
 
     # -- the event loop ------------------------------------------------------
 
@@ -347,11 +475,46 @@ class StreamingGateway:
         self._sync_obs()
         self._reset_run_state()
         config = self.config
-        shards = self.shards.shards
-        n_shards = len(shards)
         record = config.record_verdicts
         hash_mode = config.hash_mode
+        if config.executor == "process":
+            worker_compiled = (
+                True if config.compiled is None else bool(config.compiled)
+            )
+            self._executor = ProcessExecutor(
+                self.shards.rules,
+                n_shards=config.n_shards,
+                table_capacity=config.table_capacity,
+                compiled=worker_compiled,
+                max_batch=config.max_batch,
+                ring_slots=config.ring_slots,
+                recorder=self.recorder,
+                start_method=config.start_method,
+                timeout=config.worker_timeout,
+            )
+            if self._obs_on:
+                self._obs_parallel_workers.set(config.n_shards)
         wall_start = time.perf_counter()
+        try:
+            return self._run_stream(source, record, hash_mode, wall_start)
+        finally:
+            if self._executor is not None:
+                if self._obs_on:
+                    self._obs_ring_full_waits.inc(self._executor.ring_full_waits)
+                    self._obs_ring_full_wait_seconds.inc(
+                        self._executor.ring_full_wait_seconds
+                    )
+                    self._obs_records_dropped.inc(self._executor.records_dropped)
+                    self._obs_parallel_workers.set(0)
+                self._executor.close()
+                self._executor = None
+
+    def _run_stream(
+        self, source: Iterable[Packet], record: bool, hash_mode: str,
+        wall_start: float,
+    ) -> SoakResult:
+        shards = self.shards.shards
+        n_shards = len(shards)
         with self._registry.span("serve.soak"):
             for packet in source:
                 t = packet.timestamp
@@ -426,6 +589,8 @@ class StreamingGateway:
                     self._dispatch(shard, batch, now)
             for shard in self.shards:
                 self._service(shard, math.inf)
+            if self._executor is not None:
+                self._await_pending()
         self._next_deadline = math.inf
 
     def _dispatch(self, shard: Shard, batch: Batch, now: float) -> None:
@@ -451,9 +616,15 @@ class StreamingGateway:
             self._obs_depth[shard.index].set(shard.queue.depth)
         self._service(shard, now)
 
-    def _shed(self, shard: Shard, refused) -> None:
-        """Explicit drop accounting for packets the queue refused."""
-        action = "allow" if self.config.policy == FAIL_OPEN else "drop"
+    def _shed(self, shard: Shard, refused, *, action: Optional[str] = None) -> None:
+        """Explicit drop accounting for packets the queue refused.
+
+        Args:
+            action: override the policy verdict — worker-death handling
+                always fails closed (``"drop"``) regardless of policy.
+        """
+        if action is None:
+            action = "allow" if self.config.policy == FAIL_OPEN else "drop"
         verdict = Verdict(action, table=None, entry_id=None)
         record = self.config.record_verdicts
         recorder = self.recorder
@@ -478,6 +649,12 @@ class StreamingGateway:
 
     def _service(self, shard: Shard, now: float) -> None:
         """Run the shard worker forward to stream time ``now``."""
+        if self._executor is not None:
+            self._service_process(shard, now)
+        else:
+            self._service_inline(shard, now)
+
+    def _service_inline(self, shard: Shard, now: float) -> None:
         config = self.config
         rate = config.service_rate
         record = config.record_verdicts
@@ -489,7 +666,9 @@ class StreamingGateway:
             verdicts = shard.switch.process_batch(
                 batch.packets, seqs=batch.indices
             )
-            self._process_seconds += time.perf_counter() - process_start
+            elapsed = time.perf_counter() - process_start
+            self._process_seconds += elapsed
+            self._batch_seconds.append(elapsed)
             if rate is not None:
                 shard.busy_until = start + len(batch) / rate
                 completion = shard.busy_until
@@ -517,13 +696,223 @@ class StreamingGateway:
                     if self._obs_on:
                         self._obs_swaps.inc()
 
+    # -- process backend ---------------------------------------------------
+
+    def _service_process(self, shard: Shard, now: float) -> None:
+        """Process-backend service: ship serviceable batches to the worker.
+
+        Stream-time semantics are identical to :meth:`_service_inline`
+        — the same batches leave the queue at the same stream times and
+        ``busy_until`` advances by the same amounts — only the
+        classification happens remotely.  Verdicts are applied at reap
+        (FIFO per shard), opportunistically here and exhaustively at
+        drain.  With a retrain hook installed the loop runs in
+        lockstep (every submit reaped immediately) so hook calls see
+        each batch's verdicts in the inline order and rule swaps hit a
+        globally empty pipeline.
+        """
+        if shard.index in self._dead:
+            self._drain_dead_shard(shard)
+            return
+        rate = self.config.service_rate
+        queue = shard.queue
+        executor = self._executor
+        while queue.depth and shard.busy_until <= now:
+            batch = queue.pop()
+            start = max(shard.busy_until, batch.flush_time)
+            n = len(batch)
+            keys = Packet.batch_keys(batch.packets, self._offsets)
+            sizes = np.fromiter(
+                (len(p.data) for p in batch.packets), dtype=np.int64, count=n
+            )
+            timestamps = np.fromiter(
+                (p.timestamp for p in batch.packets), dtype=np.float64, count=n
+            )
+            seqs = np.asarray(batch.indices, dtype=np.int64)
+            if rate is not None:
+                shard.busy_until = start + n / rate
+                completion = shard.busy_until
+            else:
+                completion = start
+            try:
+                executor.submit(shard.index, keys, sizes, timestamps, seqs)
+            except WorkerDiedError:
+                self._on_worker_death(shard, extra=(batch, sizes))
+                return
+            self._pending[shard.index].append((batch, sizes, completion))
+            if self._lockstep:
+                try:
+                    result = executor.wait(shard.index)
+                except WorkerDiedError:
+                    self._on_worker_death(shard)
+                    return
+                verdicts = self._complete(shard, result)
+                new_rules = self.retrain_hook(batch.packets, verdicts)
+                if new_rules is not None:
+                    self._install_process(new_rules)
+            else:
+                self._reap()
+
+    def _install_process(self, new_rules: RuleSet) -> None:
+        """Atomic swap, both sides: parent bookkeeping + worker barrier.
+
+        The parent :class:`ShardSet` installs first (it owns the rules
+        pointer, swap counter, and — on changed offsets — the retired
+        stats), then the executor fans the swap to every worker and
+        blocks on the acks.  Callers guarantee zero in-flight frames,
+        so no batch anywhere straddles the version boundary.
+        """
+        self.shards.install(new_rules)
+        self._attach_recorder()
+        self._offsets = tuple(new_rules.offsets)
+        self._executor.install(new_rules)
+        if self._obs_on:
+            self._obs_swaps.inc()
+            self._obs_swap_barrier.observe(
+                self._executor.swap_barrier_seconds[-1]
+            )
+
+    def _reap(self) -> None:
+        """Apply every already-completed batch (non-blocking)."""
+        executor = self._executor
+        for shard in self.shards:
+            if shard.index in self._dead:
+                continue
+            while True:
+                result = executor.poll(shard.index)
+                if result is None:
+                    break
+                self._complete(shard, result)
+
+    def _await_pending(self) -> None:
+        """Block until every submitted batch is reaped (drain barrier)."""
+        executor = self._executor
+        for shard in self.shards:
+            if shard.index in self._dead:
+                continue
+            while self._pending[shard.index]:
+                try:
+                    result = executor.wait(shard.index)
+                except WorkerDiedError:
+                    self._on_worker_death(shard)
+                    break
+                self._complete(shard, result)
+
+    def _complete(self, shard: Shard, result: BatchResult) -> Optional[List[Verdict]]:
+        """Apply one reaped worker result — the deferred half of service."""
+        batch, sizes, completion = self._pending[shard.index].popleft()
+        n = len(batch)
+        codes = result.codes
+        record = self.config.record_verdicts
+        self._process_seconds += result.process_seconds
+        self._batch_seconds.append(result.process_seconds)
+        self._latencies.extend(completion - p.timestamp for p in batch.packets)
+        shard.processed += n
+        # Parent-side stats accumulation: exactly the increments the
+        # worker's switch made, derived from the verdict codes — so
+        # ``ShardSet.stats()`` aggregates identically to inline (and
+        # survives worker death, unlike collecting stats at exit).
+        dropped = codes == 1
+        quarantined = codes == 2
+        n_drop = int(dropped.sum())
+        n_quar = int(quarantined.sum())
+        stats = shard.switch.stats
+        stats.received += n
+        stats.bytes_received += int(sizes.sum())
+        stats.dropped += n_drop
+        stats.quarantined += n_quar
+        stats.allowed += n - n_drop - n_quar
+        stats.bytes_dropped += int(sizes[dropped].sum())
+        stats.bytes_quarantined += int(sizes[quarantined].sum())
+        for code, count in zip(*np.unique(codes, return_counts=True)):
+            action = CODE_ACTIONS[int(code)]
+            shard.verdict_counts[action] = (
+                shard.verdict_counts.get(action, 0) + int(count)
+            )
+        verdicts: Optional[List[Verdict]] = None
+        if record or self._lockstep:
+            verdicts = result.verdicts(self._executor.table_names)
+        if record:
+            out = self._verdicts
+            for index, verdict in zip(batch.indices, verdicts):
+                out[index] = verdict
+        if self.recorder is not None:
+            for data in result.records:
+                self.recorder.add(event_from_dict(data))
+            if result.sampled_out:
+                self.recorder.note_sampled_out(result.sampled_out)
+        if self._obs_on:
+            self._obs_shard_pkts[shard.index].inc(n)
+            self._obs_depth[shard.index].set(shard.queue.depth)
+            for latency in (completion - p.timestamp for p in batch.packets):
+                self._obs_latency.observe(latency)
+            self._obs_worker_batches[shard.index].inc()
+            self._obs_worker_batch_seconds.observe(result.process_seconds)
+            self._obs_sw_received.inc(n)
+            self._obs_sw_bytes_received.inc(int(sizes.sum()))
+            self._obs_sw_verdicts["drop"].inc(n_drop)
+            self._obs_sw_verdicts["quarantine"].inc(n_quar)
+            self._obs_sw_verdicts["allow"].inc(n - n_drop - n_quar)
+            self._obs_sw_bytes["drop"].inc(int(sizes[dropped].sum()))
+            self._obs_sw_bytes["quarantine"].inc(int(sizes[quarantined].sum()))
+            self._obs_sw_bytes["allow"].inc(
+                int(sizes.sum() - sizes[dropped].sum() - sizes[quarantined].sum())
+            )
+        return verdicts
+
+    def _on_worker_death(self, shard: Shard, *, extra=None) -> None:
+        """Fail a dead worker's shard closed and keep the run going.
+
+        Everything the shard still owed a verdict — the batch being
+        submitted, batches in flight in the rings, and batches queued
+        behind them — is shed as forced ``drop`` (fail-closed, whatever
+        the configured policy), keeping ``offered == processed + shed``
+        exact.  The shard is marked dead so later dispatches shed
+        immediately; surviving shards are untouched.
+        """
+        self._dead.add(shard.index)
+        self._worker_failures += 1
+        refused = []
+        if extra is not None:
+            batch, _ = extra
+            refused.extend(zip(batch.packets, batch.indices))
+        for batch, _, _ in self._pending[shard.index]:
+            refused.extend(zip(batch.packets, batch.indices))
+        self._pending[shard.index].clear()
+        queue = shard.queue
+        while queue.depth:
+            batch = queue.pop()
+            refused.extend(zip(batch.packets, batch.indices))
+        self._shed(shard, refused, action="drop")
+        if self._obs_on:
+            self._obs_worker_failures.inc()
+            self._obs_parallel_workers.set(
+                len(self.shards) - len(self._dead)
+            )
+            self._obs_depth[shard.index].set(0)
+
+    def _drain_dead_shard(self, shard: Shard) -> None:
+        """Shed (fail-closed) anything queued on a shard whose worker died."""
+        refused = []
+        queue = shard.queue
+        while queue.depth:
+            batch = queue.pop()
+            refused.extend(zip(batch.packets, batch.indices))
+        if refused:
+            self._shed(shard, refused, action="drop")
+
     # -- results -------------------------------------------------------------
 
     def _result(self, wall: float) -> SoakResult:
         if self._obs_on:
             self._obs_offered.inc(self._offered - self._offered_reported)
             self._offered_reported = self._offered
-        latencies = np.asarray(self._latencies) if self._latencies else np.zeros(1)
+        # Sorted before aggregating so the mean is independent of batch
+        # completion order (the process backend reaps shards in a
+        # different interleaving than inline services them).
+        latencies = (
+            np.sort(self._latencies) if self._latencies else np.zeros(1)
+        )
         waits = np.asarray(self._waits) if self._waits else np.zeros(1)
         processed = sum(s.processed for s in self.shards)
         shed = sum(s.shed for s in self.shards)
@@ -564,4 +953,10 @@ class StreamingGateway:
             per_shard=per_shard,
             verdicts=verdicts,
             alerts=list(self._alerts),
+            batch_seconds_p99=(
+                float(np.percentile(np.asarray(self._batch_seconds), 99))
+                if self._batch_seconds
+                else 0.0
+            ),
+            worker_failures=self._worker_failures,
         )

@@ -23,10 +23,13 @@ METRIC_GROUPS = {
     "batch_switch",
     "compiled_switch",
     "serve",
+    "parallel_serve",
     "flight_recorder",
 }
 #: Phases added after the trajectory started; absent from old records.
-LEGACY_OPTIONAL_GROUPS = {"serve", "flight_recorder", "compiled_switch"}
+LEGACY_OPTIONAL_GROUPS = {
+    "serve", "flight_recorder", "compiled_switch", "parallel_serve",
+}
 
 
 def run_bench(output: Path) -> subprocess.CompletedProcess:
@@ -70,6 +73,12 @@ def test_bench_appends_schema_valid_records(tmp_path):
     serve = record["metrics"]["serve"]
     assert serve["soak_vs_offline"] > 0
     assert 0.0 <= serve["overload_shed_fraction"] <= 1.0
+    parallel = record["metrics"]["parallel_serve"]
+    assert parallel["inline_pkts_per_sec"] > 0
+    assert parallel["speedup_vs_inline"] > 0
+    for workers in (1, parallel["max_workers"]):
+        assert parallel[f"workers_{workers}_pkts_per_sec"] > 0
+        assert parallel[f"workers_{workers}_p99_batch_ms"] >= 0
     flight = record["metrics"]["flight_recorder"]
     assert flight["disabled_seconds"] > 0 and flight["enabled_seconds"] > 0
     assert flight["resident_records"] > 0

@@ -317,6 +317,69 @@ def bench_serve(quick: bool) -> dict:
     }
 
 
+def bench_parallel_serve(quick: bool) -> dict:
+    """Worker-count saturation sweep for the process-parallel backend.
+
+    Runs the same retimed soak through the inline backend and through
+    1/2/4/8 process workers (quick mode stops at 2) and records
+    aggregate throughput, p99 batch service time, and the speedup of
+    the widest process run over inline.  On a single-core host the
+    curve is honestly flat — the point of recording it is that the
+    shape, not just the peak, lands in BENCH_perf.json.
+    """
+    from repro.eval.harness import synthetic_firewall_ruleset
+    from repro.serve import ServeConfig, StreamingGateway, retime
+
+    config = TraceConfig(**QUICK_TRACE)
+    with fastpath(True):
+        base = generate_trace(config)
+    target = 20_000 if quick else 100_000
+    packets = (base * (target // len(base) + 1))[:target]
+    rules = synthetic_firewall_ruleset(n_rules=64, fields_per_rule=2)
+    stamped = list(retime(packets, rate=1_000_000.0, seed=1))
+
+    def soak(executor: str, n_shards: int):
+        gateway = StreamingGateway(
+            rules,
+            ServeConfig(
+                n_shards=n_shards,
+                max_batch=512,
+                max_latency=0.005,
+                queue_capacity=8192,
+                record_verdicts=False,
+                compiled=False,
+                executor=executor,
+            ),
+        )
+        best = None
+        for _ in range(2):
+            result = gateway.run(stamped)
+            if best is None or result.wall_seconds < best.wall_seconds:
+                best = result
+        return best
+
+    metrics = {"packets": len(packets)}
+    inline = soak("inline", 1)
+    metrics["inline_pkts_per_sec"] = round(inline.pkts_per_sec, 1)
+    metrics["inline_p99_batch_ms"] = round(1e3 * inline.batch_seconds_p99, 3)
+    sweep = [1, 2] if quick else [1, 2, 4, 8]
+    last_pps = inline.pkts_per_sec
+    for workers in sweep:
+        result = soak("process", workers)
+        metrics[f"workers_{workers}_pkts_per_sec"] = round(
+            result.pkts_per_sec, 1
+        )
+        metrics[f"workers_{workers}_p99_batch_ms"] = round(
+            1e3 * result.batch_seconds_p99, 3
+        )
+        last_pps = result.pkts_per_sec
+    metrics["max_workers"] = sweep[-1]
+    metrics["speedup_vs_inline"] = round(
+        last_pps / inline.pkts_per_sec, 3
+    )
+    return metrics
+
+
 def run(quick: bool) -> dict:
     record = {
         "commit": _commit(),
@@ -335,6 +398,7 @@ def run(quick: bool) -> dict:
             ("batch_switch", bench_batch_switch),
             ("compiled_switch", bench_compiled_switch),
             ("serve", bench_serve),
+            ("parallel_serve", bench_parallel_serve),
             ("flight_recorder", bench_flight_recorder),
         ]:
             print(f"[bench] {name} ...", flush=True)
