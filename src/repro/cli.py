@@ -187,9 +187,13 @@ def cmd_cache(args) -> int:
 
 def _format_decision(record, controller) -> str:
     """Render one DecisionRecord as an operator-readable match trace."""
+    # getattr: records parsed from pre-fleet JSONL dumps (or foreign
+    # tooling) may predate the tenant field — degrade, don't crash.
+    tenant = getattr(record, "tenant", None)
     lines = [
         f"packet #{record.seq}  t={record.timestamp:.6f}s  "
-        f"verdict={record.verdict}",
+        f"verdict={record.verdict}"
+        + (f"  tenant={tenant}" if tenant is not None else ""),
         "tables consulted: "
         + (" -> ".join(record.tables) if record.tables else "(none)"),
         "key bytes: "
@@ -360,7 +364,8 @@ def cmd_serve(args) -> int:
         SyntheticSource,
     )
 
-    rules = load_ruleset(args.rules)
+    if args.rules is None and not args.tenants:
+        raise SystemExit("need a rules file (or --tenants)")
     if args.pcap:
         source = PcapSource(
             args.pcap,
@@ -401,23 +406,54 @@ def cmd_serve(args) -> int:
         )
     registry = obs.Registry(enabled=True)
     with obs.use_registry(registry):
-        if args.alerts:
-            engine = obs.AlertEngine(
-                obs.default_serve_alerts(
-                    shed_rate=args.alert_shed_rate,
-                    batcher_wait_p99=config.max_latency,
-                ),
-                registry=registry,
-                recorder=recorder,
-                dump_path=args.flight_dump,
-            )
-        gateway = StreamingGateway(
-            rules, config, recorder=recorder, alert_engine=engine
+        alert_rules = obs.default_serve_alerts(
+            shed_rate=args.alert_shed_rate,
+            batcher_wait_p99=config.max_latency,
         )
+        if args.tenants:
+            from repro.fleet import FleetGateway, load_fleet_spec
+
+            capacity, specs = load_fleet_spec(
+                args.tenants, registry_root=args.registry_root
+            )
+            if args.fleet_capacity is not None:
+                capacity = args.fleet_capacity
+            if args.alerts:
+                engine = obs.AlertEngine(
+                    alert_rules + obs.default_fleet_alerts(),
+                    registry=registry,
+                    recorder=recorder,
+                    dump_path=args.flight_dump,
+                )
+            gateway = FleetGateway(
+                specs,
+                config,
+                capacity=capacity,
+                recorder=recorder,
+                alert_engine=engine,
+            )
+        else:
+            rules = load_ruleset(args.rules)
+            if args.alerts:
+                engine = obs.AlertEngine(
+                    alert_rules,
+                    registry=registry,
+                    recorder=recorder,
+                    dump_path=args.flight_dump,
+                )
+            gateway = StreamingGateway(
+                rules, config, recorder=recorder, alert_engine=engine
+            )
         result = gateway.run(source)
     print(result.summary())
     for alert in result.alerts:
         print(f"  ALERT {alert.message}")
+    for name, account in getattr(result, "accounts", {}).items():
+        print(
+            f"  tenant {name}: band={account.band} v{account.version} "
+            f"{account.reason} — entries offered={account.offered} "
+            f"installed={account.installed} evicted={account.evicted}"
+        )
     if recorder is not None and args.flight_dump:
         recorder.dump(args.flight_dump)
         stats = recorder.stats()
@@ -427,7 +463,7 @@ def cmd_serve(args) -> int:
             f"permits)",
             file=sys.stderr,
         )
-    for row in result.per_shard:
+    for row in getattr(result, "per_shard", ()):
         print(
             f"  shard {row['shard']}: {row['processed']} processed, "
             f"{row['shed']} shed, queue high-watermark "
@@ -444,6 +480,61 @@ def cmd_serve(args) -> int:
     elif args.format == "table":
         print()
         print(obs.render_table(snapshot))
+    return 0
+
+
+def cmd_registry(args) -> int:
+    """Manage the versioned detector registry (train/list/show/rm)."""
+    from repro.fleet import DetectorRegistry, RegistryError
+
+    registry = DetectorRegistry(args.root)
+    try:
+        if args.registry_command == "train":
+            if args.from_rules:
+                meta = registry.put(
+                    args.device_class,
+                    load_ruleset(args.from_rules),
+                    note=args.note,
+                )
+            else:
+                meta = registry.train(
+                    args.device_class,
+                    stack=args.stack,
+                    duration=args.duration,
+                    n_devices=args.devices,
+                    window=args.window,
+                    fields=args.fields,
+                    seed=args.seed,
+                    optimize=args.optimize,
+                    note=args.note,
+                )
+            print(
+                f"registered {meta.ref}: {meta.rules} rules, "
+                f"{meta.ternary_entries} ternary entries "
+                f"(sha256 {meta.digest[:12]})"
+            )
+        elif args.registry_command == "list":
+            artifacts = registry.list(args.device_class)
+            if not artifacts:
+                print("(registry is empty)")
+            for meta in artifacts:
+                print(
+                    f"{meta.ref:<24} {meta.rules:>5} rules "
+                    f"{meta.ternary_entries:>6} entries  {meta.created}"
+                    + (f"  {meta.note}" if meta.note else "")
+                )
+        elif args.registry_command == "show":
+            rules, meta = registry.get(args.ref)
+            print(f"{meta.ref}  (sha256 {meta.digest})")
+            print(f"created {meta.created}")
+            if meta.note:
+                print(meta.note)
+            print(rules.describe())
+        elif args.registry_command == "rm":
+            removed = registry.rm(args.ref)
+            print(f"removed {removed} version(s) of {args.ref}")
+    except RegistryError as exc:
+        raise SystemExit(str(exc))
     return 0
 
 
@@ -594,8 +685,29 @@ def build_parser() -> argparse.ArgumentParser:
         "serve",
         help="run a timed streaming soak through the sharded gateway",
     )
-    serve.add_argument("rules", help="rules JSON")
+    serve.add_argument(
+        "rules", nargs="?", help="rules JSON (omit with --tenants)"
+    )
     add_input(serve)
+    serve.add_argument(
+        "--tenants",
+        help="multi-tenant fleet mode: JSON fleet spec naming each "
+        "tenant's rule set (path or registry ref), band, quota and "
+        "source prefix — see docs/OPERATIONS.md",
+    )
+    serve.add_argument(
+        "--fleet-capacity",
+        type=int,
+        default=None,
+        help="shared table budget in ternary entries (overrides the "
+        "spec; default: fit every declared tenant)",
+    )
+    serve.add_argument(
+        "--registry-root",
+        default=None,
+        help="detector registry directory for registry refs in the "
+        "fleet spec",
+    )
     serve.add_argument(
         "--rate",
         type=float,
@@ -726,6 +838,60 @@ def build_parser() -> argparse.ArgumentParser:
         help="telemetry output beyond the soak summary (default: none)",
     )
     serve.set_defaults(func=cmd_serve)
+
+    registry_p = sub.add_parser(
+        "registry",
+        help="manage the versioned train-once detector registry",
+    )
+    registry_p.add_argument(
+        "--root",
+        default=".registry",
+        help="registry directory (default .registry)",
+    )
+    rsub = registry_p.add_subparsers(dest="registry_command", required=True)
+    rtrain = rsub.add_parser(
+        "train",
+        help="train (or import with --from-rules) a new detector version",
+    )
+    rtrain.add_argument("device_class", help="device class / tenant name")
+    rtrain.add_argument(
+        "--from-rules",
+        help="register an existing rules JSON instead of training",
+    )
+    rtrain.add_argument(
+        "--stack",
+        choices=["inet", "industrial", "zigbee", "ble"],
+        default="inet",
+        help="synthetic trace stack to train on (default inet)",
+    )
+    rtrain.add_argument("--duration", type=float, default=40.0,
+                        help="trace duration in seconds (default 40)")
+    rtrain.add_argument("--devices", type=int, default=3,
+                        help="devices in the trace (default 3)")
+    rtrain.add_argument("--window", type=int, default=64,
+                        help="classification byte window (default 64)")
+    rtrain.add_argument("--fields", type=int, default=6,
+                        help="match fields to select (default 6)")
+    rtrain.add_argument("--seed", type=int, default=0)
+    rtrain.add_argument("--optimize", action="store_true",
+                        help="run the rule-set optimiser before registering")
+    rtrain.add_argument("--note", default="",
+                        help="free-form annotation stored with the version")
+    rtrain.set_defaults(func=cmd_registry)
+    rlist = rsub.add_parser("list", help="list registered detector versions")
+    rlist.add_argument("device_class", nargs="?",
+                       help="restrict to one device class")
+    rlist.set_defaults(func=cmd_registry)
+    rshow = rsub.add_parser(
+        "show", help="show one artifact (cls, cls@N, or cls@latest)"
+    )
+    rshow.add_argument("ref", help="registry reference")
+    rshow.set_defaults(func=cmd_registry)
+    rrm = rsub.add_parser(
+        "rm", help="delete one version (cls@N) or a whole class (cls)"
+    )
+    rrm.add_argument("ref", help="registry reference")
+    rrm.set_defaults(func=cmd_registry)
 
     stats = sub.add_parser(
         "stats",

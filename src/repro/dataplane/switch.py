@@ -89,11 +89,17 @@ class SwitchConfig:
 
 @dataclasses.dataclass(frozen=True)
 class Verdict:
-    """Per-packet pipeline outcome."""
+    """Per-packet pipeline outcome.
+
+    ``tenant`` is stamped by the fleet layer when the packet was served
+    under a multi-tenant deployment; single-tenant paths leave it
+    ``None`` so existing comparisons stay bit-identical.
+    """
 
     action: str
     table: Optional[str] = None
     entry_id: Optional[int] = None
+    tenant: Optional[str] = None
 
     @property
     def dropped(self) -> bool:
@@ -180,6 +186,7 @@ class Switch:
         #: paths record-free.
         self.recorder = None
         self.recorder_shard: Optional[int] = None
+        self.recorder_tenant: Optional[str] = None
         self._seq = 0
         self._names_cache: Optional[Tuple[str, ...]] = None
         self._prefix_cache: Optional[Dict[Optional[str], Tuple[str, ...]]] = None
@@ -232,10 +239,17 @@ class Switch:
         if _obs_state._generation != self._obs_gen:
             self._capture_obs()
 
-    def attach_recorder(self, recorder, *, shard: Optional[int] = None) -> None:
+    def attach_recorder(
+        self,
+        recorder,
+        *,
+        shard: Optional[int] = None,
+        tenant: Optional[str] = None,
+    ) -> None:
         """Attach (or detach, with ``None``) a decision flight recorder."""
         self.recorder = recorder
         self.recorder_shard = shard
+        self.recorder_tenant = tenant
 
     # -- configuration -----------------------------------------------------
 
@@ -391,6 +405,7 @@ class Switch:
                 timestamp=packet.timestamp,
                 verdict=verdict.action,
                 shard=self.recorder_shard,
+                tenant=self.recorder_tenant,
                 table=verdict.table,
                 entry_id=verdict.entry_id,
                 tables=self._pipeline_names()[: decided_at + 1],
@@ -572,6 +587,7 @@ class Switch:
                     timestamp=float(timestamps[i]),
                     verdict=final_action[i],
                     shard=self.recorder_shard,
+                    tenant=self.recorder_tenant,
                     table=table,
                     entry_id=entry if entry >= 0 else None,
                     tables=prefixes[table],

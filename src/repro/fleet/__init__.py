@@ -1,0 +1,37 @@
+"""Multi-tenant fleet layer: detector registry, capacity packing, serving.
+
+See docs/OPERATIONS.md for the operator workflow and
+docs/ARCHITECTURE.md ("Fleet & multi-tenancy") for the design.
+"""
+
+from repro.fleet.capacity import (
+    EVICT_REASONS,
+    AdmitResult,
+    CapacityController,
+    TenantAccount,
+    TenantSpec,
+    entries_for,
+)
+from repro.fleet.registry import ArtifactMeta, DetectorRegistry, RegistryError
+from repro.fleet.serving import (
+    FleetGateway,
+    FleetSoakResult,
+    TenantRouter,
+    load_fleet_spec,
+)
+
+__all__ = [
+    "AdmitResult",
+    "ArtifactMeta",
+    "CapacityController",
+    "DetectorRegistry",
+    "EVICT_REASONS",
+    "FleetGateway",
+    "FleetSoakResult",
+    "RegistryError",
+    "TenantAccount",
+    "TenantRouter",
+    "TenantSpec",
+    "entries_for",
+    "load_fleet_spec",
+]

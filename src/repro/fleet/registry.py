@@ -1,0 +1,351 @@
+"""Train-once, versioned, content-addressed detector registry.
+
+A fleet serves many device classes; each class's detector is trained
+once, versioned, and pulled by name at deploy time — the registry is
+the handoff point between the training host and every gateway, the way
+a model registry sits between a training pipeline and its serving
+fleet.  Storage is plain files so artifacts move with ``rsync``:
+
+``<root>/objects/<sha256>.json``
+    The rule-set artifact itself (the versioned
+    :mod:`repro.core.serialize` format), named by the SHA-256 of its
+    canonical JSON — identical rule sets share one object, and a
+    corrupted object is detected on load (digest mismatch).
+
+``<root>/index.json``
+    ``device_class -> [version records]``, each carrying the version
+    number (1-based, monotonically increasing per class), the object
+    digest, creation timestamp, and summary stats.  Written atomically
+    (tmp + rename) so a crashed writer never leaves a torn index.
+
+References are ``"camera"`` (latest version), ``"camera@2"`` (exact),
+or ``"camera@latest"``.  The ``repro registry`` CLI wraps
+:meth:`DetectorRegistry.train` / ``list`` / ``show`` / ``rm``; see
+docs/OPERATIONS.md for the operator workflow.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import datetime
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import obs
+from repro.core.rules import RuleSet
+from repro.core.serialize import ruleset_from_dict, ruleset_to_dict
+
+__all__ = ["ArtifactMeta", "DetectorRegistry", "RegistryError"]
+
+
+class RegistryError(Exception):
+    """Unknown reference, corrupt object, or malformed index."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ArtifactMeta:
+    """One registered detector version.
+
+    Attributes:
+        device_class: the tenant/device-class name the detector serves.
+        version: 1-based version within the class (monotonic).
+        digest: SHA-256 of the canonical rule-set JSON (the object name).
+        created: ISO-8601 UTC creation timestamp.
+        rules: rule count.
+        ternary_entries: shared-table entry cost (the capacity
+            controller's admission currency).
+        offsets: the parser byte offsets the rule set matches on.
+        note: free-form operator annotation (accuracy, dataset, ...).
+    """
+
+    device_class: str
+    version: int
+    digest: str
+    created: str
+    rules: int
+    ternary_entries: int
+    offsets: Tuple[int, ...]
+    note: str = ""
+
+    @property
+    def ref(self) -> str:
+        return f"{self.device_class}@{self.version}"
+
+    def to_dict(self) -> Dict[str, object]:
+        data = dataclasses.asdict(self)
+        data["offsets"] = list(self.offsets)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ArtifactMeta":
+        payload = dict(data)
+        payload["offsets"] = tuple(int(o) for o in payload.get("offsets", ()))
+        return cls(**payload)
+
+
+def _canonical(rules: RuleSet) -> bytes:
+    return json.dumps(
+        ruleset_to_dict(rules), sort_keys=True, separators=(",", ":")
+    ).encode()
+
+
+def _utcnow() -> str:
+    return datetime.datetime.now(datetime.timezone.utc).isoformat(
+        timespec="seconds"
+    )
+
+
+class DetectorRegistry:
+    """Filesystem-backed registry of per-device-class rule sets.
+
+    Args:
+        root: registry directory (created on first write).
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self._objects = self.root / "objects"
+        self._index_path = self.root / "index.json"
+
+    # -- index ---------------------------------------------------------------
+
+    def _load_index(self) -> Dict[str, List[Dict[str, object]]]:
+        if not self._index_path.exists():
+            return {}
+        try:
+            data = json.loads(self._index_path.read_text(encoding="utf-8"))
+        except (ValueError, OSError) as exc:
+            raise RegistryError(f"unreadable index {self._index_path}: {exc}")
+        if not isinstance(data, dict):
+            raise RegistryError(f"malformed index {self._index_path}")
+        return data
+
+    def _save_index(self, index: Dict[str, List[Dict[str, object]]]) -> None:
+        self.root.mkdir(parents=True, exist_ok=True)
+        tmp = self._index_path.with_suffix(".json.tmp")
+        tmp.write_text(
+            json.dumps(index, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        os.replace(tmp, self._index_path)
+        self._note_artifacts(index)
+
+    def _note_artifacts(self, index) -> None:
+        registry = obs.registry()
+        if registry.enabled:
+            registry.gauge(
+                "fleet_registry_artifacts",
+                help="detector versions stored in the registry",
+            ).set(sum(len(v) for v in index.values()))
+
+    def _note_op(self, op: str) -> None:
+        registry = obs.registry()
+        if registry.enabled:
+            registry.counter(
+                "fleet_registry_ops_total", {"op": op},
+                help="registry operations by kind",
+            ).inc()
+
+    # -- objects -------------------------------------------------------------
+
+    def _object_path(self, digest: str) -> Path:
+        return self._objects / f"{digest}.json"
+
+    def _store_object(self, rules: RuleSet) -> str:
+        blob = _canonical(rules)
+        digest = hashlib.sha256(blob).hexdigest()
+        path = self._object_path(digest)
+        if not path.exists():
+            self._objects.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        return digest
+
+    def _load_object(self, digest: str) -> RuleSet:
+        path = self._object_path(digest)
+        if not path.exists():
+            raise RegistryError(f"missing object {digest[:12]}… in {self.root}")
+        blob = path.read_bytes()
+        actual = hashlib.sha256(blob).hexdigest()
+        if actual != digest:
+            raise RegistryError(
+                f"corrupt object {digest[:12]}…: content hashes to "
+                f"{actual[:12]}…"
+            )
+        return ruleset_from_dict(json.loads(blob.decode()))
+
+    # -- public API ----------------------------------------------------------
+
+    def put(
+        self, device_class: str, rules: RuleSet, *, note: str = ""
+    ) -> ArtifactMeta:
+        """Register a new version of a device class's detector."""
+        if not device_class or "@" in device_class:
+            raise RegistryError(
+                f"invalid device class {device_class!r} ('@' is reserved)"
+            )
+        index = self._load_index()
+        versions = index.setdefault(device_class, [])
+        next_version = 1 + max(
+            (int(v["version"]) for v in versions), default=0
+        )
+        digest = self._store_object(rules)
+        report = rules.resource_report()
+        meta = ArtifactMeta(
+            device_class=device_class,
+            version=next_version,
+            digest=digest,
+            created=_utcnow(),
+            rules=report["rules"],
+            ternary_entries=report["ternary_entries"],
+            offsets=tuple(rules.offsets),
+            note=note,
+        )
+        versions.append(meta.to_dict())
+        self._save_index(index)
+        self._note_op("put")
+        return meta
+
+    def parse_ref(self, ref: str) -> Tuple[str, Optional[int]]:
+        """``"cls"`` / ``"cls@3"`` / ``"cls@latest"`` → (class, version?)."""
+        name, sep, version = ref.partition("@")
+        if not name:
+            raise RegistryError(f"invalid reference {ref!r}")
+        if not sep or version == "latest":
+            return name, None
+        try:
+            return name, int(version)
+        except ValueError:
+            raise RegistryError(f"invalid version in reference {ref!r}")
+
+    def meta(self, ref: str) -> ArtifactMeta:
+        """Resolve a reference to its artifact metadata."""
+        name, version = self.parse_ref(ref)
+        index = self._load_index()
+        versions = index.get(name)
+        if not versions:
+            raise RegistryError(f"unknown device class {name!r} in {self.root}")
+        if version is None:
+            record = max(versions, key=lambda v: int(v["version"]))
+        else:
+            matches = [v for v in versions if int(v["version"]) == version]
+            if not matches:
+                raise RegistryError(f"no version {version} of {name!r}")
+            record = matches[0]
+        return ArtifactMeta.from_dict(record)
+
+    def get(self, ref: str) -> Tuple[RuleSet, ArtifactMeta]:
+        """Load a rule set (digest-verified) and its metadata."""
+        meta = self.meta(ref)
+        rules = self._load_object(meta.digest)
+        self._note_op("get")
+        return rules, meta
+
+    def list(self, device_class: Optional[str] = None) -> List[ArtifactMeta]:
+        """All artifacts, newest version last, grouped by class name."""
+        index = self._load_index()
+        classes = (
+            [device_class] if device_class is not None else sorted(index)
+        )
+        result: List[ArtifactMeta] = []
+        for name in classes:
+            for record in sorted(
+                index.get(name, ()), key=lambda v: int(v["version"])
+            ):
+                result.append(ArtifactMeta.from_dict(record))
+        return result
+
+    def rm(self, ref: str) -> int:
+        """Delete one version (``cls@v``) or a whole class (``cls``).
+
+        Returns the number of versions removed.  Objects no longer
+        referenced by any index entry are garbage-collected.
+        """
+        name, version = self.parse_ref(ref)
+        index = self._load_index()
+        versions = index.get(name)
+        if not versions:
+            raise RegistryError(f"unknown device class {name!r} in {self.root}")
+        if version is None:
+            removed = versions
+            kept: List[Dict[str, object]] = []
+        else:
+            removed = [v for v in versions if int(v["version"]) == version]
+            kept = [v for v in versions if int(v["version"]) != version]
+            if not removed:
+                raise RegistryError(f"no version {version} of {name!r}")
+        if kept:
+            index[name] = kept
+        else:
+            del index[name]
+        self._save_index(index)
+        live = {v["digest"] for vs in index.values() for v in vs}
+        for record in removed:
+            if record["digest"] not in live:
+                self._object_path(str(record["digest"])).unlink(missing_ok=True)
+        self._note_op("rm")
+        return len(removed)
+
+    def train(
+        self,
+        device_class: str,
+        *,
+        stack: str = "inet",
+        duration: float = 40.0,
+        n_devices: int = 3,
+        window: int = 64,
+        fields: int = 6,
+        seed: int = 0,
+        optimize: bool = False,
+        note: str = "",
+    ) -> ArtifactMeta:
+        """Train a detector on a synthetic device-class trace and register it.
+
+        The train-once path of the fleet workflow: synthesize the
+        class's labelled trace, fit the two-stage detector, distill the
+        rule set, and store it as the next version.  Wrapped in a
+        ``registry.train`` span; heavyweight imports stay local so the
+        registry's read paths import nothing from the training stack.
+        """
+        import numpy as np
+
+        from repro.core import DetectorConfig, TwoStageDetector
+        from repro.datasets import FeatureExtractor, TraceConfig, make_dataset
+
+        registry = obs.registry()
+        with registry.span("registry.train"):
+            dataset = make_dataset(
+                device_class,
+                TraceConfig(
+                    stack=stack,
+                    duration=duration,
+                    n_devices=n_devices,
+                    seed=seed,
+                ),
+                n_bytes=window,
+            )
+            packets = dataset.train_packets + dataset.test_packets
+            labels = np.concatenate(
+                [dataset.y_train_binary, dataset.y_test_binary]
+            )
+            extractor = FeatureExtractor(n_bytes=window)
+            x = extractor.transform(packets)
+            detector = TwoStageDetector(
+                DetectorConfig(n_bytes=window, n_fields=fields, seed=seed)
+            )
+            detector.fit(x, labels)
+            rules = detector.generate_rules()
+            if optimize:
+                from repro.core import optimize_ruleset
+
+                rules, _ = optimize_ruleset(rules)
+        if not note:
+            note = (
+                f"trained on {len(packets)} {stack} packets "
+                f"({int(labels.sum())} attack)"
+            )
+        return self.put(device_class, rules, note=note)

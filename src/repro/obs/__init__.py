@@ -35,6 +35,7 @@ see the "Decision provenance" sections of ``docs/OBSERVABILITY.md``.
 from repro.obs.alerts import (
     AlertEngine,
     AlertRule,
+    default_fleet_alerts,
     default_serve_alerts,
     histogram_quantile,
 )
@@ -92,6 +93,7 @@ __all__ = [
     "Span",
     "Timer",
     "default_buckets",
+    "default_fleet_alerts",
     "default_serve_alerts",
     "enabled",
     "env_enabled",

@@ -38,6 +38,7 @@ from repro.obs.events import AlertEvent
 __all__ = [
     "AlertRule",
     "AlertEngine",
+    "default_fleet_alerts",
     "default_serve_alerts",
     "histogram_quantile",
 ]
@@ -299,3 +300,45 @@ def default_serve_alerts(
             )
         )
     return rules
+
+
+def default_fleet_alerts(
+    *,
+    unrouted_rate: float = 0.05,
+    fleet_shed_rate: float = 0.01,
+) -> List[AlertRule]:
+    """The standard SLO rule set for multi-tenant fleet serving.
+
+    Complements :func:`default_serve_alerts` (which still covers the
+    per-tenant gateways); these rules watch the fleet layer itself —
+    capacity-pressure evictions and routing coverage.
+
+    Args:
+        unrouted_rate: maximum tolerated fraction of offered packets no
+            tenant's routing entry claimed.
+        fleet_shed_rate: maximum tolerated fraction of offered packets
+            shed because their tenant was not installed.
+    """
+    return [
+        AlertRule(
+            "fleet_evictions_present",
+            metric="fleet_evictions_total",
+            threshold=0,
+            description="tenant rule sets evicted from the shared table",
+        ),
+        AlertRule(
+            "fleet_unrouted_rate_high",
+            metric="fleet_unrouted_packets_total",
+            denominator="fleet_offered_packets_total",
+            threshold=unrouted_rate,
+            description="fraction of offered packets no tenant claimed",
+        ),
+        AlertRule(
+            "fleet_shed_rate_high",
+            metric="fleet_shed_packets_total",
+            denominator="fleet_offered_packets_total",
+            threshold=fleet_shed_rate,
+            description="fraction of offered packets shed because their "
+            "tenant was not installed",
+        ),
+    ]

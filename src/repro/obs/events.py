@@ -63,6 +63,9 @@ class DecisionRecord:
         timestamp: the packet's stream timestamp (capture clock).
         verdict: final action (``drop`` / ``allow`` / ``quarantine``).
         shard: serving shard index, ``None`` outside the gateway.
+        tenant: owning tenant under multi-tenant fleet serving;
+            ``None`` on single-tenant runs and on pre-fleet dumps (old
+            JSONL files load fine — the field just defaults).
         table: name of the table whose entry decided the packet
             (``None`` when the default action applied).
         entry_id: id of the matched entry in ``table`` (the rule id the
@@ -78,6 +81,7 @@ class DecisionRecord:
     timestamp: float
     verdict: str
     shard: Optional[int] = None
+    tenant: Optional[str] = None
     table: Optional[str] = None
     entry_id: Optional[int] = None
     tables: Tuple[str, ...] = ()

@@ -30,7 +30,7 @@ import collections
 import dataclasses
 import math
 import time
-from typing import Callable, Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
@@ -114,6 +114,14 @@ class ServeConfig:
             fails its shard closed.
         start_method: multiprocessing start method for workers
             (``None`` picks ``fork`` when available, else ``spawn``).
+        tenants: multi-tenant fleet mode — a sequence of
+            :class:`repro.fleet.TenantSpec`.  Consumed by
+            :class:`repro.fleet.FleetGateway` (and ``repro serve
+            --tenants``); :class:`StreamingGateway` itself refuses a
+            tenants-bearing config and directs you there.
+        fleet_capacity: shared table budget in ternary entries for
+            fleet mode; ``None`` sizes the budget to fit every declared
+            tenant exactly.
     """
 
     n_shards: int = 1
@@ -130,6 +138,8 @@ class ServeConfig:
     ring_slots: int = 8
     worker_timeout: float = 30.0
     start_method: Optional[str] = None
+    tenants: Optional[Sequence] = None
+    fleet_capacity: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.policy not in (FAIL_OPEN, FAIL_CLOSED):
@@ -147,6 +157,10 @@ class ServeConfig:
             raise ValueError("ring_slots must be >= 1")
         if self.worker_timeout <= 0:
             raise ValueError("worker_timeout must be positive")
+        if self.tenants is not None and not self.tenants:
+            raise ValueError("tenants must be a non-empty sequence (or None)")
+        if self.fleet_capacity is not None and self.fleet_capacity < 1:
+            raise ValueError("fleet_capacity must be >= 1 (or None)")
 
 
 @dataclasses.dataclass
@@ -271,10 +285,21 @@ class StreamingGateway:
         recorder=None,
         alert_engine=None,
         alert_interval: float = 0.5,
+        tenant: Optional[str] = None,
     ):
         if alert_interval <= 0:
             raise ValueError("alert_interval must be positive")
         self.config = config or ServeConfig()
+        if self.config.tenants is not None:
+            raise ValueError(
+                "ServeConfig.tenants is fleet mode — construct a "
+                "repro.fleet.FleetGateway (or `repro serve --tenants`) "
+                "instead of a StreamingGateway"
+            )
+        #: Tenant this gateway serves under a fleet deployment; stamps
+        #: verdicts and decision records.  ``None`` (single-tenant)
+        #: leaves every record untagged, byte-identical to pre-fleet runs.
+        self.tenant = tenant
         # Process backend: the parent's shard switches never classify
         # (workers do, compiled by default), so skip compiling them —
         # they only carry batchers, queues, and aggregated stats.
@@ -318,7 +343,9 @@ class StreamingGateway:
         if self.recorder is None:
             return
         for shard in self.shards:
-            shard.switch.attach_recorder(self.recorder, shard=shard.index)
+            shard.switch.attach_recorder(
+                self.recorder, shard=shard.index, tenant=self.tenant
+            )
 
     def _init_instruments(self) -> None:
         registry = self._registry
@@ -625,7 +652,7 @@ class StreamingGateway:
         """
         if action is None:
             action = "allow" if self.config.policy == FAIL_OPEN else "drop"
-        verdict = Verdict(action, table=None, entry_id=None)
+        verdict = Verdict(action, table=None, entry_id=None, tenant=self.tenant)
         record = self.config.record_verdicts
         recorder = self.recorder
         for packet, index in refused:
@@ -641,6 +668,7 @@ class StreamingGateway:
                         timestamp=packet.timestamp,
                         verdict=action,
                         shard=shard.index,
+                        tenant=self.tenant,
                     )
                 )
         shard.shed += len(refused)
@@ -837,7 +865,12 @@ class StreamingGateway:
             for index, verdict in zip(batch.indices, verdicts):
                 out[index] = verdict
         if self.recorder is not None:
+            # Workers don't know their tenant; stamp identity parent-side
+            # so process-backend records match inline bit for bit.
+            tenant = self.tenant
             for data in result.records:
+                if tenant is not None:
+                    data["tenant"] = tenant
                 self.recorder.add(event_from_dict(data))
             if result.sampled_out:
                 self.recorder.note_sampled_out(result.sampled_out)
@@ -935,6 +968,14 @@ class StreamingGateway:
                 "packet lost without a verdict — accounting bug"
             )
             verdicts = list(self._verdicts)
+            if self.tenant is not None:
+                # Fleet mode: tag pipeline verdicts with the serving
+                # tenant (shed verdicts were stamped at creation).
+                verdicts = [
+                    v if v.tenant == self.tenant
+                    else dataclasses.replace(v, tenant=self.tenant)
+                    for v in verdicts
+                ]
         return SoakResult(
             offered=self._offered,
             processed=processed,

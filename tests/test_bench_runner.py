@@ -24,11 +24,13 @@ METRIC_GROUPS = {
     "compiled_switch",
     "serve",
     "parallel_serve",
+    "fleet_serving",
     "flight_recorder",
 }
 #: Phases added after the trajectory started; absent from old records.
 LEGACY_OPTIONAL_GROUPS = {
     "serve", "flight_recorder", "compiled_switch", "parallel_serve",
+    "fleet_serving",
 }
 
 
@@ -79,6 +81,13 @@ def test_bench_appends_schema_valid_records(tmp_path):
     for workers in (1, parallel["max_workers"]):
         assert parallel[f"workers_{workers}_pkts_per_sec"] > 0
         assert parallel[f"workers_{workers}_p99_batch_ms"] >= 0
+    fleet = record["metrics"]["fleet_serving"]
+    assert fleet["tenants"] > 0 and fleet["demand_entries"] > 0
+    assert fleet["full_installed_tenants"] == fleet["tenants"]
+    assert fleet["constrained_installed_tenants"] < fleet["tenants"]
+    assert fleet["constrained_evicted_entries"] > 0
+    assert 0.0 <= fleet["constrained_fidelity"] < 1.0
+    assert fleet["full_pkts_per_sec"] > 0
     flight = record["metrics"]["flight_recorder"]
     assert flight["disabled_seconds"] > 0 and flight["enabled_seconds"] > 0
     assert flight["resident_records"] > 0

@@ -3,7 +3,8 @@
 
 Times the perf-critical paths — trace synthesis, detector training,
 the batch switch data path, the compiled LUT-bitmap classifier, the
-streaming-gateway soak, and the flight-recorder provenance overhead —
+streaming-gateway soak, the multi-tenant fleet soak, and the
+flight-recorder provenance overhead —
 and *appends* one record to
 ``BENCH_perf.json`` so the numbers form a trajectory across commits
 rather than a single snapshot:
@@ -380,6 +381,88 @@ def bench_parallel_serve(quick: bool) -> dict:
     return metrics
 
 
+def bench_fleet_serving(quick: bool) -> dict:
+    """Multi-tenant fleet soak: packing outcome and the capacity price.
+
+    The E19 shape, recorded per commit: a fleet of tenants with varied
+    rule-set sizes and bands is packed into a shared ternary-entry
+    budget at 60 % and 100 % of total demand, routed by source prefix,
+    and soaked.  Records the packing (installed tenants, evicted
+    entries), the verdict fidelity of the constrained run against the
+    fully-provisioned one (loss = fail-closed shedding of evicted
+    tenants' traffic), and fleet throughput.  The per-tenant ledger
+    invariant ``offered == installed + evicted`` is asserted, not just
+    reported.
+    """
+    import dataclasses
+
+    from repro.eval.harness import synthetic_firewall_ruleset
+    from repro.fleet import FleetGateway, TenantSpec
+    from repro.serve import ServeConfig, retime
+
+    config = TraceConfig(**QUICK_TRACE)
+    with fastpath(True):
+        base = generate_trace(config)
+    target = 6_000 if quick else 30_000
+    n_tenants = 3 if quick else 6
+    specs = [
+        TenantSpec(
+            name=f"class{i}",
+            rules=synthetic_firewall_ruleset(
+                n_rules=16 + 8 * i, fields_per_rule=2, seed=100 + i
+            ),
+            band=i % 3,
+            src_prefix=f"10.{i}.0.0/16",
+        )
+        for i in range(n_tenants)
+    ]
+    demand = sum(spec.cost() for spec in specs)
+    packets = (base * (target // len(base) + 1))[:target]
+    routed = []
+    for idx, packet in enumerate(packets):
+        data = packet.data
+        if len(data) >= 30 and data[12:14] == b"\x08\x00":
+            data = data[:26] + bytes([10, idx % n_tenants]) + data[28:]
+            packet = dataclasses.replace(packet, data=data)
+        routed.append(packet)
+    stamped = list(retime(routed, rate=500_000.0, seed=19))
+    serve_config = ServeConfig(
+        max_batch=256,
+        max_latency=0.005,
+        queue_capacity=65_536,
+        record_verdicts=True,
+        compiled=False,
+    )
+
+    full = FleetGateway(specs, serve_config, capacity=demand).run(stamped)
+    constrained = FleetGateway(
+        specs, serve_config, capacity=max(1, int(demand * 0.6))
+    ).run(stamped)
+    for result in (full, constrained):
+        for name, account in result.accounts.items():
+            assert account.balanced, f"{name}: unbalanced entry ledger"
+    matches = sum(
+        ours.action == theirs.action
+        for ours, theirs in zip(constrained.verdicts, full.verdicts)
+    )
+    return {
+        "packets": len(stamped),
+        "tenants": n_tenants,
+        "demand_entries": demand,
+        "full_pkts_per_sec": round(full.offered / full.wall_seconds, 1),
+        "full_installed_tenants": len(full.per_tenant),
+        "constrained_budget": max(1, int(demand * 0.6)),
+        "constrained_installed_tenants": len(constrained.per_tenant),
+        "constrained_evicted_entries": sum(
+            a.evicted for a in constrained.accounts.values()
+        ),
+        "constrained_fidelity": round(matches / constrained.offered, 4),
+        "constrained_pkts_per_sec": round(
+            constrained.offered / constrained.wall_seconds, 1
+        ),
+    }
+
+
 def run(quick: bool) -> dict:
     record = {
         "commit": _commit(),
@@ -399,6 +482,7 @@ def run(quick: bool) -> dict:
             ("compiled_switch", bench_compiled_switch),
             ("serve", bench_serve),
             ("parallel_serve", bench_parallel_serve),
+            ("fleet_serving", bench_fleet_serving),
             ("flight_recorder", bench_flight_recorder),
         ]:
             print(f"[bench] {name} ...", flush=True)

@@ -15,7 +15,14 @@ plus ``docs/*.md``) and fails on:
   ``src/repro/obs/events.py`` and every alert rule name declared in
   ``src/repro/obs/alerts.py`` must appear in ``docs/OBSERVABILITY.md``
   (the metric/span half of the catalogue is enforced by
-  ``tests/test_docs_links.py``, which needs the full source scan).
+  ``tests/test_docs_links.py``, which needs the full source scan);
+* **CLI catalogue drift** — every top-level ``repro`` subcommand
+  registered in ``src/repro/cli.py`` must appear in the operator guide
+  ``docs/OPERATIONS.md``;
+* **fleet catalogue drift** — every ``fleet_*`` metric, ``fleet.*`` /
+  ``registry.*`` span, and ``fleet_*`` alert name declared under
+  ``src/repro/fleet/`` or ``src/repro/obs/alerts.py`` must appear in
+  ``docs/OBSERVABILITY.md``.
 
 External links (``http(s)://``, ``mailto:``) are deliberately not
 fetched — this repo is developed offline — and bare inline-code
@@ -164,6 +171,70 @@ def catalogue_problems() -> List[str]:
     return problems
 
 
+#: Top-level subcommand registrations in cli.py.  Nested sub-subparsers
+#: (``rsub.add_parser``) are deliberately not matched — the operator
+#: guide documents them under their parent command.
+_CLI_COMMAND_RE = re.compile(r'\bsub\.add_parser\(\s*"([a-z0-9]+)"')
+#: Instrument registrations / span entries (same shapes as the tier-1
+#: scan in tests/test_docs_links.py).
+_METRIC_CALL_RE = re.compile(
+    r"\.(?:counter|gauge|histogram|timer)\(\s*[\"']([a-z0-9_]+)[\"']"
+)
+_SPAN_CALL_RE = re.compile(r"\.span\(\s*[\"']([a-z0-9_./]+)[\"']")
+
+
+def cli_catalogue_problems() -> List[str]:
+    """`repro` subcommands missing from docs/OPERATIONS.md."""
+    operations = REPO_ROOT / "docs" / "OPERATIONS.md"
+    if not operations.exists():
+        return ["docs/OPERATIONS.md does not exist"]
+    doc = operations.read_text(encoding="utf-8")
+    commands = _CLI_COMMAND_RE.findall(
+        (REPO_ROOT / "src" / "repro" / "cli.py").read_text(encoding="utf-8")
+    )
+    problems: List[str] = []
+    if "serve" not in commands:
+        problems.append("CLI scan found no sub.add_parser registrations")
+    for command in sorted(set(commands)):
+        if f"repro {command}" not in doc:
+            problems.append(
+                f"CLI subcommand 'repro {command}' missing from OPERATIONS.md"
+            )
+    return problems
+
+
+def fleet_catalogue_problems() -> List[str]:
+    """``fleet_*`` metrics/spans/alerts missing from docs/OBSERVABILITY.md."""
+    doc = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    metrics, spans = set(), set()
+    for path in sorted((REPO_ROOT / "src" / "repro" / "fleet").glob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        metrics.update(_METRIC_CALL_RE.findall(text))
+        spans.update(_SPAN_CALL_RE.findall(text))
+    alerts = _ALERT_NAME_RE.findall(
+        (REPO_ROOT / "src" / "repro" / "obs" / "alerts.py").read_text(
+            encoding="utf-8"
+        )
+    )
+    problems: List[str] = []
+    if not any(name.startswith("fleet_") for name in metrics):
+        problems.append("fleet scan found no fleet_* metric registrations")
+    for name in sorted(n for n in metrics if n.startswith("fleet_")):
+        if name not in doc:
+            problems.append(
+                f"fleet metric {name!r} missing from OBSERVABILITY.md"
+            )
+    for name in sorted(spans):
+        if name not in doc:
+            problems.append(f"fleet span {name!r} missing from OBSERVABILITY.md")
+    for name in sorted(n for n in set(alerts) if n.startswith("fleet_")):
+        if name not in doc:
+            problems.append(
+                f"fleet alert {name!r} missing from OBSERVABILITY.md"
+            )
+    return problems
+
+
 def main(argv: List[str] | None = None) -> int:
     cache: Dict[Path, set] = {}
     total = 0
@@ -175,6 +246,12 @@ def main(argv: List[str] | None = None) -> int:
             print(f"{rel}:{lineno}: dead link ({problem}): {target}")
             total += 1
     for problem in catalogue_problems():
+        print(f"docs/OBSERVABILITY.md: catalogue drift: {problem}")
+        total += 1
+    for problem in cli_catalogue_problems():
+        print(f"docs/OPERATIONS.md: catalogue drift: {problem}")
+        total += 1
+    for problem in fleet_catalogue_problems():
         print(f"docs/OBSERVABILITY.md: catalogue drift: {problem}")
         total += 1
     if total:
