@@ -538,6 +538,123 @@ def cmd_registry(args) -> int:
     return 0
 
 
+def cmd_corpus(args) -> int:
+    """Build, inspect and endurance-replay on-disk trace corpora."""
+    from repro import obs
+    from repro.corpus import (
+        CorpusError,
+        CorpusSpec,
+        build_corpus,
+        load_manifest,
+        replay_corpus,
+    )
+
+    try:
+        if args.corpus_command == "build":
+            spec = CorpusSpec(
+                stack=args.stack,
+                n_packets=args.packets,
+                chunk_packets=args.chunk_packets,
+                attack_fraction=args.attack_fraction,
+                attack_families=(
+                    args.families.split(",") if args.families else None
+                ),
+                n_devices=args.devices,
+                rate=args.rate,
+                burstiness=args.burstiness,
+                seed=args.seed,
+                compress=args.compress,
+                window=args.window,
+                attack_rate_scale=args.attack_rate_scale,
+            )
+
+            def progress(index: int, total: int, meta) -> None:
+                print(
+                    f"chunk {index + 1}/{total}: {meta.file} "
+                    f"({meta.packets} packets, {meta.bytes / 1e6:.1f} MB, "
+                    f"sha256 {meta.digest[:12]})",
+                    file=sys.stderr,
+                )
+
+            import time as _time
+
+            start = _time.perf_counter()
+            manifest = build_corpus(
+                spec, args.out, force=args.force, progress=progress
+            )
+            elapsed = _time.perf_counter() - start
+            print(manifest.summary())
+            print(
+                f"built in {elapsed:.1f}s "
+                f"({manifest.packets / elapsed:,.0f} pkt/s)"
+            )
+        elif args.corpus_command == "info":
+            manifest = load_manifest(args.root)
+            print(manifest.summary())
+            if args.chunks:
+                for meta in manifest.chunks:
+                    classes = ", ".join(
+                        f"{name}={count}"
+                        for name, count in sorted(meta.classes.items())
+                    )
+                    print(
+                        f"  {meta.file}: {meta.packets} packets "
+                        f"[{meta.first_timestamp:.3f}s, "
+                        f"{meta.last_timestamp:.3f}s] {classes}"
+                    )
+        elif args.corpus_command == "replay":
+            from repro.serve import ServeConfig
+
+            if args.rules:
+                rules = load_ruleset(args.rules)
+            else:
+                from repro.eval.harness import synthetic_firewall_ruleset
+
+                rules = synthetic_firewall_ruleset(seed=args.seed)
+            n_shards = (
+                args.workers if args.workers is not None else args.shards
+            )
+            config = ServeConfig(
+                n_shards=n_shards,
+                max_batch=args.max_batch,
+                max_latency=args.max_latency_ms / 1000.0,
+                queue_capacity=args.queue_capacity,
+                policy=args.policy,
+                service_rate=args.service_rate,
+                table_capacity=args.table_capacity,
+                record_verdicts=False,
+                executor=args.executor,
+            )
+            registry = obs.Registry(enabled=True)
+            with obs.use_registry(registry):
+                report = replay_corpus(
+                    args.root,
+                    rules,
+                    config,
+                    rate=args.rate,
+                    burstiness=args.burstiness,
+                    seed=args.seed,
+                    verify=not args.no_verify,
+                    loop=args.loop,
+                    swap_after=args.swap_after,
+                )
+            print(report.summary())
+            snapshot = registry.snapshot()
+            if args.save:
+                obs.write_jsonl(snapshot, args.save)
+                print(f"wrote {args.save}", file=sys.stderr)
+            if args.format == "jsonl":
+                sys.stdout.write(obs.to_jsonl(snapshot))
+            elif args.format == "prometheus":
+                sys.stdout.write(obs.to_prometheus(snapshot))
+            elif args.format == "table":
+                print()
+                print(obs.render_table(snapshot))
+    except CorpusError as exc:
+        raise SystemExit(str(exc))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -892,6 +1009,203 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rrm.add_argument("ref", help="registry reference")
     rrm.set_defaults(func=cmd_registry)
+
+    corpus_p = sub.add_parser(
+        "corpus",
+        help="build, inspect and endurance-replay on-disk trace corpora",
+    )
+    csub = corpus_p.add_subparsers(dest="corpus_command", required=True)
+    cbuild = csub.add_parser(
+        "build",
+        help="synthesize a chunked mixed attack/benign corpus to disk",
+    )
+    cbuild.add_argument("out", help="corpus output directory")
+    cbuild.add_argument(
+        "--packets",
+        type=int,
+        default=1_000_000,
+        help="total corpus size in packets (default 1000000)",
+    )
+    cbuild.add_argument(
+        "--chunk-packets",
+        type=int,
+        default=200_000,
+        help="packets per chunk file (default 200000)",
+    )
+    cbuild.add_argument(
+        "--stack",
+        choices=["inet", "industrial", "zigbee", "ble"],
+        default="inet",
+        help="protocol stack for device and attack models (default inet)",
+    )
+    cbuild.add_argument(
+        "--attack-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of packets drawn from attack families (default 0.5)",
+    )
+    cbuild.add_argument(
+        "--families",
+        default=None,
+        help="comma-separated attack categories (default: every family "
+        "registered for the stack)",
+    )
+    cbuild.add_argument(
+        "--devices",
+        type=int,
+        default=4,
+        help="benign devices per device model (default 4)",
+    )
+    cbuild.add_argument(
+        "--rate",
+        type=float,
+        default=50_000.0,
+        help="recorded arrival rate in pkts/s of stream time "
+        "(default 50000)",
+    )
+    cbuild.add_argument(
+        "--burstiness",
+        type=float,
+        default=4.0,
+        help="arrival burst factor (default 4.0)",
+    )
+    cbuild.add_argument("--seed", type=int, default=7)
+    cbuild.add_argument(
+        "--compress",
+        action="store_true",
+        help="write gzip chunks (chunk-*.pcap.gz); digests stay those of "
+        "the uncompressed bytes",
+    )
+    cbuild.add_argument(
+        "--window",
+        type=float,
+        default=120.0,
+        help="seconds of model time generated per pool refill; wider is "
+        "faster but holds more packets in memory (default 120)",
+    )
+    cbuild.add_argument(
+        "--attack-rate-scale",
+        type=float,
+        default=20.0,
+        help="multiply each attack family's native packet rate "
+        "(default 20)",
+    )
+    cbuild.add_argument(
+        "--force",
+        action="store_true",
+        help="overwrite an existing corpus in the output directory",
+    )
+    cbuild.set_defaults(func=cmd_corpus)
+    cinfo = csub.add_parser(
+        "info", help="print a corpus manifest summary"
+    )
+    cinfo.add_argument("root", help="corpus directory or manifest.json")
+    cinfo.add_argument(
+        "--chunks",
+        action="store_true",
+        help="also list per-chunk packet counts, spans and class mixes",
+    )
+    cinfo.set_defaults(func=cmd_corpus)
+    creplay = csub.add_parser(
+        "replay",
+        help="endurance-replay a corpus through the streaming gateway",
+    )
+    creplay.add_argument("root", help="corpus directory or manifest.json")
+    creplay.add_argument(
+        "rules",
+        nargs="?",
+        help="rules JSON (default: deterministic synthetic soak rule set)",
+    )
+    creplay.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="re-time to this offered load in pkts/s (default: corpus "
+        "arrival clock)",
+    )
+    creplay.add_argument(
+        "--burstiness",
+        type=float,
+        default=1.0,
+        help="burst factor for --rate re-timing (default 1.0)",
+    )
+    creplay.add_argument(
+        "--loop",
+        type=int,
+        default=1,
+        help="replay the corpus this many times (requires --rate)",
+    )
+    creplay.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip in-flight sha256 digest verification",
+    )
+    creplay.add_argument(
+        "--swap-after",
+        type=int,
+        default=None,
+        help="fire one timed drift→retrain→swap after this many serviced "
+        "packets",
+    )
+    creplay.add_argument(
+        "--shards", type=int, default=1, help="switch workers (default 1)"
+    )
+    creplay.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker/shard count; overrides --shards (pairs with "
+        "--executor process)",
+    )
+    creplay.add_argument(
+        "--executor",
+        choices=["inline", "process"],
+        default="inline",
+        help="classification backend (default inline)",
+    )
+    creplay.add_argument(
+        "--max-batch",
+        type=int,
+        default=1024,
+        help="adaptive batcher size trigger (default 1024)",
+    )
+    creplay.add_argument(
+        "--max-latency-ms",
+        type=float,
+        default=5.0,
+        help="batcher deadline in milliseconds of stream time (default 5)",
+    )
+    creplay.add_argument(
+        "--queue-capacity",
+        type=int,
+        default=8192,
+        help="per-shard bounded queue capacity in packets (default 8192)",
+    )
+    creplay.add_argument(
+        "--policy",
+        choices=["fail-open", "fail-closed"],
+        default="fail-closed",
+        help="what happens to shed packets (default fail-closed)",
+    )
+    creplay.add_argument(
+        "--service-rate",
+        type=float,
+        default=None,
+        help="per-shard service capacity in pkts/s of stream time "
+        "(default: unconstrained)",
+    )
+    add_table_capacity(creplay, default=4096)
+    creplay.add_argument("--seed", type=int, default=0)
+    creplay.add_argument(
+        "--save", help="also write the telemetry snapshot to this JSONL file"
+    )
+    creplay.add_argument(
+        "--format",
+        choices=["summary", "table", "jsonl", "prometheus"],
+        default="summary",
+        help="telemetry output beyond the replay summary (default: none)",
+    )
+    creplay.set_defaults(func=cmd_corpus)
 
     stats = sub.add_parser(
         "stats",

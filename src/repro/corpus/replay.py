@@ -1,0 +1,212 @@
+"""Endurance replay: corpus → gateway soaks with memory + swap telemetry.
+
+The harness behind ``repro corpus replay``, the ``corpus_replay`` bench
+phase, and E20.  It wires a :class:`~repro.corpus.source.CorpusSource`
+into a :class:`~repro.serve.StreamingGateway`, samples resident-set
+size at chunk boundaries (off the per-packet hot path), optionally
+fires one mid-replay drift→retrain→swap via :class:`TimedSwapHook`, and
+reports the three endurance numbers the in-memory soaks cannot:
+sustained throughput over on-disk multi-chunk streams, the memory
+ceiling, and the end-to-end latency of replacing the deployed rules
+while traffic flows.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Union
+
+from repro import obs
+from repro.core.rules import RuleSet
+from repro.corpus.build import CorpusManifest
+from repro.corpus.source import CorpusSource
+from repro.serve.gateway import ServeConfig, SoakResult, StreamingGateway
+
+__all__ = ["TimedSwapHook", "ReplayReport", "replay_corpus", "rss_bytes"]
+
+
+def rss_bytes() -> int:
+    """Current resident-set size in bytes (0 where unmeasurable).
+
+    Reads ``/proc/self/status`` ``VmRSS`` — the *current* RSS, unlike
+    ``getrusage``'s lifetime high-water mark, so chunk-boundary samples
+    show whether streaming replay actually holds memory flat.
+    """
+    try:
+        with open("/proc/self/status", "r", encoding="ascii") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return int(line.split()[1]) * 1024
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+
+        return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+    except Exception:
+        return 0
+
+
+class TimedSwapHook:
+    """Retrain hook firing one timed rule swap after N serviced packets.
+
+    Plugs into ``StreamingGateway(retrain_hook=...)``.  When the
+    serviced-packet count crosses ``after_packets``, ``make_rules`` is
+    invoked (a real detector retrain, a registry load, a synthetic
+    regeneration — whatever the experiment defines as "retrain") and its
+    wall-clock cost recorded; the gateway then installs the returned
+    rules atomically, and :class:`ShardSet` records the install leg in
+    ``swap_seconds``.  The reported drift→retrain→swap latency is the
+    sum of both legs.
+    """
+
+    def __init__(self, make_rules: Callable[[], RuleSet], *, after_packets: int):
+        if after_packets < 1:
+            raise ValueError("after_packets must be >= 1")
+        self.make_rules = make_rules
+        self.after_packets = after_packets
+        self.seen = 0
+        self.fired_at: Optional[int] = None
+        self.retrain_seconds: Optional[float] = None
+
+    def __call__(self, packets, verdicts) -> Optional[RuleSet]:
+        self.seen += len(packets)
+        if self.fired_at is not None or self.seen < self.after_packets:
+            return None
+        start = time.perf_counter()
+        rules = self.make_rules()
+        self.retrain_seconds = time.perf_counter() - start
+        self.fired_at = self.seen
+        return rules
+
+
+@dataclasses.dataclass
+class ReplayReport:
+    """One endurance replay's outcome: soak result + endurance telemetry."""
+
+    result: SoakResult
+    manifest: CorpusManifest
+    chunks_streamed: int
+    chunks_verified: int
+    rss_samples: List[int]
+    swap_at_packet: Optional[int] = None
+    retrain_seconds: Optional[float] = None
+    install_seconds: Optional[float] = None
+
+    @property
+    def peak_rss_bytes(self) -> int:
+        return max(self.rss_samples) if self.rss_samples else 0
+
+    @property
+    def rss_growth_bytes(self) -> int:
+        """Peak RSS minus the pre-replay baseline sample."""
+        if not self.rss_samples:
+            return 0
+        return self.peak_rss_bytes - self.rss_samples[0]
+
+    @property
+    def swap_latency_seconds(self) -> Optional[float]:
+        """End-to-end drift→retrain→swap cost (None without a swap)."""
+        if self.retrain_seconds is None or self.install_seconds is None:
+            return None
+        return self.retrain_seconds + self.install_seconds
+
+    def summary(self) -> str:
+        lines = [self.result.summary()]
+        lines.append(
+            f"corpus    {self.chunks_streamed} chunks streamed, "
+            f"{self.chunks_verified} digests verified"
+        )
+        if self.rss_samples:
+            lines.append(
+                f"memory    peak RSS {self.peak_rss_bytes / 1e6:,.1f} MB "
+                f"(+{self.rss_growth_bytes / 1e6:,.1f} MB over baseline)"
+            )
+        if self.swap_latency_seconds is not None:
+            lines.append(
+                f"swap      drift→retrain→swap {1e3 * self.swap_latency_seconds:.2f}ms "
+                f"(retrain {1e3 * self.retrain_seconds:.2f}ms + "
+                f"install {1e3 * self.install_seconds:.2f}ms) "
+                f"at packet {self.swap_at_packet}"
+            )
+        return "\n".join(lines)
+
+
+def replay_corpus(
+    root: Union[str, Path, CorpusManifest],
+    rules: RuleSet,
+    config: Optional[ServeConfig] = None,
+    *,
+    rate: Optional[float] = None,
+    burstiness: float = 1.0,
+    seed: int = 0,
+    verify: bool = True,
+    loop: int = 1,
+    swap_after: Optional[int] = None,
+    swap_rules: Optional[Callable[[], RuleSet]] = None,
+    recorder=None,
+    alert_engine=None,
+) -> ReplayReport:
+    """Stream a corpus through a gateway; returns the endurance report.
+
+    Args:
+        rate: optional offered-load re-stamping (pkts/s); ``None``
+            replays at the corpus's own recorded arrival clock.
+        swap_after: when set, fire one timed retrain+swap after this
+            many serviced packets.
+        swap_rules: the "retrain" to time; defaults to re-installing
+            ``rules`` (pure swap-path latency).
+    """
+    gauge = obs.registry().gauge(
+        "corpus_replay_rss_bytes",
+        help="Resident-set size sampled at corpus chunk boundaries",
+    )
+    samples: List[int] = [rss_bytes()]
+    gauge.set(samples[0])
+
+    def on_chunk(index: int, meta) -> None:
+        value = rss_bytes()
+        samples.append(value)
+        gauge.set(value)
+
+    source = CorpusSource(
+        root,
+        rate=rate,
+        burstiness=burstiness,
+        seed=seed,
+        verify=verify,
+        loop=loop,
+        on_chunk=on_chunk,
+    )
+    hook: Optional[TimedSwapHook] = None
+    if swap_after is not None:
+        hook = TimedSwapHook(
+            swap_rules if swap_rules is not None else (lambda: rules),
+            after_packets=swap_after,
+        )
+    gateway = StreamingGateway(
+        rules,
+        config,
+        retrain_hook=hook,
+        recorder=recorder,
+        alert_engine=alert_engine,
+    )
+    result = gateway.run(source)
+    samples.append(rss_bytes())
+    gauge.set(samples[-1])
+    install_seconds: Optional[float] = None
+    if hook is not None and hook.fired_at is not None:
+        swaps = gateway.shards.swap_seconds
+        install_seconds = swaps[-1] if swaps else None
+    return ReplayReport(
+        result=result,
+        manifest=source.manifest,
+        chunks_streamed=len(source.manifest.chunks) * loop,
+        chunks_verified=source.chunks_verified,
+        rss_samples=samples,
+        swap_at_packet=hook.fired_at if hook is not None else None,
+        retrain_seconds=hook.retrain_seconds if hook is not None else None,
+        install_seconds=install_seconds,
+    )

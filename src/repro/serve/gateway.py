@@ -794,6 +794,9 @@ class StreamingGateway:
         self._attach_recorder()
         self._offsets = tuple(new_rules.offsets)
         self._executor.install(new_rules)
+        # Fold the worker ack barrier into the recorded swap cost so
+        # ShardSet.swap_seconds means "full install" on both executors.
+        self.shards.swap_seconds[-1] += self._executor.swap_barrier_seconds[-1]
         if self._obs_on:
             self._obs_swaps.inc()
             self._obs_swap_barrier.observe(

@@ -29,6 +29,7 @@ matched against a half-installed table).
 
 from __future__ import annotations
 
+import time
 import zlib
 from typing import Deque, Dict, List, Optional, Tuple
 
@@ -226,6 +227,10 @@ class ShardSet:
             for i in range(n_shards)
         ]
         self.rule_swaps = 0
+        #: Wall-clock seconds of each :meth:`install` this run — the
+        #: "swap" leg of the drift→retrain→swap latency the endurance
+        #: harness reports (the retrain leg is timed by the hook).
+        self.swap_seconds: List[float] = []
 
     def _deployed_controller(self, rules: RuleSet) -> GatewayController:
         controller = GatewayController.for_ruleset(
@@ -255,6 +260,7 @@ class ShardSet:
         as on hardware), with batcher/queue contents carried over
         untouched (they hold raw packets, not parsed keys).
         """
+        swap_start = time.perf_counter()
         same_offsets = tuple(rules.offsets) == tuple(self.rules.offsets)
         for shard in self.shards:
             if same_offsets:
@@ -272,6 +278,7 @@ class ShardSet:
                 shard.controller = self._deployed_controller(rules)
         self.rules = rules
         self.rule_swaps += 1
+        self.swap_seconds.append(time.perf_counter() - swap_start)
 
     def stats(self) -> SwitchStats:
         """Aggregate switch statistics across all shards (swaps included)."""
@@ -283,6 +290,7 @@ class ShardSet:
         """Zero every per-run counter and the queueing clock."""
         self._retired.clear()
         self.rule_swaps = 0
+        self.swap_seconds.clear()
         for shard in self.shards:
             shard.processed = 0
             shard.shed = 0

@@ -25,12 +25,13 @@ METRIC_GROUPS = {
     "serve",
     "parallel_serve",
     "fleet_serving",
+    "corpus_replay",
     "flight_recorder",
 }
 #: Phases added after the trajectory started; absent from old records.
 LEGACY_OPTIONAL_GROUPS = {
     "serve", "flight_recorder", "compiled_switch", "parallel_serve",
-    "fleet_serving",
+    "fleet_serving", "corpus_replay",
 }
 
 
@@ -88,6 +89,13 @@ def test_bench_appends_schema_valid_records(tmp_path):
     assert fleet["constrained_evicted_entries"] > 0
     assert 0.0 <= fleet["constrained_fidelity"] < 1.0
     assert fleet["full_pkts_per_sec"] > 0
+    corpus = record["metrics"]["corpus_replay"]
+    assert corpus["packets"] > 0 and corpus["chunks"] > 1
+    assert corpus["build_pkts_per_sec"] > 0
+    assert corpus["replay_pkts_per_sec"] > 0
+    assert corpus["replay_ratio"] > 0
+    assert corpus["swap_latency_ms"] > 0
+    assert corpus["shed"] >= 0
     flight = record["metrics"]["flight_recorder"]
     assert flight["disabled_seconds"] > 0 and flight["enabled_seconds"] > 0
     assert flight["resident_records"] > 0

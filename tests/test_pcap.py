@@ -152,3 +152,73 @@ class TestStreamingRead:
         iterator = iter_pcap(path)
         assert next(iterator).data == b"y" * 64
         iterator.close()
+
+
+class TestGzipStreams:
+    """iter_pcap sniffs gzip magic and decompresses transparently."""
+
+    def _gzip_file(self, tmp_path, packets):
+        import gzip
+        import io
+
+        raw = io.BytesIO()
+        write_pcap(raw, packets)
+        path = tmp_path / "c.pcap.gz"
+        with gzip.open(path, "wb") as handle:
+            handle.write(raw.getvalue())
+        return path
+
+    def test_gzip_path_roundtrip(self, tmp_path):
+        packets = [Packet(b"ab", timestamp=1.0), Packet(b"cdef", timestamp=2.0)]
+        path = self._gzip_file(tmp_path, packets)
+        loaded = list(iter_pcap(path))
+        assert [p.data for p in loaded] == [b"ab", b"cdef"]
+        assert read_pcap(path)[1].timestamp == pytest.approx(2.0)
+
+    def test_gzip_open_handle(self, tmp_path):
+        path = self._gzip_file(tmp_path, [Packet(b"xyz")])
+        with open(path, "rb") as handle:
+            assert [p.data for p in iter_pcap(handle)] == [b"xyz"]
+            assert not handle.closed
+
+    def test_gzip_non_seekable_stream(self, tmp_path):
+        # magic sniffing must not rely on seek(): wrap in a pipe-like
+        # reader exposing read() only.
+        import io
+
+        path = self._gzip_file(tmp_path, [Packet(b"pq"), Packet(b"rs")])
+
+        class ReadOnly:
+            def __init__(self, data):
+                self._stream = io.BytesIO(data)
+
+            def read(self, size=-1):
+                return self._stream.read(size)
+
+        stream = ReadOnly(path.read_bytes())
+        assert [p.data for p in iter_pcap(stream)] == [b"pq", b"rs"]
+
+    def test_plain_non_seekable_stream(self, tmp_path):
+        # the sniffed prefix is replayed for uncompressed streams too
+        import io
+
+        raw = io.BytesIO()
+        write_pcap(raw, [Packet(b"mn")])
+
+        class ReadOnly:
+            def __init__(self, data):
+                self._stream = io.BytesIO(data)
+
+            def read(self, size=-1):
+                return self._stream.read(size)
+
+        assert [p.data for p in iter_pcap(ReadOnly(raw.getvalue()))] == [b"mn"]
+
+    def test_write_pcap_accepts_handle(self, tmp_path):
+        import io
+
+        raw = io.BytesIO()
+        write_pcap(raw, [Packet(b"hh", timestamp=3.5)])
+        loaded = list(iter_pcap(io.BytesIO(raw.getvalue())))
+        assert loaded[0].data == b"hh"
+        assert loaded[0].timestamp == pytest.approx(3.5)

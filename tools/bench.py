@@ -463,6 +463,73 @@ def bench_fleet_serving(quick: bool) -> dict:
     }
 
 
+def bench_corpus_replay(quick: bool) -> dict:
+    """On-disk endurance path vs the in-memory soak it must keep up with.
+
+    The E20 shape, recorded per commit: synthesize a chunked corpus to
+    disk (recording build throughput), endurance-replay it through the
+    streaming gateway with in-flight digest verification and one timed
+    mid-replay drift→retrain→swap, then run the identical packets as an
+    in-memory soak.  Records build and replay throughput, the
+    replay/in-memory ratio (the price of streaming from disk), the RSS
+    growth over the replay, and the swap latency.  The shed-accounting
+    invariant ``offered == processed + shed`` is asserted, not just
+    reported.
+    """
+    import shutil
+    import tempfile
+
+    from repro.corpus import CorpusSource, CorpusSpec, build_corpus, replay_corpus
+    from repro.eval.harness import synthetic_firewall_ruleset
+    from repro.serve import ServeConfig, StreamingGateway
+
+    spec = CorpusSpec(
+        n_packets=30_000 if quick else 600_000,
+        chunk_packets=10_000 if quick else 200_000,
+        window=10.0 if quick else 120.0,
+        seed=20,
+    )
+    rules = synthetic_firewall_ruleset(seed=20)
+    config = ServeConfig(
+        max_batch=256,
+        max_latency=0.005,
+        queue_capacity=65_536,
+        record_verdicts=False,
+    )
+    root = Path(tempfile.mkdtemp(prefix="bench-corpus-")) / "corpus"
+    try:
+        start = time.perf_counter()
+        manifest = build_corpus(spec, root)
+        build_seconds = time.perf_counter() - start
+        report = replay_corpus(
+            root,
+            rules,
+            config,
+            swap_after=spec.n_packets // 2,
+        )
+        result = report.result
+        assert result.offered == result.processed + result.shed
+        assert report.chunks_verified == len(manifest.chunks)
+        in_memory = list(CorpusSource(root, verify=False))
+        baseline = StreamingGateway(rules, config).run(in_memory)
+        return {
+            "packets": manifest.packets,
+            "chunks": len(manifest.chunks),
+            "corpus_mb": round(manifest.bytes / 1e6, 1),
+            "build_pkts_per_sec": round(manifest.packets / build_seconds, 1),
+            "replay_pkts_per_sec": round(result.pkts_per_sec, 1),
+            "in_memory_pkts_per_sec": round(baseline.pkts_per_sec, 1),
+            "replay_ratio": round(
+                result.pkts_per_sec / baseline.pkts_per_sec, 3
+            ),
+            "shed": result.shed,
+            "rss_growth_mb": round(report.rss_growth_bytes / 1e6, 1),
+            "swap_latency_ms": round(1e3 * report.swap_latency_seconds, 3),
+        }
+    finally:
+        shutil.rmtree(root.parent, ignore_errors=True)
+
+
 def run(quick: bool) -> dict:
     record = {
         "commit": _commit(),
@@ -483,6 +550,7 @@ def run(quick: bool) -> dict:
             ("serve", bench_serve),
             ("parallel_serve", bench_parallel_serve),
             ("fleet_serving", bench_fleet_serving),
+            ("corpus_replay", bench_corpus_replay),
             ("flight_recorder", bench_flight_recorder),
         ]:
             print(f"[bench] {name} ...", flush=True)

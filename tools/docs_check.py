@@ -235,6 +235,30 @@ def fleet_catalogue_problems() -> List[str]:
     return problems
 
 
+def corpus_catalogue_problems() -> List[str]:
+    """``corpus_*`` metrics/spans missing from docs/OBSERVABILITY.md."""
+    doc = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")
+    metrics, spans = set(), set()
+    for path in sorted((REPO_ROOT / "src" / "repro" / "corpus").glob("*.py")):
+        text = path.read_text(encoding="utf-8")
+        metrics.update(_METRIC_CALL_RE.findall(text))
+        spans.update(_SPAN_CALL_RE.findall(text))
+    problems: List[str] = []
+    if not any(name.startswith("corpus_") for name in metrics):
+        problems.append("corpus scan found no corpus_* metric registrations")
+    for name in sorted(n for n in metrics if n.startswith("corpus_")):
+        if name not in doc:
+            problems.append(
+                f"corpus metric {name!r} missing from OBSERVABILITY.md"
+            )
+    for name in sorted(spans):
+        if name not in doc:
+            problems.append(
+                f"corpus span {name!r} missing from OBSERVABILITY.md"
+            )
+    return problems
+
+
 def main(argv: List[str] | None = None) -> int:
     cache: Dict[Path, set] = {}
     total = 0
@@ -252,6 +276,9 @@ def main(argv: List[str] | None = None) -> int:
         print(f"docs/OPERATIONS.md: catalogue drift: {problem}")
         total += 1
     for problem in fleet_catalogue_problems():
+        print(f"docs/OBSERVABILITY.md: catalogue drift: {problem}")
+        total += 1
+    for problem in corpus_catalogue_problems():
         print(f"docs/OBSERVABILITY.md: catalogue drift: {problem}")
         total += 1
     if total:
